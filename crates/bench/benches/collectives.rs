@@ -1,0 +1,88 @@
+//! Criterion benches for the extension collectives (reduce, allreduce,
+//! barrier) on the real-thread backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_bcast::collectives::{oc_allreduce, OcReduce, ReduceOp};
+use oc_bcast::{OcBcast, OcConfig};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult};
+use scc_rcce::MpbAllocator;
+use scc_rt::{run_spmd, RtConfig};
+use std::hint::black_box;
+
+fn run_reduce(p: usize, elems: usize, reps: usize, all: bool) {
+    let bytes = elems * 8;
+    let cfg = RtConfig { num_cores: p, mem_bytes: (bytes * 2).max(4096) };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut red = OcReduce::with_slot_lines(&mut alloc, 3, 8).expect("reduce");
+        let mut bc = OcBcast::new(
+            &mut alloc,
+            OcConfig { chunk_lines: 48, ..OcConfig::default() },
+        )
+        .expect("bcast");
+        let me = c.core().index() as u64;
+        let v: Vec<u8> = (0..elems as u64).flat_map(|i| (i + me).to_le_bytes()).collect();
+        let r = MemRange::new(0, bytes);
+        for _ in 0..reps {
+            c.mem_write(0, &v)?;
+            if all {
+                oc_allreduce(c, &mut red, &mut bc, CoreId(0), r, ReduceOp::Sum)?;
+            } else {
+                red.reduce(c, CoreId(0), r, ReduceOp::Sum)?;
+            }
+        }
+        Ok(())
+    })
+    .expect("rt run");
+    for r in rep.results {
+        r.expect("core");
+    }
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let p = 4;
+    let mut g = c.benchmark_group("rt_reduce");
+    g.sample_size(10);
+    for elems in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("reduce_sum", elems), &elems, |b, &e| {
+            b.iter(|| run_reduce(black_box(p), e, 4, false));
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_sum", elems), &elems, |b, &e| {
+            b.iter(|| run_reduce(black_box(p), e, 4, true));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rt_barrier");
+    g.sample_size(10);
+    for which in ["dissemination", "tree"] {
+        g.bench_with_input(BenchmarkId::from_parameter(which), &which, |b, &w| {
+            b.iter(|| {
+                let cfg = RtConfig { num_cores: p, mem_bytes: 4096 };
+                let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+                    let mut alloc = MpbAllocator::new();
+                    if w == "dissemination" {
+                        let mut bar = scc_rcce::Barrier::new(&mut alloc, p).expect("bar");
+                        for _ in 0..20 {
+                            bar.wait(c)?;
+                        }
+                    } else {
+                        let mut red = OcReduce::with_slot_lines(&mut alloc, 3, 1).expect("red");
+                        for _ in 0..20 {
+                            red.barrier(c, CoreId(0))?;
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("rt");
+                for r in rep.results {
+                    r.expect("core");
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches of the three broadcast algorithms on the
+//! real-thread backend (`scc-rt`).
+//!
+//! These measure actual wall-clock behaviour of the same algorithm
+//! code that runs on the simulator. Note the caveats: the thread
+//! backend has no NoC, its MPBs are ordinary shared memory, and on a
+//! host with fewer hardware threads than cores the spin-yield waits
+//! dominate — so compare *algorithms*, not absolute numbers, and see
+//! fig8a/fig8b for the SCC-faithful measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult};
+use scc_rcce::{Barrier, MpbAllocator};
+use scc_rt::{run_spmd, RtConfig};
+use std::hint::black_box;
+
+/// One full SPMD run doing `reps` broadcasts of `bytes` bytes.
+fn run_broadcasts(p: usize, alg: Algorithm, bytes: usize, reps: usize) {
+    let cfg = RtConfig { num_cores: p, mem_bytes: bytes.max(4096).next_power_of_two() * 2 };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut bar = Barrier::new(&mut alloc, c.num_cores()).expect("barrier");
+        let mut b = Broadcaster::new(&mut alloc, alg, c.num_cores()).expect("bcast");
+        let r = MemRange::new(0, bytes);
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0xA5u8; bytes])?;
+        }
+        for _ in 0..reps {
+            bar.wait(c)?;
+            b.bcast(c, CoreId(0), r)?;
+        }
+        Ok(())
+    })
+    .expect("rt run");
+    for r in rep.results {
+        r.expect("core");
+    }
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    // Keep the core count modest: hosts running this suite may have a
+    // single hardware thread (spin waits always yield).
+    let p = 4;
+    let algs = [
+        Algorithm::oc_default(),
+        Algorithm::oc_with_k(2),
+        Algorithm::Binomial,
+        Algorithm::ScatterAllgather,
+    ];
+
+    let mut g = c.benchmark_group("rt_bcast_small");
+    g.sample_size(10);
+    for alg in algs {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| run_broadcasts(black_box(p), alg, 64, 8));
+        });
+    }
+    g.finish();
+
+    let bytes = 96 * 32 * 4;
+    let mut g = c.benchmark_group("rt_bcast_large");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes as u64 * 4));
+    for alg in algs {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| run_broadcasts(black_box(p), alg, bytes, 4));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches of the discrete-event engine itself: how fast the
+//! simulator retires events and complete broadcasts. Useful when
+//! tuning the engine (event queue, calendar reservations, channel
+//! rendezvous) — not a statement about the SCC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, MpbAddr, Rma, RmaResult};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, SimConfig};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    // Raw op throughput: a single core hammering 1-line puts.
+    let mut g = c.benchmark_group("sim_ops");
+    g.sample_size(10);
+    for ops in [1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(ops as u64));
+        g.bench_with_input(BenchmarkId::new("one_line_puts", ops), &ops, |b, &ops| {
+            let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
+            b.iter(|| {
+                run_spmd(&cfg, move |core| -> RmaResult<()> {
+                    if core.core().index() == 0 {
+                        for _ in 0..ops {
+                            core.put_from_mpb(0, MpbAddr::new(CoreId(1), 0), 1)?;
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("sim")
+            });
+        });
+    }
+    g.finish();
+
+    // End-to-end: one 48-core OC-Bcast of one chunk.
+    let mut g = c.benchmark_group("sim_bcast");
+    g.sample_size(10);
+    for &(label, bytes) in &[("1CL", 32usize), ("96CL", 96 * 32)] {
+        g.bench_with_input(BenchmarkId::new("oc_k7_p48", label), &bytes, |b, &bytes| {
+            let cfg = SimConfig { num_cores: 48, mem_bytes: 1 << 16, ..SimConfig::default() };
+            b.iter(|| {
+                run_spmd(&cfg, move |core| -> RmaResult<()> {
+                    let mut alloc = MpbAllocator::new();
+                    let mut bc =
+                        Broadcaster::new(&mut alloc, Algorithm::oc_default(), 48).expect("ctx");
+                    let r = MemRange::new(0, black_box(bytes));
+                    if core.core().index() == 0 {
+                        core.mem_write(0, &vec![1u8; bytes])?;
+                    }
+                    bc.bcast(core, CoreId(0), r)
+                })
+                .expect("sim")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

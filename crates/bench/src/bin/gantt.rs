@@ -1,0 +1,66 @@
+//! Visualize one broadcast as a per-core timeline (text Gantt) plus a
+//! resource-utilization summary — the debugging view of the pipeline
+//! described in Section 4: the root's puts, the parallel gets of each
+//! tree level, the flag traffic between them.
+//!
+//! Run: `cargo run --release -p scc-bench --bin gantt [k] [cache_lines]`
+
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult};
+use scc_rcce::MpbAllocator;
+use scc_sim::{render_gantt, run_spmd, summarize, SimConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let lines: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(192);
+    let p = 12usize;
+    let bytes = lines * 32;
+
+    let cfg = SimConfig { num_cores: p, mem_bytes: 1 << 20, trace: true, ..Default::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_with_k(k), p).expect("ctx");
+        let r = MemRange::new(0, bytes);
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0x5Au8; bytes])?;
+        }
+        b.bcast(c, CoreId(0), r)
+    })
+    .expect("simulation");
+    for r in &rep.results {
+        r.as_ref().expect("core ok");
+    }
+
+    println!("OC-Bcast k={k}, {lines} cache lines, P={p} — one broadcast\n");
+    let trace = rep.trace.as_deref().expect("trace enabled");
+    print!("{}", render_gantt(trace, p, 100));
+
+    println!();
+    let summary = summarize(trace, p);
+    println!("{:>4} {:>6} {:>7} {:>12} {:>12}", "core", "ops", "lines", "busy", "polling");
+    for (i, s) in summary.per_core.iter().enumerate() {
+        println!(
+            "{:>4} {:>6} {:>7} {:>12} {:>12}",
+            format!("C{i}"),
+            s.ops,
+            s.lines,
+            s.busy.to_string(),
+            s.polling.to_string()
+        );
+    }
+
+    println!();
+    let span = rep.makespan.as_ns_f64();
+    println!("makespan: {}", rep.makespan);
+    println!(
+        "utilization — MPB ports: {:.1}%  routers: {:.2}%  memory controllers: {:.1}%",
+        rep.stats.port_busy.as_ns_f64() / (span * 24.0) * 100.0,
+        rep.stats.router_busy.as_ns_f64() / (span * 24.0) * 100.0,
+        rep.stats.mc_busy.as_ns_f64() / (span * 4.0) * 100.0,
+    );
+    println!(
+        "queueing — ports: {} routers: {} controllers: {}",
+        rep.stats.port_wait, rep.stats.router_wait, rep.stats.mc_wait
+    );
+}

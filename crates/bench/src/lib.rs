@@ -1,0 +1,181 @@
+//! # scc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), all built on the measurement helpers in this library:
+//!
+//! | binary      | reproduces |
+//! |-------------|-----------------------------------------------|
+//! | `table1`    | Table 1 — fitted model parameters             |
+//! | `fig3`      | Figure 3 — put/get completion vs distance     |
+//! | `fig4`      | Figure 4 — MPB contention                     |
+//! | `fig5`      | Figure 5 — propagation & notification trees   |
+//! | `fig6`      | Figure 6 — modeled broadcast latency          |
+//! | `table2`    | Table 2 — modeled peak throughput             |
+//! | `fig8a`     | Figure 8a — measured broadcast latency        |
+//! | `fig8b`     | Figure 8b — measured broadcast throughput     |
+//! | `linkstress`| Section 3.3 — mesh link stress                |
+//! | `ablation`  | design-choice ablations (DESIGN.md)           |
+//!
+//! Latency is defined exactly as in the paper (Sections 5.2/6.1): the
+//! time from the source's call of the broadcast until the last core
+//! returns, measured with globally comparable clocks after aligning
+//! the cores on a barrier.
+
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
+use scc_rcce::{Barrier, MpbAllocator};
+use scc_sim::{run_spmd, SimConfig, SimError};
+
+/// Default simulator configuration for the paper's experiments: the
+/// full 48-core chip.
+pub fn paper_chip() -> SimConfig {
+    SimConfig { num_cores: 48, mem_bytes: 4 << 20, ..SimConfig::default() }
+}
+
+/// Reduced-cost knob: set `SCC_BENCH_QUICK=1` to shrink repetition
+/// counts and sweep densities (used in CI and the test suite).
+pub fn quick() -> bool {
+    std::env::var_os("SCC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Result of one latency measurement series.
+#[derive(Clone, Debug)]
+pub struct BcastTiming {
+    /// Mean broadcast latency in microseconds.
+    pub latency_us: f64,
+    /// Corresponding throughput in MB/s (bytes per microsecond).
+    pub throughput_mb_s: f64,
+}
+
+/// Measure broadcast latency on the simulator: `reps` timed broadcasts
+/// (after `warmup` untimed ones), each preceded by a barrier; latency
+/// of one repetition is `max_core(return time) − source(call time)`.
+pub fn measure_bcast(
+    cfg: &SimConfig,
+    alg: Algorithm,
+    root: CoreId,
+    bytes: usize,
+    warmup: usize,
+    reps: usize,
+) -> Result<BcastTiming, SimError> {
+    assert!(reps >= 1 && bytes >= 1);
+    let rep = run_spmd(cfg, move |c| -> RmaResult<(Vec<Time>, Vec<Time>)> {
+        let mut alloc = MpbAllocator::new();
+        let mut bar = Barrier::new(&mut alloc, c.num_cores()).expect("barrier lines");
+        let mut b = Broadcaster::new(&mut alloc, alg, c.num_cores()).expect("bcast lines");
+        let r = MemRange::new(0, bytes);
+        if c.core() == root {
+            // Deterministic payload so receivers could verify.
+            let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+            c.mem_write(0, &payload)?;
+        }
+        let mut starts = Vec::with_capacity(reps);
+        let mut ends = Vec::with_capacity(reps);
+        for it in 0..warmup + reps {
+            bar.wait(c)?;
+            let t0 = c.now();
+            b.bcast(c, root, r)?;
+            if it >= warmup {
+                starts.push(t0);
+                ends.push(c.now());
+            }
+        }
+        Ok((starts, ends))
+    })?;
+    let per_core: Vec<_> = rep
+        .results
+        .into_iter()
+        .map(|r| r.map_err(|e| SimError::Engine(format!("core failed: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let mut total_us = 0.0;
+    for i in 0..reps {
+        let start = per_core[root.index()].0[i];
+        let end = per_core.iter().map(|(_, e)| e[i]).max().expect("cores");
+        total_us += (end - start).as_us_f64();
+    }
+    let latency_us = total_us / reps as f64;
+    Ok(BcastTiming { latency_us, throughput_mb_s: bytes as f64 / latency_us })
+}
+
+/// Sweep message sizes (in cache lines) for one algorithm.
+pub fn sweep_sizes(
+    cfg: &SimConfig,
+    alg: Algorithm,
+    sizes_lines: &[usize],
+    warmup: usize,
+    reps: usize,
+) -> Result<Vec<(usize, BcastTiming)>, SimError> {
+    sizes_lines
+        .iter()
+        .map(|&m| Ok((m, measure_bcast(cfg, alg, CoreId(0), m * 32, warmup, reps)?)))
+        .collect()
+}
+
+/// The algorithm set of Figures 6/8: OC-Bcast k ∈ {2, 7, 47} plus one
+/// baseline.
+pub fn paper_algorithms(baseline: Algorithm) -> Vec<Algorithm> {
+    vec![
+        Algorithm::oc_with_k(2),
+        Algorithm::oc_with_k(7),
+        Algorithm::oc_with_k(47),
+        baseline,
+    ]
+}
+
+/// Render rows of `(x, columns…)` as an aligned table with a CSV twin
+/// (the CSV block is what EXPERIMENTS.md embeds).
+pub fn print_series(title: &str, x_label: &str, col_labels: &[String], rows: &[(usize, Vec<f64>)]) {
+    println!("# {title}");
+    print!("# {x_label:>8}");
+    for l in col_labels {
+        print!(" {l:>12}");
+    }
+    println!();
+    for (x, cols) in rows {
+        print!("{x:>10}");
+        for v in cols {
+            print!(" {v:>12.3}");
+        }
+        println!();
+    }
+    println!();
+    println!("csv,{x_label},{}", col_labels.join(","));
+    for (x, cols) in rows {
+        let vals: Vec<String> = cols.iter().map(|v| format!("{v:.4}")).collect();
+        println!("csv,{x},{}", vals.join(","));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_bcast_produces_consistent_numbers() {
+        let cfg = SimConfig { num_cores: 8, mem_bytes: 1 << 16, ..SimConfig::default() };
+        let t = measure_bcast(&cfg, Algorithm::oc_default(), CoreId(0), 32, 1, 2).unwrap();
+        assert!(t.latency_us > 1.0 && t.latency_us < 100.0, "{t:?}");
+        assert!((t.throughput_mb_s - 32.0 / t.latency_us).abs() < 1e-9);
+        // Determinism: a second identical measurement agrees exactly.
+        let t2 = measure_bcast(&cfg, Algorithm::oc_default(), CoreId(0), 32, 1, 2).unwrap();
+        assert_eq!(t.latency_us, t2.latency_us);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_size_for_oc() {
+        let cfg = SimConfig { num_cores: 8, mem_bytes: 1 << 18, ..SimConfig::default() };
+        let s = sweep_sizes(&cfg, Algorithm::oc_default(), &[1, 8, 64, 128], 0, 1).unwrap();
+        for w in s.windows(2) {
+            assert!(w[1].1.latency_us > w[0].1.latency_us);
+        }
+    }
+
+    #[test]
+    fn paper_algorithm_set() {
+        let a = paper_algorithms(Algorithm::Binomial);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[1].label(), "k=7");
+        assert_eq!(a[3].label(), "binomial");
+    }
+}

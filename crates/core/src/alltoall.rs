@@ -1,0 +1,446 @@
+//! Personalized one-sided collectives: scatter, gather and all-to-all.
+//!
+//! These round out the collective family the paper's Section 7 aims at
+//! (and that RCKMPI would need), built from the same ingredients as
+//! OC-Bcast: pipelined `put`s into the consumer's double-buffered MPB
+//! halves, sequence flags, and `get`s to off-chip memory.
+//!
+//! Communication structure:
+//!
+//! * [`OnesidedGroup::scatter`] — the root pushes slice `j` of its
+//!   buffer directly to core `j`, pipelined per destination. The root
+//!   moves each byte exactly once (the same aggregate as a tree
+//!   scatter, without intermediate copies).
+//! * [`OnesidedGroup::gather`] — the mirror image: every core pushes
+//!   its slice to the root, which drains them in rank order.
+//! * [`OnesidedGroup::alltoall`] — `P − 1` shift rounds; in round `r`
+//!   core `i` pushes its slice for core `i + r` and pulls from core
+//!   `i − r`. Rounds are barrier-separated: with changing partners,
+//!   unsolicited one-sided writes would otherwise race ahead into
+//!   buffers a slower core is still using (the same hazard the
+//!   one-sided scatter-allgather's phase barrier handles; see
+//!   `rma_sag`).
+//!
+//! Slices are the deterministic line-aligned partition of
+//! [`crate::scatter_allgather::slice_range`]; `alltoall` interprets the
+//! send buffer as `P` such slices and writes the receive buffer in the
+//! same layout.
+
+use crate::scatter_allgather::slice_range;
+use scc_hal::{bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
+
+/// Context for the personalized collectives (symmetric allocation).
+#[derive(Clone, Debug)]
+pub struct OnesidedGroup {
+    notify: MpbRegion,
+    done: MpbRegion,
+    bufs: [MpbRegion; 2],
+    barrier: Barrier,
+    seq: u32,
+}
+
+impl OnesidedGroup {
+    pub fn new(
+        alloc: &mut MpbAllocator,
+        num_cores: usize,
+        half_lines: usize,
+    ) -> Result<OnesidedGroup, MpbExhausted> {
+        assert!(half_lines >= 1);
+        let notify = alloc.alloc(2)?;
+        let done = alloc.alloc(2)?;
+        let b0 = alloc.alloc(half_lines)?;
+        let b1 = alloc.alloc(half_lines)?;
+        let barrier = Barrier::new(alloc, num_cores)?;
+        Ok(OnesidedGroup { notify, done, bufs: [b0, b1], barrier, seq: 0 })
+    }
+
+    pub fn with_defaults(
+        alloc: &mut MpbAllocator,
+        num_cores: usize,
+    ) -> Result<OnesidedGroup, MpbExhausted> {
+        Self::new(alloc, num_cores, 96)
+    }
+
+    pub fn release(self, alloc: &mut MpbAllocator) {
+        alloc.free(self.notify);
+        alloc.free(self.done);
+        alloc.free(self.bufs[0]);
+        alloc.free(self.bufs[1]);
+        self.barrier.release(alloc);
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        self.bufs[0].lines * CACHE_LINE_BYTES
+    }
+
+    fn chunks_of(&self, bytes: usize) -> usize {
+        bytes_to_lines(bytes).div_ceil(self.bufs[0].lines).max(1)
+    }
+
+    /// Pipelined producer side of one transfer; drains before returning
+    /// (partners change between transfers).
+    fn push<R: Rma>(&self, c: &mut R, dst: CoreId, src: MemRange, seq_base: u32) -> RmaResult<()> {
+        let n = self.chunks_of(src.len);
+        let chunk_bytes = self.chunk_bytes();
+        let mut off = 0usize;
+        let mut last = [0u32; 2];
+        for i in 0..n {
+            let seq = seq_base + i as u32 + 1;
+            let h = i % 2;
+            if last[h] > 0 {
+                c.flag_wait_local(self.done.line(h), &mut |v| v.0 >= last[h])?;
+            }
+            let len = (src.len - off).min(chunk_bytes);
+            if len > 0 {
+                c.put_from_mem(src.slice(off, len), MpbAddr::new(dst, self.bufs[h].first_line))?;
+            }
+            c.flag_put(MpbAddr::new(dst, self.notify.line(h)), FlagValue(seq))?;
+            last[h] = seq;
+            off += len;
+        }
+        for (h, &seq) in last.iter().enumerate() {
+            if seq > 0 {
+                c.flag_wait_local(self.done.line(h), &mut |v| v.0 >= seq)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumer side of one transfer.
+    fn pull<R: Rma>(&self, c: &mut R, src: CoreId, dst: MemRange, seq_base: u32) -> RmaResult<()> {
+        let n = self.chunks_of(dst.len);
+        let chunk_bytes = self.chunk_bytes();
+        let me = c.core();
+        let mut off = 0usize;
+        for i in 0..n {
+            let seq = seq_base + i as u32 + 1;
+            let h = i % 2;
+            c.flag_wait_local(self.notify.line(h), &mut |v| v.0 >= seq)?;
+            let len = (dst.len - off).min(chunk_bytes);
+            if len > 0 {
+                c.get_to_mem(MpbAddr::new(me, self.bufs[h].first_line), dst.slice(off, len))?;
+            }
+            c.flag_put(MpbAddr::new(src, self.done.line(h)), FlagValue(seq))?;
+            off += len;
+        }
+        Ok(())
+    }
+
+    /// Scatter: the `root`'s `msg` buffer is cut into `P` slices; core
+    /// `j` receives slice `j` into the same sub-range of its own
+    /// buffer. (Slice `root` stays in place.)
+    pub fn scatter<R: Rma>(&mut self, c: &mut R, root: CoreId, msg: MemRange) -> RmaResult<()> {
+        let p = c.num_cores();
+        if msg.len == 0 || p <= 1 {
+            return Ok(());
+        }
+        let me = c.core();
+        let max_chunks = self.chunks_of(slice_range(msg, p, 0).len.max(1)) as u32;
+        let base = self.seq;
+        self.seq += p as u32 * max_chunks;
+
+        if me == root {
+            for j in 0..p {
+                if j == root.index() {
+                    continue;
+                }
+                let slice = slice_range(msg, p, j);
+                if slice.len > 0 {
+                    self.push(c, CoreId(j as u8), slice, base + j as u32 * max_chunks)?;
+                }
+            }
+        } else {
+            let slice = slice_range(msg, p, me.index());
+            if slice.len > 0 {
+                self.pull(c, root, slice, base + me.index() as u32 * max_chunks)?;
+            }
+        }
+        // Collective boundary (next collective may have different pairs).
+        self.barrier.wait(c)?;
+        Ok(())
+    }
+
+    /// Gather: core `j`'s slice `j` lands in the root's buffer; the
+    /// mirror image of [`OnesidedGroup::scatter`].
+    pub fn gather<R: Rma>(&mut self, c: &mut R, root: CoreId, msg: MemRange) -> RmaResult<()> {
+        let p = c.num_cores();
+        if msg.len == 0 || p <= 1 {
+            return Ok(());
+        }
+        let me = c.core();
+        let max_chunks = self.chunks_of(slice_range(msg, p, 0).len.max(1)) as u32;
+        let base = self.seq;
+        self.seq += p as u32 * max_chunks;
+
+        // The root's two MPB halves are the shared resource: producers
+        // must take turns, or their chunks and sequence flags clobber
+        // each other. The root grants turn `j` (a flag in producer j's
+        // own MPB, unused during a gather) right before pulling from j.
+        let turn_base = base + p as u32 * max_chunks;
+        self.seq += p as u32;
+        if me == root {
+            for j in 0..p {
+                if j == root.index() {
+                    continue;
+                }
+                let slice = slice_range(msg, p, j);
+                if slice.len > 0 {
+                    c.flag_put(
+                        MpbAddr::new(CoreId(j as u8), self.notify.line(0)),
+                        FlagValue(turn_base + j as u32 + 1),
+                    )?;
+                    self.pull(c, CoreId(j as u8), slice, base + j as u32 * max_chunks)?;
+                }
+            }
+        } else {
+            let slice = slice_range(msg, p, me.index());
+            if slice.len > 0 {
+                let my_turn = turn_base + me.index() as u32 + 1;
+                c.flag_wait_local(self.notify.line(0), &mut |v| v.0 >= my_turn)?;
+                self.push(c, root, slice, base + me.index() as u32 * max_chunks)?;
+            }
+        }
+        self.barrier.wait(c)?;
+        Ok(())
+    }
+
+    /// Personalized all-to-all: `send` holds `P` slices (slice `j` is
+    /// this core's message for core `j`); afterwards `recv` holds `P`
+    /// slices where slice `j` is the message *from* core `j`. `send`
+    /// and `recv` must not overlap. Own slice is copied locally.
+    pub fn alltoall<R: Rma>(&mut self, c: &mut R, send: MemRange, recv: MemRange) -> RmaResult<()> {
+        assert!(
+            send.end() <= recv.offset || recv.end() <= send.offset,
+            "send and recv buffers must not overlap"
+        );
+        assert_eq!(send.len, recv.len, "send and recv must have identical layout");
+        let p = c.num_cores();
+        if send.len == 0 {
+            return Ok(());
+        }
+        let me = c.core().index();
+
+        // Own slice: plain local copy (untimed host move would be
+        // cheating; go through the MPB like everyone else? The SCC
+        // would memcpy within private memory — model as a get-free
+        // host copy).
+        let mine_src = slice_range(send, p, me);
+        let mine_dst = slice_range(recv, p, me);
+        if mine_src.len > 0 {
+            let mut buf = vec![0u8; mine_src.len];
+            c.mem_read(mine_src.offset, &mut buf)?;
+            c.mem_write(mine_dst.offset, &buf)?;
+        }
+        if p <= 1 {
+            return Ok(());
+        }
+
+        let max_chunks = self.chunks_of(slice_range(send, p, 0).len.max(1)) as u32;
+        for r in 1..p {
+            let to = (me + r) % p;
+            let from = (me + p - r) % p;
+            let base = self.seq;
+            self.seq += 2 * max_chunks;
+            let out = slice_range(send, p, to);
+            let inc = slice_range(recv, p, from);
+            // Each round is a permutation (shift by r). The op order
+            // must break the rendezvous cycle along each shift-cycle:
+            // the minimum member of a cycle pulls first and everyone
+            // else pushes first, so completions unwind around the
+            // cycle (a parity rule deadlocks when the shift is even —
+            // all members of a cycle share parity). The barrier
+            // separates rounds because partners change.
+            if pulls_first(me, r, p) {
+                if inc.len > 0 {
+                    self.pull(c, CoreId(from as u8), inc, base)?;
+                }
+                if out.len > 0 {
+                    self.push(c, CoreId(to as u8), out, base)?;
+                }
+            } else {
+                if out.len > 0 {
+                    self.push(c, CoreId(to as u8), out, base)?;
+                }
+                if inc.len > 0 {
+                    self.pull(c, CoreId(from as u8), inc, base)?;
+                }
+            }
+            self.barrier.wait(c)?;
+        }
+        Ok(())
+    }
+}
+
+/// True iff `me` is the minimum member of its cycle under the shift-by
+/// `r` permutation of `0..p` — the designated pull-first member that
+/// breaks the round's rendezvous cycle.
+fn pulls_first(me: usize, r: usize, p: usize) -> bool {
+    let mut m = (me + r) % p;
+    while m != me {
+        if m < me {
+            return false;
+        }
+        m = (m + r) % p;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::RmaExt;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 21, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        let p = 8;
+        let len = 4000;
+        let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let expect = msg.clone();
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let mut g = OnesidedGroup::with_defaults(&mut alloc, p).unwrap();
+            let r = MemRange::new(0, len);
+            if c.core().index() == 2 {
+                c.mem_write(0, &msg)?;
+            }
+            g.scatter(c, CoreId(2), r)?;
+            let mine = slice_range(r, p, c.core().index());
+            c.mem_to_vec(mine)
+        })
+        .unwrap();
+        let r = MemRange::new(0, len);
+        for (i, res) in rep.results.iter().enumerate() {
+            let s = slice_range(r, p, i);
+            assert_eq!(res.as_ref().unwrap(), &expect[s.offset..s.end()], "core {i}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_slices() {
+        let p = 8;
+        let len = 6000;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let mut g = OnesidedGroup::with_defaults(&mut alloc, p).unwrap();
+            let r = MemRange::new(0, len);
+            let me = c.core().index();
+            let mine = slice_range(r, p, me);
+            let fill: Vec<u8> = (0..mine.len).map(|i| (i as u8) ^ (me as u8 * 11)).collect();
+            c.mem_write(mine.offset, &fill)?;
+            g.gather(c, CoreId(0), r)?;
+            c.mem_to_vec(r)
+        })
+        .unwrap();
+        let r = MemRange::new(0, len);
+        let got = rep.results[0].as_ref().unwrap();
+        for j in 0..p {
+            let s = slice_range(r, p, j);
+            for i in 0..s.len {
+                assert_eq!(got[s.offset + i], (i as u8) ^ (j as u8 * 11), "slice {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let p = 6;
+        let len = 6 * 96; // one-and-a-half lines per slice
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let mut g = OnesidedGroup::with_defaults(&mut alloc, p).unwrap();
+            let send = MemRange::new(0, len);
+            let recv = MemRange::new(8192, len);
+            let me = c.core().index() as u8;
+            // Slice j carries the pair (me, j) pattern.
+            for j in 0..p {
+                let s = slice_range(send, p, j);
+                let fill: Vec<u8> = (0..s.len).map(|i| me * 16 + j as u8 + (i as u8 & 0xC0)).collect();
+                c.mem_write(s.offset, &fill)?;
+            }
+            g.alltoall(c, send, recv)?;
+            c.mem_to_vec(recv)
+        })
+        .unwrap();
+        let recv = MemRange::new(8192, len);
+        for (i, res) in rep.results.iter().enumerate() {
+            let got = res.as_ref().unwrap();
+            for j in 0..p {
+                // recv slice j at core i must be (from=j, to=i).
+                let s = slice_range(MemRange::new(0, len), p, j);
+                for b in 0..s.len {
+                    let expect = (j as u8) * 16 + i as u8 + (b as u8 & 0xC0);
+                    assert_eq!(
+                        got[s.offset + b],
+                        expect,
+                        "core {i} recv slice {j} byte {b}"
+                    );
+                }
+            }
+        }
+        let _ = recv;
+    }
+
+    #[test]
+    fn alltoall_large_slices_and_odd_p() {
+        let p = 5;
+        let len = p * 3 * 96 * 32; // 3 chunks per slice
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let mut g = OnesidedGroup::with_defaults(&mut alloc, p).unwrap();
+            let send = MemRange::new(0, len);
+            let recv = MemRange::new((len + 64).next_multiple_of(32), len);
+            let me = c.core().index() as u8;
+            for j in 0..p {
+                let s = slice_range(send, p, j);
+                let fill: Vec<u8> =
+                    (0..s.len).map(|i| (i as u8).wrapping_mul(7) ^ (me * 13 + j as u8)).collect();
+                c.mem_write(s.offset, &fill)?;
+            }
+            g.alltoall(c, send, recv)?;
+            let mut ok = true;
+            for j in 0..p {
+                let s = slice_range(MemRange::new(0, len), p, j);
+                let mut buf = vec![0u8; s.len];
+                c.mem_read(recv.offset + s.offset, &mut buf)?;
+                for (i, &b) in buf.iter().enumerate() {
+                    ok &= b == (i as u8).wrapping_mul(7) ^ (j as u8 * 13 + me);
+                }
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+
+    #[test]
+    fn repeated_collectives_share_the_context() {
+        let p = 4;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let mut g = OnesidedGroup::with_defaults(&mut alloc, p).unwrap();
+            let len = 2000;
+            let r = MemRange::new(0, len);
+            let mut ok = true;
+            for round in 0..3u8 {
+                let msg: Vec<u8> = (0..len).map(|i| (i as u8) ^ round).collect();
+                if c.core().index() == round as usize % p {
+                    c.mem_write(0, &msg)?;
+                }
+                g.scatter(c, CoreId(round % p as u8), r)?;
+                g.gather(c, CoreId(round % p as u8), r)?;
+                if c.core().index() == round as usize % p {
+                    ok &= c.mem_to_vec(r)? == msg;
+                }
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+}

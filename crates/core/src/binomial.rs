@@ -1,0 +1,121 @@
+//! The RCCE_comm **binomial tree** broadcast baseline (Section 5.2.2),
+//! layered over two-sided send/receive exactly like the original: good
+//! for small messages, beaten by OC-Bcast because every tree level
+//! moves the payload through off-chip memory.
+
+use crate::tree::{binomial_children, binomial_parent};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult};
+use scc_rcce::RcceComm;
+
+/// Collective binomial-tree broadcast. All cores must call with
+/// identical `root` and `msg`; the message travels through the
+/// recursive-halving tree using blocking send/receive pairs.
+pub fn binomial_bcast<R: Rma>(
+    c: &mut R,
+    comm: &RcceComm,
+    root: CoreId,
+    msg: MemRange,
+) -> RmaResult<()> {
+    let p = c.num_cores();
+    if p <= 1 {
+        return Ok(());
+    }
+    let me = c.core();
+    let rr = (me.index() + p - root.index()) % p;
+    let abs = |rel: usize| CoreId(((root.index() + rel) % p) as u8);
+
+    if rr != 0 {
+        comm.recv(c, abs(binomial_parent(rr, p)), msg)?;
+    }
+    for child in binomial_children(rr, p) {
+        if rr == 0 {
+            // The root reads the application buffer from off-chip
+            // memory the first time; subsequent sends hit the cache.
+            comm.send(c, abs(child), msg)?;
+        } else {
+            // Forwarding a just-received message: hot in L1
+            // (Section 5.2.2's "reading from the L1 cache" assumption).
+            comm.send_cached(c, abs(child), msg)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::RmaExt;
+    use scc_rcce::MpbAllocator;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 20, ..SimConfig::default() }
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(41).wrapping_add(seed)).collect()
+    }
+
+    fn check(p: usize, root: u8, len: usize) {
+        let msg = pattern(len, root);
+        let expect = msg.clone();
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let comm = RcceComm::new(&mut alloc, c.num_cores()).unwrap();
+            let r = MemRange::new(0, msg.len());
+            if c.core() == CoreId(root) {
+                c.mem_write(0, &msg)?;
+            }
+            binomial_bcast(c, &comm, CoreId(root), r)?;
+            c.mem_to_vec(r)
+        })
+        .unwrap_or_else(|e| panic!("p={p} root={root} len={len}: {e}"));
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "core {i}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_cores() {
+        check(8, 0, 1000);
+    }
+
+    #[test]
+    fn all_48_cores_small_and_large() {
+        check(48, 0, 32);
+        check(48, 0, 300 * 32); // crosses the 253-line send/recv chunking
+    }
+
+    #[test]
+    fn non_zero_root_wraps() {
+        check(12, 7, 500);
+        check(5, 4, 64);
+    }
+
+    #[test]
+    fn two_cores() {
+        check(2, 1, 100);
+    }
+
+    #[test]
+    fn repeated_broadcasts() {
+        let rep = run_spmd(&cfg(8), |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let comm = RcceComm::new(&mut alloc, c.num_cores()).unwrap();
+            let mut ok = true;
+            for round in 0..5u8 {
+                let len = 100 + round as usize * 300;
+                let r = MemRange::new(0, len);
+                let root = CoreId(round % 8);
+                if c.core() == root {
+                    c.mem_write(0, &pattern(len, round))?;
+                }
+                binomial_bcast(c, &comm, root, r)?;
+                ok &= c.mem_to_vec(r)? == pattern(len, round);
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+}

@@ -1,0 +1,464 @@
+//! Extension collectives built from the same RMA machinery — the
+//! paper's stated future work ("We also plan to extend our approach to
+//! other collective operations", Section 7).
+//!
+//! * [`OcReduce`] — an RMA-based k-ary-tree reduction: each parent owns
+//!   one MPB *slot per child*; children `put` their partial vectors
+//!   into their slot in parallel (the mirror image of OC-Bcast's
+//!   parallel `get`s) and the parent combines them locally. Sequence
+//!   flags pipeline consecutive chunks just like OC-Bcast.
+//! * [`oc_allgather`] — allgather by composing `P` OC-Bcast rounds, one
+//!   per contributor (a simple but correct composition; each round
+//!   reuses the broadcast pipeline).
+//!
+//! Reductions operate on little-endian `u64` vectors, the common case
+//! for HPC counters; the element combiner is a closed enum so the
+//! operation is identical on every core by construction.
+
+use crate::ocbcast::OcBcast;
+use crate::scatter_allgather::slice_range;
+use crate::tree::KaryTree;
+use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_rcce::{MpbAllocator, MpbExhausted, MpbRegion};
+
+/// Elementwise combiner for reductions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Reusable RMA reduction context (symmetric allocation, like
+/// [`OcBcast`]).
+#[derive(Clone, Debug)]
+pub struct OcReduce {
+    k: usize,
+    /// This core's "slot free" notification flag (set by the parent).
+    notify: MpbRegion,
+    /// Done flags, one per child slot (set by children after their put).
+    done: MpbRegion,
+    /// `k` payload slots of `slot_lines` each, in this core's MPB.
+    slots: MpbRegion,
+    slot_lines: usize,
+    seq: u32,
+}
+
+impl OcReduce {
+    /// Reserve `1 + k` flag lines and `k` equal payload slots from the
+    /// remaining MPB space.
+    pub fn new(alloc: &mut MpbAllocator, k: usize) -> Result<OcReduce, MpbExhausted> {
+        assert!(k >= 1, "tree degree must be at least 1");
+        let slot_lines = ((alloc.lines_free().saturating_sub(1 + k)) / k).max(1);
+        Self::with_slot_lines(alloc, k, slot_lines)
+    }
+
+    /// Like [`OcReduce::new`] but with an explicit per-child slot size,
+    /// so the context can share the MPB with a broadcast context.
+    pub fn with_slot_lines(
+        alloc: &mut MpbAllocator,
+        k: usize,
+        slot_lines: usize,
+    ) -> Result<OcReduce, MpbExhausted> {
+        assert!(k >= 1, "tree degree must be at least 1");
+        assert!(slot_lines >= 1);
+        let notify = alloc.alloc(1)?;
+        let done = alloc.alloc(k)?;
+        let slots = alloc.alloc(slot_lines * k)?;
+        Ok(OcReduce { k, notify, done, slots, slot_lines, seq: 0 })
+    }
+
+    pub fn release(self, alloc: &mut MpbAllocator) {
+        alloc.free(self.notify);
+        alloc.free(self.done);
+        alloc.free(self.slots);
+    }
+
+    /// Bytes a single pipeline chunk carries.
+    pub fn chunk_bytes(&self) -> usize {
+        self.slot_lines * CACHE_LINE_BYTES
+    }
+
+    fn slot_line(&self, child: usize) -> usize {
+        self.slots.line(child * self.slot_lines)
+    }
+
+    /// Collective reduction of the `u64` vector in `msg` (length must
+    /// be a multiple of 8 and identical everywhere). The elementwise
+    /// result lands in `root`'s `msg` range; every core's own buffer is
+    /// used as scratch (its partial results accumulate in place, like
+    /// `MPI_IN_PLACE`).
+    pub fn reduce<R: Rma>(
+        &mut self,
+        c: &mut R,
+        root: CoreId,
+        msg: MemRange,
+        op: ReduceOp,
+    ) -> RmaResult<()> {
+        assert!(msg.len.is_multiple_of(8), "reduction vectors are u64-aligned");
+        let p = c.num_cores();
+        if msg.len == 0 || p <= 1 {
+            return Ok(());
+        }
+        let tree = KaryTree::new(p, self.k, root);
+        let me = c.core();
+        let children = tree.children(me);
+        let parent = tree.parent(me);
+        let my_slot = tree.child_index(me);
+
+        let chunk_bytes = self.chunk_bytes().min(msg.len);
+        let n_chunks = msg.len.div_ceil(chunk_bytes);
+        let base = self.seq;
+        self.seq += n_chunks as u32;
+
+        let mut acc = vec![0u8; chunk_bytes];
+        let mut incoming = vec![0u8; chunk_bytes];
+
+        for chunk in 0..n_chunks {
+            let seq = base + chunk as u32 + 1;
+            let off = chunk * chunk_bytes;
+            let len = (msg.len - off).min(chunk_bytes);
+            let lines = scc_hal::bytes_to_lines(len);
+            let part = msg.slice(off, len);
+
+            // Combine the children's partial vectors into our own.
+            if !children.is_empty() {
+                for slot in 0..children.len() {
+                    c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= seq)?;
+                }
+                c.mem_read(part.offset, &mut acc[..len])?;
+                for slot in 0..children.len() {
+                    // Stage the slot into private scratch, then combine.
+                    let scratch = MemRange::new(msg.end().next_multiple_of(32), chunk_bytes)
+                        .slice(0, len);
+                    c.get_to_mem(MpbAddr::new(me, self.slot_line(slot)), scratch)?;
+                    c.mem_read(scratch.offset, &mut incoming[..len])?;
+                    combine(op, &mut acc[..len], &incoming[..len]);
+                }
+                c.mem_write(part.offset, &acc[..len])?;
+                // Slots consumed: let the children reuse them.
+                for child in &children {
+                    c.flag_put(MpbAddr::new(*child, self.notify.first_line), FlagValue(seq))?;
+                }
+            }
+
+            // Ship our partial result up, once the parent freed our slot
+            // for this round (pipelining lag of one chunk).
+            if let Some(par) = parent {
+                if chunk >= 1 {
+                    c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq - 1)?;
+                }
+                let slot = my_slot.expect("non-root has a slot");
+                let dst = MpbAddr::new(par, self.slot_line(slot));
+                debug_assert!(lines <= self.slot_lines);
+                c.put_from_mem(part, dst)?;
+                c.flag_put(MpbAddr::new(par, self.done.line(slot)), FlagValue(seq))?;
+            }
+        }
+
+        // Drain: every parent consumed its children's final chunk above
+        // (the combine precedes its own upward put), so slot *reads*
+        // are all complete when everyone returns. Non-roots still wait
+        // for the final "slot free" notification, so the next
+        // collective cannot overwrite a slot the parent is mid-read on.
+        if parent.is_some() {
+            let last = base + n_chunks as u32;
+            c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= last)?;
+        }
+        Ok(())
+    }
+}
+
+fn combine(op: ReduceOp, acc: &mut [u8], other: &[u8]) {
+    debug_assert_eq!(acc.len(), other.len());
+    for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+        let va = u64::from_le_bytes(a.try_into().expect("8-byte chunk"));
+        let vb = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+        a.copy_from_slice(&op.apply(va, vb).to_le_bytes());
+    }
+}
+
+impl OcReduce {
+    /// Tree barrier over the reduce context's flag machinery, with no
+    /// payload: children report up through the done flags, the root's
+    /// release wave travels down through the notify flags. One
+    /// sequence number per episode; freely interleavable with
+    /// [`OcReduce::reduce`] calls on the same context.
+    pub fn barrier<R: Rma>(&mut self, c: &mut R, root: CoreId) -> RmaResult<()> {
+        let p = c.num_cores();
+        if p <= 1 {
+            return Ok(());
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let tree = KaryTree::new(p, self.k, root);
+        let me = c.core();
+        let children = tree.children(me);
+
+        // Up phase: wait for the whole subtree, then report.
+        for slot in 0..children.len() {
+            c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= seq)?;
+        }
+        if let Some(par) = tree.parent(me) {
+            let slot = tree.child_index(me).expect("non-root slot");
+            c.flag_put(MpbAddr::new(par, self.done.line(slot)), FlagValue(seq))?;
+            // Down phase: wait for the release...
+            c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq)?;
+        }
+        // ...and forward it.
+        for child in &children {
+            c.flag_put(MpbAddr::new(*child, self.notify.first_line), FlagValue(seq))?;
+        }
+        Ok(())
+    }
+}
+
+/// Collective allreduce: elementwise reduction of every core's `msg`
+/// vector, with the result delivered to **all** cores — composed from
+/// the RMA reduction and OC-Bcast, the natural pairing of the two tree
+/// pipelines.
+pub fn oc_allreduce<R: Rma>(
+    c: &mut R,
+    red: &mut OcReduce,
+    bc: &mut OcBcast,
+    root: CoreId,
+    msg: MemRange,
+    op: ReduceOp,
+) -> RmaResult<()> {
+    red.reduce(c, root, msg, op)?;
+    bc.bcast(c, root, msg)
+}
+
+/// Collective allgather: core `j`'s slice of `msg` (as carved by
+/// [`slice_range`]) is distributed to every core, so afterwards all
+/// cores hold the identical, fully populated `msg` range. Implemented
+/// as `P` pipelined OC-Bcast rounds, one per contributor.
+pub fn oc_allgather<R: Rma>(c: &mut R, bc: &mut OcBcast, msg: MemRange) -> RmaResult<()> {
+    let p = c.num_cores();
+    for j in 0..p {
+        let slice = slice_range(msg, p, j);
+        if slice.len > 0 {
+            bc.bcast(c, CoreId(j as u8), slice)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocbcast::OcConfig;
+    use scc_hal::RmaExt;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 20, ..SimConfig::default() }
+    }
+
+    fn check_reduce(p: usize, k: usize, root: u8, elems: usize, op: ReduceOp) {
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u64>> {
+            let mut alloc = MpbAllocator::new();
+            let mut red = OcReduce::new(&mut alloc, k).unwrap();
+            let me = c.core().index() as u64;
+            let v: Vec<u64> = (0..elems as u64).map(|i| i * 1000 + me).collect();
+            let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+            c.mem_write(0, &bytes)?;
+            red.reduce(c, CoreId(root), MemRange::new(0, bytes.len()), op)?;
+            let out = c.mem_to_vec(MemRange::new(0, bytes.len()))?;
+            Ok(out
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .collect())
+        })
+        .unwrap_or_else(|e| panic!("p={p} k={k} elems={elems}: {e}"));
+        let expect: Vec<u64> = (0..elems as u64)
+            .map(|i| {
+                (0..p as u64)
+                    .map(|me| i * 1000 + me)
+                    .reduce(|a, b| op.apply(a, b))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(rep.results[root as usize].as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn sum_small_vector() {
+        check_reduce(8, 7, 0, 10, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn sum_multi_chunk() {
+        // Force several pipeline chunks: 2000 u64 = 16 KB >> one slot.
+        check_reduce(12, 3, 0, 2000, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn min_max_and_other_roots() {
+        check_reduce(12, 7, 5, 64, ReduceOp::Min);
+        check_reduce(7, 2, 6, 33, ReduceOp::Max);
+    }
+
+    #[test]
+    fn full_chip_reduce() {
+        check_reduce(48, 7, 0, 500, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn two_cores_and_deep_chain() {
+        check_reduce(2, 7, 1, 16, ReduceOp::Sum);
+        check_reduce(6, 1, 0, 8, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn repeated_reductions_pipeline_cleanly() {
+        let rep = run_spmd(&cfg(8), |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let mut red = OcReduce::new(&mut alloc, 3).unwrap();
+            let me = c.core().index() as u64;
+            let mut ok = true;
+            for round in 1..=5u64 {
+                let v: Vec<u64> = (0..50).map(|i| i + me * round).collect();
+                let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+                c.mem_write(0, &bytes)?;
+                red.reduce(c, CoreId(0), MemRange::new(0, bytes.len()), ReduceOp::Sum)?;
+                if c.core().index() == 0 {
+                    let out = c.mem_to_vec(MemRange::new(0, bytes.len()))?;
+                    let got: Vec<u64> = out
+                        .chunks_exact(8)
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .collect();
+                    let expect: Vec<u64> =
+                        (0..50u64).map(|i| (0..8u64).map(|m| i + m * round).sum()).collect();
+                    ok &= got == expect;
+                }
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes() {
+        use scc_hal::Time;
+        let n = 9;
+        let rep = run_spmd(&cfg(n), move |c| -> RmaResult<(Time, Time)> {
+            let mut alloc = MpbAllocator::new();
+            let mut red = OcReduce::with_slot_lines(&mut alloc, 3, 2).unwrap();
+            let me = c.core().index() as u64;
+            c.compute(Time::from_ns(2_000 * me * me));
+            let before = c.now();
+            red.barrier(c, CoreId(0))?;
+            Ok((before, c.now()))
+        })
+        .unwrap();
+        let results: Vec<_> = rep.results.into_iter().map(|r| r.unwrap()).collect();
+        let slowest = results.iter().map(|(b, _)| *b).max().unwrap();
+        for (i, (_, after)) in results.iter().enumerate() {
+            assert!(*after >= slowest, "core {i} escaped the barrier early");
+        }
+    }
+
+    #[test]
+    fn tree_barrier_interleaves_with_reductions() {
+        let rep = run_spmd(&cfg(8), |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let mut red = OcReduce::with_slot_lines(&mut alloc, 7, 2).unwrap();
+            let me = c.core().index() as u64;
+            let mut ok = true;
+            for round in 1..=4u64 {
+                red.barrier(c, CoreId(0))?;
+                let bytes: Vec<u8> = (me * round).to_le_bytes().to_vec();
+                c.mem_write(0, &bytes)?;
+                red.reduce(c, CoreId(0), MemRange::new(0, 8), ReduceOp::Sum)?;
+                if c.core().index() == 0 {
+                    let mut b = [0u8; 8];
+                    c.mem_read(0, &mut b)?;
+                    let expect: u64 = (0..8u64).map(|m| m * round).sum();
+                    ok &= u64::from_le_bytes(b) == expect;
+                }
+                red.barrier(c, CoreId(3))?;
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+
+    #[test]
+    fn allreduce_delivers_the_sum_everywhere() {
+        let p = 12;
+        let elems = 40usize;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u64>> {
+            let mut alloc = MpbAllocator::new();
+            let mut red = OcReduce::with_slot_lines(&mut alloc, 7, 4).unwrap();
+            let mut bc = OcBcast::new(&mut alloc, OcConfig::default()).unwrap();
+            let me = c.core().index() as u64;
+            let v: Vec<u64> = (0..elems as u64).map(|i| i * 7 + me).collect();
+            let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+            c.mem_write(0, &bytes)?;
+            oc_allreduce(
+                c,
+                &mut red,
+                &mut bc,
+                CoreId(2),
+                MemRange::new(0, bytes.len()),
+                ReduceOp::Sum,
+            )?;
+            let out = c.mem_to_vec(MemRange::new(0, bytes.len()))?;
+            Ok(out
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .collect())
+        })
+        .unwrap();
+        let expect: Vec<u64> = (0..elems as u64)
+            .map(|i| (0..p as u64).map(|m| i * 7 + m).sum())
+            .collect();
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "core {i}");
+        }
+    }
+
+    #[test]
+    fn allgather_populates_every_core() {
+        let p = 12;
+        let len = 3000;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let mut bc = OcBcast::new(&mut alloc, OcConfig::default()).unwrap();
+            let msg = MemRange::new(0, len);
+            // Each core fills only its own slice.
+            let mine = slice_range(msg, p, c.core().index());
+            let fill: Vec<u8> = (0..mine.len).map(|i| (i as u8) ^ (c.core().0 * 7)).collect();
+            c.mem_write(mine.offset, &fill)?;
+            oc_allgather(c, &mut bc, msg)?;
+            c.mem_to_vec(msg)
+        })
+        .unwrap();
+        // Expected: concatenation of every core's fill.
+        let msg = MemRange::new(0, len);
+        let mut expect = vec![0u8; len];
+        for j in 0..p {
+            let s = slice_range(msg, p, j);
+            for i in 0..s.len {
+                expect[s.offset + i] = (i as u8) ^ (j as u8 * 7);
+            }
+        }
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "core {i}");
+        }
+    }
+}

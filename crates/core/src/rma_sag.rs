@@ -1,0 +1,363 @@
+//! One-sided scatter-allgather broadcast — the alternative design the
+//! paper sketches in Section 5.4: "a good example of another possible
+//! broadcast implementation is adapting the two-sided scatter-allgather
+//! algorithm to use the one-sided primitives available on the SCC."
+//!
+//! Same communication structure as the RCCE_comm baseline (binomial
+//! scatter of `P` slices, then `P − 1` ring rounds), but each hop is a
+//! direct RMA pipeline instead of a rendezvous send/receive:
+//!
+//! * the producer `put`s chunks straight into the consumer's MPB
+//!   buffers (two halves, double-buffered) and raises a sequence-valued
+//!   notify flag per half;
+//! * the consumer `get`s each chunk to off-chip memory and raises the
+//!   producer's done flag;
+//! * no ready/sent handshake, no waiting for the partner to arrive —
+//!   the flag discipline alone paces the pipeline, so the producer's
+//!   `put` of chunk `i+1` overlaps the consumer's `get` of chunk `i`.
+//!
+//! Protocol soundness notes (the subtle parts):
+//!
+//! * **Scatter** pairs change from step to step, so a sender fully
+//!   drains each transfer (waits for the final done flags) before
+//!   starting the next one — otherwise a slow previous receiver's late
+//!   done write could clobber the current receiver's and wedge the
+//!   sender. The scatter tree has no cycles, so draining cannot
+//!   deadlock.
+//! * **Allgather** pairs are fixed (always send to the left
+//!   neighbour), so done lines have a single writer each and sequence
+//!   accounting per buffer half is exact; rounds pipeline through the
+//!   two halves with no drain, and the two-chunk slack is what breaks
+//!   the ring's circular wait.
+//! * A trailing dissemination barrier separates consecutive
+//!   collectives: the first puts of a new collective have no
+//!   buffer-occupancy information about forsaken pairs from the
+//!   previous one. Its ~6 flag rounds are noise against the large
+//!   messages this algorithm targets.
+
+use crate::scatter_allgather::slice_range;
+use scc_hal::{bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
+
+/// One-sided scatter-allgather context (symmetric allocation).
+#[derive(Clone, Debug)]
+pub struct RmaSag {
+    /// Per-half "chunk available" flags in this core's MPB.
+    notify: MpbRegion,
+    /// Per-half "chunk consumed" flags in this core's MPB.
+    done: MpbRegion,
+    /// Two payload halves.
+    bufs: [MpbRegion; 2],
+    barrier: Barrier,
+    seq: u32,
+}
+
+impl RmaSag {
+    /// Reserve two `half_lines` buffers plus four flag lines and the
+    /// trailing barrier's lines. 96-line halves mirror OC-Bcast's
+    /// chunking.
+    pub fn new(alloc: &mut MpbAllocator, num_cores: usize, half_lines: usize) -> Result<RmaSag, MpbExhausted> {
+        assert!(half_lines >= 1);
+        let notify = alloc.alloc(2)?;
+        let done = alloc.alloc(2)?;
+        let b0 = alloc.alloc(half_lines)?;
+        let b1 = alloc.alloc(half_lines)?;
+        let barrier = Barrier::new(alloc, num_cores)?;
+        Ok(RmaSag { notify, done, bufs: [b0, b1], barrier, seq: 0 })
+    }
+
+    /// Default configuration: 96-line halves.
+    pub fn with_defaults(alloc: &mut MpbAllocator, num_cores: usize) -> Result<RmaSag, MpbExhausted> {
+        Self::new(alloc, num_cores, 96)
+    }
+
+    pub fn release(self, alloc: &mut MpbAllocator) {
+        alloc.free(self.notify);
+        alloc.free(self.done);
+        alloc.free(self.bufs[0]);
+        alloc.free(self.bufs[1]);
+        self.barrier.release(alloc);
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        self.bufs[0].lines * CACHE_LINE_BYTES
+    }
+
+    fn chunks_of(&self, bytes: usize) -> usize {
+        bytes_to_lines(bytes).div_ceil(self.bufs[0].lines).max(1)
+    }
+
+    /// Producer side of one pipelined transfer: put `src` into `dst`'s
+    /// halves chunk by chunk. `drain` waits for the final done flags
+    /// (required when the next transfer goes to a different core).
+    fn push<R: Rma>(
+        &self,
+        c: &mut R,
+        dst: CoreId,
+        src: MemRange,
+        seq_base: u32,
+        drain: bool,
+        last_half_seq: &mut [u32; 2],
+    ) -> RmaResult<()> {
+        let n = self.chunks_of(src.len);
+        let chunk_bytes = self.chunk_bytes();
+        let mut off = 0usize;
+        for i in 0..n {
+            let seq = seq_base + i as u32 + 1;
+            let h = i % 2;
+            if last_half_seq[h] > 0 {
+                c.flag_wait_local(self.done.line(h), &mut |v| v.0 >= last_half_seq[h])?;
+            }
+            let len = (src.len - off).min(chunk_bytes);
+            if len > 0 {
+                c.put_from_mem_cached(src.slice(off, len), MpbAddr::new(dst, self.bufs[h].first_line))?;
+            }
+            c.flag_put(MpbAddr::new(dst, self.notify.line(h)), FlagValue(seq))?;
+            last_half_seq[h] = seq;
+            off += len;
+        }
+        if drain {
+            for (h, seq) in last_half_seq.iter_mut().enumerate() {
+                if *seq > 0 {
+                    let expect = *seq;
+                    c.flag_wait_local(self.done.line(h), &mut |v| v.0 >= expect)?;
+                }
+                *seq = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumer side: receive a pipelined transfer from `src_core`.
+    fn pull<R: Rma>(
+        &self,
+        c: &mut R,
+        src_core: CoreId,
+        dst: MemRange,
+        seq_base: u32,
+    ) -> RmaResult<()> {
+        let n = self.chunks_of(dst.len);
+        let chunk_bytes = self.chunk_bytes();
+        let me = c.core();
+        let mut off = 0usize;
+        for i in 0..n {
+            let seq = seq_base + i as u32 + 1;
+            let h = i % 2;
+            c.flag_wait_local(self.notify.line(h), &mut |v| v.0 >= seq)?;
+            let len = (dst.len - off).min(chunk_bytes);
+            if len > 0 {
+                c.get_to_mem(MpbAddr::new(me, self.bufs[h].first_line), dst.slice(off, len))?;
+            }
+            c.flag_put(MpbAddr::new(src_core, self.done.line(h)), FlagValue(seq))?;
+            off += len;
+        }
+        Ok(())
+    }
+
+    /// Collective broadcast with the one-sided scatter-allgather
+    /// structure. All cores call with identical `root` and `msg`.
+    pub fn bcast<R: Rma>(&mut self, c: &mut R, root: CoreId, msg: MemRange) -> RmaResult<()> {
+        let p = c.num_cores();
+        if msg.len == 0 || p <= 1 {
+            return Ok(());
+        }
+        let me = c.core();
+        let rr = (me.index() + p - root.index()) % p;
+        let abs = |rel: usize| CoreId(((root.index() + rel) % p) as u8);
+        let slices = |lo: usize, hi: usize| -> MemRange {
+            let first = slice_range(msg, p, lo);
+            let last = slice_range(msg, p, hi - 1);
+            msg.slice(first.offset - msg.offset, last.end() - first.offset)
+        };
+
+        // Deterministic sequence budget: scatter steps are numbered by
+        // halving depth, allgather rounds after them; every transfer
+        // gets a disjoint, globally agreed seq range.
+        let max_group_chunks = self.chunks_of(msg.len) as u32 + 1;
+        let scatter_steps = (p as f64).log2().ceil() as u32;
+        let base = self.seq;
+        let ag_base = base + scatter_steps * max_group_chunks;
+        let slice_chunks = self.chunks_of(slice_range(msg, p, 0).len.max(1)) as u32;
+        self.seq = ag_base + (p as u32 - 1) * slice_chunks;
+
+        // ---- one-sided scatter (recursive halving) --------------------
+        let mut lo = 0usize;
+        let mut hi = p;
+        let mut step = 0u32;
+        let mut last_half_seq = [0u32; 2];
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo).div_ceil(2);
+            let group = slices(mid, hi);
+            let seq_base = base + step * max_group_chunks;
+            if group.len > 0 {
+                if rr == lo {
+                    // Changing receiver next step: drain.
+                    self.push(c, abs(mid), group, seq_base, true, &mut last_half_seq)?;
+                } else if rr == mid {
+                    self.pull(c, abs(lo), group, seq_base)?;
+                }
+            }
+            if rr < mid {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            step += 1;
+        }
+
+        // Phase boundary. One-sided writes are unsolicited: a core that
+        // finished its (short) scatter role would otherwise start
+        // pushing allgather chunks into a neighbour still waiting for
+        // its scatter reception, clobbering the shared buffer halves.
+        // The two-sided baseline is immune because its rendezvous
+        // matching orders the phases per pair; here a barrier does it.
+        self.barrier.wait(c)?;
+
+        // ---- one-sided ring allgather ---------------------------------
+        let left = abs((rr + p - 1) % p);
+        let right = abs((rr + 1) % p);
+        let mut half_seq = [0u32; 2];
+        for r in 0..p - 1 {
+            let out = slice_range(msg, p, (rr + r) % p);
+            let inc = slice_range(msg, p, (rr + r + 1) % p);
+            let seq_base = ag_base + r as u32 * slice_chunks;
+            if out.len > 0 {
+                self.push(c, left, out, seq_base, false, &mut half_seq)?;
+            }
+            if inc.len > 0 {
+                self.pull(c, right, inc, seq_base)?;
+            }
+        }
+
+        // Collective boundary: nobody may reuse buffers/flags until
+        // every core has consumed its final chunks.
+        self.barrier.wait(c)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::RmaExt;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 21, ..SimConfig::default() }
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed)).collect()
+    }
+
+    fn check(p: usize, root: u8, len: usize) {
+        let msg = pattern(len, root);
+        let expect = msg.clone();
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let mut sag = RmaSag::with_defaults(&mut alloc, c.num_cores()).unwrap();
+            let r = MemRange::new(0, msg.len());
+            if c.core() == CoreId(root) {
+                c.mem_write(0, &msg)?;
+            }
+            sag.bcast(c, CoreId(root), r)?;
+            c.mem_to_vec(r)
+        })
+        .unwrap_or_else(|e| panic!("p={p} root={root} len={len}: {e}"));
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "core {i} (p={p}, len={len})");
+        }
+    }
+
+    #[test]
+    fn small_and_medium() {
+        check(4, 0, 333);
+        check(8, 0, 4 * 96 * 32);
+        check(12, 3, 7000);
+    }
+
+    #[test]
+    fn full_chip_throughput_message() {
+        check(48, 0, 48 * 96 * 32);
+    }
+
+    #[test]
+    fn odd_core_counts_and_short_messages() {
+        check(3, 0, 100);
+        check(7, 2, 5000);
+        check(47, 1, 47 * 32);
+        check(48, 0, 100); // empty slices
+    }
+
+    #[test]
+    fn repeated_collectives() {
+        let rep = run_spmd(&cfg(8), |c| -> RmaResult<bool> {
+            let mut alloc = MpbAllocator::new();
+            let mut sag = RmaSag::with_defaults(&mut alloc, 8).unwrap();
+            let mut ok = true;
+            for round in 0..4u8 {
+                let len = 1000 + round as usize * 3777;
+                let msg = pattern(len, round);
+                let root = CoreId(round % 8);
+                let r = MemRange::new(0, len);
+                if c.core() == root {
+                    c.mem_write(0, &msg)?;
+                }
+                sag.bcast(c, root, r)?;
+                ok &= c.mem_to_vec(r)? == msg;
+            }
+            Ok(ok)
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+
+    /// The Section 5.4 claim this extension exists to check: going
+    /// one-sided roughly doubles scatter-allgather throughput, but
+    /// OC-Bcast still wins — RMA alone is not enough, the algorithm
+    /// shape (no per-hop off-chip round trips on the critical path)
+    /// is what buys the rest.
+    #[test]
+    fn one_sided_beats_two_sided_but_loses_to_oc() {
+        use crate::bcast::{Algorithm, Broadcaster};
+        let bytes = 24 * 96 * 32;
+        let time = |which: u8| -> f64 {
+            let rep = run_spmd(&cfg(24), move |c| -> RmaResult<()> {
+                let mut alloc = MpbAllocator::new();
+                let r = MemRange::new(0, bytes);
+                if c.core().index() == 0 {
+                    c.mem_write(0, &pattern(bytes, 1))?;
+                }
+                match which {
+                    0 => {
+                        let mut sag = RmaSag::with_defaults(&mut alloc, 24).unwrap();
+                        sag.bcast(c, CoreId(0), r)
+                    }
+                    1 => {
+                        let mut b =
+                            Broadcaster::new(&mut alloc, Algorithm::ScatterAllgather, 24).unwrap();
+                        b.bcast(c, CoreId(0), r)
+                    }
+                    _ => {
+                        let mut b =
+                            Broadcaster::new(&mut alloc, Algorithm::oc_default(), 24).unwrap();
+                        b.bcast(c, CoreId(0), r)
+                    }
+                }
+            })
+            .unwrap();
+            rep.makespan.as_us_f64()
+        };
+        let one_sided = time(0);
+        let two_sided = time(1);
+        let oc = time(2);
+        assert!(
+            one_sided < 0.75 * two_sided,
+            "one-sided s-ag must clearly beat two-sided: {one_sided:.0} vs {two_sided:.0} µs"
+        );
+        assert!(
+            oc < one_sided,
+            "OC-Bcast must still win: {oc:.0} vs {one_sided:.0} µs"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The RCCE_comm **scatter-allgather** broadcast baseline
+//! (Section 5.3.2): the message is cut into `P` slices; a binomial
+//! (recursive-halving) scatter gives each core one slice, then `P − 1`
+//! ring exchange rounds (the paper describes this allgather citing
+//! Bruck et al.) circulate the slices until everyone holds the whole
+//! message. Best for large messages among the two-sided algorithms;
+//! OC-Bcast beats it ~3× because every slice still crosses off-chip
+//! memory on both sides of every hop.
+
+use scc_hal::{bytes_to_lines, CoreId, MemRange, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_rcce::RcceComm;
+
+/// The byte sub-range of slice `j` when `msg` is split into `p`
+/// line-aligned slices (empty slices allowed when the message is
+/// shorter than `p` cache lines).
+pub fn slice_range(msg: MemRange, p: usize, j: usize) -> MemRange {
+    assert!(j < p);
+    let total_lines = bytes_to_lines(msg.len);
+    let base = total_lines / p;
+    let rem = total_lines % p;
+    let start_line = j * base + j.min(rem);
+    let lines = base + usize::from(j < rem);
+    // Clamp to the message: trailing empty slices collapse to
+    // zero-length ranges at the message end.
+    let byte_start = (start_line * CACHE_LINE_BYTES).min(msg.len);
+    let byte_len = (lines * CACHE_LINE_BYTES).min(msg.len - byte_start);
+    msg.slice(byte_start, byte_len)
+}
+
+/// Collective scatter-allgather broadcast. All cores must call with
+/// identical `root` and `msg`.
+pub fn scatter_allgather_bcast<R: Rma>(
+    c: &mut R,
+    comm: &RcceComm,
+    root: CoreId,
+    msg: MemRange,
+) -> RmaResult<()> {
+    let p = c.num_cores();
+    if p <= 1 {
+        return Ok(());
+    }
+    let me = c.core();
+    let rr = (me.index() + p - root.index()) % p;
+    let abs = |rel: usize| CoreId(((root.index() + rel) % p) as u8);
+
+    // Contiguous run of slices lo..hi as one byte range.
+    let slices = |lo: usize, hi: usize| -> MemRange {
+        debug_assert!(lo < hi);
+        let first = slice_range(msg, p, lo);
+        let last = slice_range(msg, p, hi - 1);
+        msg.slice(first.offset - msg.offset, last.end() - first.offset)
+    };
+
+    // ---- scatter phase: recursive halving on the rank range ----------
+    // The holder of a range [lo, hi) is rank `lo`; it hands the upper
+    // half to rank `mid` and recurses into the lower half. Every core
+    // tracks the range it belongs to until it is alone in it.
+    let mut lo = 0usize;
+    let mut hi = p;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if rr == lo {
+            // Root sends cold (reads the user buffer from memory);
+            // intermediate holders forward what they just received.
+            if rr == 0 {
+                comm.send(c, abs(mid), slices(mid, hi))?;
+            } else {
+                comm.send_cached(c, abs(mid), slices(mid, hi))?;
+            }
+        } else if rr == mid {
+            comm.recv(c, abs(lo), slices(mid, hi))?;
+        }
+        if rr < mid {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    // ---- allgather phase: P − 1 ring rounds ---------------------------
+    // In round r, core `rr` sends slice (rr + r) mod p to rr − 1 and
+    // receives slice (rr + r + 1) mod p from rr + 1 (the paper's "core
+    // i sends to core i − 1 the slices it received in the previous
+    // step"). With blocking rendezvous send/receive the op order
+    // matters: odd ranks send first while even ranks receive first, so
+    // all pair exchanges of a round proceed concurrently (a serial
+    // schedule would turn every round into a P-deep match cascade and
+    // cost ~P× the model's 2·(C_put + C_get) per round). With odd P the
+    // wrap pair shares a parity and serializes once per round — the
+    // standard, benign artifact of parity scheduling.
+    let left = abs((rr + p - 1) % p);
+    let right = abs((rr + 1) % p);
+    for r in 0..p - 1 {
+        let out = slice_range(msg, p, (rr + r) % p);
+        let inc = slice_range(msg, p, (rr + r + 1) % p);
+        if rr.is_multiple_of(2) {
+            comm.recv(c, right, inc)?;
+            comm.send_cached(c, left, out)?;
+        } else {
+            comm.send_cached(c, left, out)?;
+            comm.recv(c, right, inc)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::RmaExt;
+    use scc_rcce::MpbAllocator;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 21, ..SimConfig::default() }
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(seed)).collect()
+    }
+
+    fn check(p: usize, root: u8, len: usize) {
+        let msg = pattern(len, root);
+        let expect = msg.clone();
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut alloc = MpbAllocator::new();
+            let comm = RcceComm::new(&mut alloc, c.num_cores()).unwrap();
+            let r = MemRange::new(0, msg.len());
+            if c.core() == CoreId(root) {
+                c.mem_write(0, &msg)?;
+            }
+            scatter_allgather_bcast(c, &comm, CoreId(root), r)?;
+            c.mem_to_vec(r)
+        })
+        .unwrap_or_else(|e| panic!("p={p} root={root} len={len}: {e}"));
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "core {i} (p={p}, len={len})");
+        }
+    }
+
+    #[test]
+    fn slice_partition_covers_message_exactly() {
+        for (len, p) in [(1000usize, 7usize), (96 * 32 * 48, 48), (5, 4), (100, 48)] {
+            let msg = MemRange::new(0, len);
+            let mut covered = 0usize;
+            for j in 0..p {
+                let s = slice_range(msg, p, j);
+                assert_eq!(s.offset, covered, "slice {j} not contiguous");
+                covered = s.end();
+                if s.len > 0 {
+                    assert_eq!(s.offset % CACHE_LINE_BYTES, 0);
+                }
+            }
+            assert_eq!(covered, len, "slices must cover len={len} p={p}");
+        }
+    }
+
+    #[test]
+    fn short_message_leaves_empty_slices() {
+        // 100 bytes over 48 cores: 4 lines -> 4 one-line slices, 44 empty.
+        let msg = MemRange::new(0, 100);
+        let nonempty = (0..48).filter(|&j| slice_range(msg, 48, j).len > 0).count();
+        assert_eq!(nonempty, 4);
+    }
+
+    #[test]
+    fn small_p_various_lengths() {
+        check(4, 0, 4 * 96 * 32);
+        check(4, 0, 333);
+        check(2, 0, 64);
+    }
+
+    #[test]
+    fn all_48_cores_large_message() {
+        check(48, 0, 48 * 96 * 32); // the paper's P·M_oc throughput message
+    }
+
+    #[test]
+    fn message_shorter_than_p_lines() {
+        check(48, 0, 100);
+        check(12, 3, 31);
+    }
+
+    #[test]
+    fn non_zero_root() {
+        check(12, 11, 7000);
+    }
+
+    #[test]
+    fn odd_core_counts() {
+        check(3, 0, 1000);
+        check(7, 2, 5000);
+        check(47, 1, 47 * 32);
+    }
+}

@@ -1,0 +1,84 @@
+//! Scaling behaviour of the algorithms on the simulator: the asymptotic
+//! claims of Section 5 hold mechanically, not just in the formulas.
+
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, SimConfig};
+
+/// Latency of one broadcast (call at root to last return), no warmup.
+fn latency(p: usize, alg: Algorithm, bytes: usize) -> f64 {
+    let cfg = SimConfig { num_cores: p, mem_bytes: 1 << 18, ..SimConfig::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<Time> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, alg, c.num_cores()).expect("ctx");
+        let r = MemRange::new(0, bytes);
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![1u8; bytes])?;
+        }
+        b.bcast(c, CoreId(0), r)?;
+        Ok(c.now())
+    })
+    .expect("sim");
+    rep.results
+        .into_iter()
+        .map(|r| r.unwrap().as_us_f64())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn oc_latency_grows_with_tree_depth_not_cores() {
+    // k = 7: P = 8 and P = 48 both have depth ≤ 2; going from 8 to 48
+    // cores costs far less than the 6× core count (notification only),
+    // while k = 1 (a chain) scales linearly.
+    let l8 = latency(8, Algorithm::oc_with_k(7), 32);
+    let l48 = latency(48, Algorithm::oc_with_k(7), 32);
+    assert!(l48 < 2.5 * l8, "depth-2 tree must not scale with P: {l8:.2} -> {l48:.2}");
+
+    let c6 = latency(6, Algorithm::oc_with_k(1), 32);
+    let c24 = latency(24, Algorithm::oc_with_k(1), 32);
+    let per_hop_6 = c6 / 5.0;
+    let per_hop_24 = c24 / 23.0;
+    assert!(
+        (per_hop_24 / per_hop_6 - 1.0).abs() < 0.25,
+        "chain latency must be ~linear per hop: {per_hop_6:.2} vs {per_hop_24:.2}"
+    );
+}
+
+#[test]
+fn binomial_latency_is_logarithmic() {
+    // Doubling P adds one tree level: constant increments.
+    let l4 = latency(4, Algorithm::Binomial, 32);
+    let l8 = latency(8, Algorithm::Binomial, 32);
+    let l16 = latency(16, Algorithm::Binomial, 32);
+    let l32 = latency(32, Algorithm::Binomial, 32);
+    let d1 = l8 - l4;
+    let d2 = l16 - l8;
+    let d3 = l32 - l16;
+    assert!(d1 > 0.0 && d2 > 0.0 && d3 > 0.0);
+    let avg = (d1 + d2 + d3) / 3.0;
+    for (i, d) in [d1, d2, d3].into_iter().enumerate() {
+        assert!(
+            (d / avg - 1.0).abs() < 0.35,
+            "level increment {i} irregular: {d:.2} vs avg {avg:.2} ({l4:.1},{l8:.1},{l16:.1},{l32:.1})"
+        );
+    }
+}
+
+#[test]
+fn oc_pipeline_throughput_is_size_monotone() {
+    // Larger messages amortize the pipeline fill: MB/s must not drop
+    // as messages grow (checked across an order of magnitude).
+    let sizes = [96usize, 384, 1536, 6144];
+    let mut last = 0.0;
+    for &lines in &sizes {
+        let us = latency(12, Algorithm::oc_with_k(7), lines * 32);
+        let mbps = (lines * 32) as f64 / us;
+        assert!(
+            mbps >= last * 0.98,
+            "throughput regressed at {lines} CL: {mbps:.2} after {last:.2}"
+        );
+        last = mbps;
+    }
+    assert!(last > 20.0, "pipeline must approach the Table-2 band, got {last:.2}");
+}

@@ -1,0 +1,56 @@
+//! Flag values stored in MPB cache lines.
+//!
+//! The SCC guarantees read/write atomicity at 32-byte cache-line
+//! granularity, so a synchronization flag simply occupies one full line
+//! and needs no lock (paper Section 5.1).  We store a `u32` sequence
+//! number in the first four bytes (little endian) and leave the rest of
+//! the line zero.  Sequence-valued flags let repeated collectives reuse
+//! the same lines without any reset protocol: a waiter knows which value
+//! it expects next.
+
+use crate::units::CACHE_LINE_BYTES;
+
+/// Value carried by a one-cache-line flag.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FlagValue(pub u32);
+
+impl FlagValue {
+    pub const CLEAR: FlagValue = FlagValue(0);
+
+    /// Serialize into a full cache line (first 4 bytes LE, rest zero).
+    #[inline]
+    pub fn encode(self) -> [u8; CACHE_LINE_BYTES] {
+        let mut line = [0u8; CACHE_LINE_BYTES];
+        line[..4].copy_from_slice(&self.0.to_le_bytes());
+        line
+    }
+
+    /// Deserialize from the first 4 bytes of a cache line.
+    #[inline]
+    pub fn decode(line: &[u8]) -> FlagValue {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&line[..4]);
+        FlagValue(u32::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for v in [0u32, 1, 7, 0xDEAD_BEEF, u32::MAX] {
+            let line = FlagValue(v).encode();
+            assert_eq!(FlagValue::decode(&line), FlagValue(v));
+            assert!(line[4..].iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn decode_ignores_tail() {
+        let mut line = FlagValue(42).encode();
+        line[8] = 0xFF; // garbage beyond the value must not matter
+        assert_eq!(FlagValue::decode(&line), FlagValue(42));
+    }
+}

@@ -1,0 +1,37 @@
+//! # scc-hal — hardware abstraction for the Intel SCC
+//!
+//! This crate defines everything that both execution engines (the
+//! discrete-event simulator in `scc-sim` and the real-thread backend in
+//! `scc-rt`) and every algorithm layered above them agree on:
+//!
+//! * the **chip geometry** — 24 tiles in a 6×4 mesh, two cores per tile,
+//!   X-Y deterministic routing, four off-chip memory controllers
+//!   ([`topology`]);
+//! * **units** — the 32-byte cache line as the unit of data transmission
+//!   and picosecond-resolution timestamps ([`units`]);
+//! * **addresses** — locations inside a Message Passing Buffer (MPB) and
+//!   inside a core's private off-chip memory ([`addr`]);
+//! * the **[`rma::Rma`] trait** — the one-sided `put`/`get`/flag
+//!   interface of the RCCE library as described in Section 2.2 of
+//!   *"High-Performance RMA-Based Broadcast on the Intel SCC"*
+//!   (Petrović et al., SPAA 2012).
+//!
+//! Algorithms written against [`rma::Rma`] run unchanged on virtual time
+//! (simulator) and on wall-clock time (threads).
+
+pub mod addr;
+pub mod flags;
+pub mod rma;
+pub mod topology;
+pub mod units;
+
+pub use addr::{MemRange, MpbAddr};
+pub use flags::FlagValue;
+pub use rma::{Rma, RmaError, RmaExt, RmaResult};
+pub use topology::{
+    core_at_mpb_distance, core_with_mem_distance, CoreId, MemController, Tile, CORES_PER_TILE,
+    NUM_CORES, TILE_COLS, TILE_ROWS,
+};
+pub use units::{
+    bytes_to_lines, lines_to_bytes, Time, CACHE_LINE_BYTES, MPB_BYTES_PER_CORE, MPB_LINES_PER_CORE,
+};

@@ -1,0 +1,347 @@
+//! SCC chip geometry: tiles, cores, routers, memory controllers and the
+//! deterministic X-Y routing distance metric used by the performance
+//! model (parameter `d` in Section 3.1 of the paper).
+//!
+//! The SCC integrates 48 Pentium P54C cores on 24 tiles arranged in a
+//! 6×4 mesh; each tile is attached to one router.  Four memory
+//! controllers (MC) sit on the mesh periphery, and each core reaches its
+//! private off-chip memory through the controller of its quadrant.
+//!
+//! The model counts *routers traversed* on the path from source to
+//! destination: accessing the MPB of the other core on the same tile is
+//! distance 1 (one's own router), the farthest MPB is distance 9
+//! (`Δx = 5, Δy = 3` plus the local router), and a core's memory
+//! controller is between 1 and 4 routers away — matching the x-axis
+//! ranges of Figure 3.
+
+use std::fmt;
+
+/// Mesh width in tiles.
+pub const TILE_COLS: u8 = 6;
+/// Mesh height in tiles.
+pub const TILE_ROWS: u8 = 4;
+/// Cores per tile.
+pub const CORES_PER_TILE: u8 = 2;
+/// Total number of cores on the chip.
+pub const NUM_CORES: usize = (TILE_COLS as usize) * (TILE_ROWS as usize) * (CORES_PER_TILE as usize);
+
+/// Identifier of one of the 48 cores, numbered 0..48.
+///
+/// Cores `2t` and `2t + 1` share tile `t`; tiles are numbered row-major
+/// from `(0,0)` (bottom-left in Figure 1) to `(5,3)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// All cores of a `P`-core run, in id order.
+    pub fn all(num_cores: usize) -> impl Iterator<Item = CoreId> {
+        assert!(num_cores <= NUM_CORES, "SCC has at most {NUM_CORES} cores");
+        (0..num_cores as u8).map(CoreId)
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The tile this core sits on.
+    #[inline]
+    pub fn tile(self) -> Tile {
+        Tile::from_index(self.0 / CORES_PER_TILE)
+    }
+
+    /// The other core on the same tile.
+    #[inline]
+    pub fn tile_mate(self) -> CoreId {
+        CoreId(self.0 ^ 1)
+    }
+
+    /// The memory controller serving this core's private off-chip memory.
+    #[inline]
+    pub fn memory_controller(self) -> MemController {
+        MemController::serving(self.tile())
+    }
+
+    /// Routers traversed when this core accesses the MPB on `dst`'s tile.
+    ///
+    /// This is the distance parameter `d` of the model: X-Y hop count
+    /// between tiles plus one for the local router (the local MPB itself
+    /// is accessed through the local router, hence `d = 1`, never 0).
+    #[inline]
+    pub fn mpb_distance(self, dst: CoreId) -> u32 {
+        self.tile().routing_distance(dst.tile())
+    }
+
+    /// Routers traversed when this core accesses its private off-chip
+    /// memory (distance to its quadrant's memory controller).
+    #[inline]
+    pub fn mem_distance(self) -> u32 {
+        let mc = self.memory_controller();
+        self.tile().routing_distance(mc.attach_tile())
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A tile position `(x, y)` in the 6×4 mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    pub x: u8,
+    pub y: u8,
+}
+
+impl Tile {
+    #[inline]
+    pub fn new(x: u8, y: u8) -> Tile {
+        assert!(x < TILE_COLS && y < TILE_ROWS, "tile ({x},{y}) outside 6x4 mesh");
+        Tile { x, y }
+    }
+
+    #[inline]
+    pub fn from_index(idx: u8) -> Tile {
+        assert!(idx < TILE_COLS * TILE_ROWS, "tile index {idx} out of range");
+        Tile {
+            x: idx % TILE_COLS,
+            y: idx / TILE_COLS,
+        }
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.y as usize) * (TILE_COLS as usize) + self.x as usize
+    }
+
+    /// The two cores living on this tile.
+    pub fn cores(self) -> [CoreId; 2] {
+        let base = self.index() as u8 * CORES_PER_TILE;
+        [CoreId(base), CoreId(base + 1)]
+    }
+
+    /// Number of routers a packet traverses from `self` to `to` under
+    /// deterministic X-Y routing, *including* the source router.
+    ///
+    /// Same tile ⇒ 1 (the packet still enters the local router); the
+    /// maximum on the SCC mesh is 5 + 3 + 1 = 9.
+    #[inline]
+    pub fn routing_distance(self, to: Tile) -> u32 {
+        let dx = self.x.abs_diff(to.x) as u32;
+        let dy = self.y.abs_diff(to.y) as u32;
+        dx + dy + 1
+    }
+
+    /// The ordered list of tiles whose routers the packet visits under
+    /// X-Y routing (first along x, then along y), including source and
+    /// destination routers. Length equals [`Tile::routing_distance`].
+    pub fn xy_route(self, to: Tile) -> Vec<Tile> {
+        let mut path = Vec::with_capacity(self.routing_distance(to) as usize);
+        let mut cur = self;
+        path.push(cur);
+        while cur.x != to.x {
+            cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            path.push(cur);
+        }
+        while cur.y != to.y {
+            cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            path.push(cur);
+        }
+        path
+    }
+}
+
+impl fmt::Debug for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Find a core whose MPB is exactly `d` routers away from `from`
+/// (`1 ≤ d ≤ 9` on the full chip). Used by the distance-sweep
+/// microbenchmarks of Figure 3. Prefers the lowest core id.
+pub fn core_at_mpb_distance(from: CoreId, d: u32, num_cores: usize) -> Option<CoreId> {
+    CoreId::all(num_cores).find(|&c| from.mpb_distance(c) == d)
+}
+
+/// Find a core whose private-memory controller is exactly `d` routers
+/// away (`1 ≤ d ≤ 4`). Used by the memory panels of Figure 3.
+pub fn core_with_mem_distance(d: u32, num_cores: usize) -> Option<CoreId> {
+    CoreId::all(num_cores).find(|&c| c.mem_distance() == d)
+}
+
+/// One of the four off-chip memory controllers.
+///
+/// Each controller is attached to a corner router of the mesh and serves
+/// the quadrant of 6 tiles (12 cores) nearest to it, so the
+/// core-to-controller distance ranges over 1..=4 — the x-axis of the
+/// memory panels of Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemController {
+    /// Attached at tile (0,0); serves tiles x<3, y<2.
+    SouthWest,
+    /// Attached at tile (5,0); serves tiles x≥3, y<2.
+    SouthEast,
+    /// Attached at tile (0,3); serves tiles x<3, y≥2.
+    NorthWest,
+    /// Attached at tile (5,3); serves tiles x≥3, y≥2.
+    NorthEast,
+}
+
+impl MemController {
+    pub const ALL: [MemController; 4] = [
+        MemController::SouthWest,
+        MemController::SouthEast,
+        MemController::NorthWest,
+        MemController::NorthEast,
+    ];
+
+    /// The controller serving a given tile's cores.
+    #[inline]
+    pub fn serving(tile: Tile) -> MemController {
+        match (tile.x >= 3, tile.y >= 2) {
+            (false, false) => MemController::SouthWest,
+            (true, false) => MemController::SouthEast,
+            (false, true) => MemController::NorthWest,
+            (true, true) => MemController::NorthEast,
+        }
+    }
+
+    /// The mesh tile whose router the controller hangs off.
+    #[inline]
+    pub fn attach_tile(self) -> Tile {
+        match self {
+            MemController::SouthWest => Tile { x: 0, y: 0 },
+            MemController::SouthEast => Tile { x: 5, y: 0 },
+            MemController::NorthWest => Tile { x: 0, y: 3 },
+            MemController::NorthEast => Tile { x: 5, y: 3 },
+        }
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MemController::SouthWest => 0,
+            MemController::SouthEast => 1,
+            MemController::NorthWest => 2,
+            MemController::NorthEast => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_tile_mapping() {
+        assert_eq!(CoreId(0).tile(), Tile::new(0, 0));
+        assert_eq!(CoreId(1).tile(), Tile::new(0, 0));
+        assert_eq!(CoreId(2).tile(), Tile::new(1, 0));
+        assert_eq!(CoreId(47).tile(), Tile::new(5, 3));
+        assert_eq!(CoreId(0).tile_mate(), CoreId(1));
+        assert_eq!(CoreId(1).tile_mate(), CoreId(0));
+    }
+
+    #[test]
+    fn distance_range_matches_paper() {
+        // Same-tile access is distance 1 ("1-hop distance, which means
+        // accessing the MPB of the other core on the same tile").
+        assert_eq!(CoreId(0).mpb_distance(CoreId(1)), 1);
+        assert_eq!(CoreId(0).mpb_distance(CoreId(0)), 1);
+        // Maximum distance is 9 hops (Section 3.2).
+        let max = CoreId::all(NUM_CORES)
+            .flat_map(|a| CoreId::all(NUM_CORES).map(move |b| a.mpb_distance(b)))
+            .max()
+            .unwrap();
+        assert_eq!(max, 9);
+        assert_eq!(CoreId(0).mpb_distance(CoreId(47)), 9);
+    }
+
+    #[test]
+    fn memory_distance_range_matches_fig3() {
+        // Figure 3's memory panels sweep distances 1..=4.
+        let (mut lo, mut hi) = (u32::MAX, 0);
+        for c in CoreId::all(NUM_CORES) {
+            let d = c.mem_distance();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        assert_eq!((lo, hi), (1, 4));
+    }
+
+    #[test]
+    fn each_controller_serves_twelve_cores() {
+        for mc in MemController::ALL {
+            let n = CoreId::all(NUM_CORES)
+                .filter(|c| c.memory_controller() == mc)
+                .count();
+            assert_eq!(n, 12, "{mc:?} must serve one quadrant");
+        }
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let r = Tile::new(0, 2).xy_route(Tile::new(3, 2));
+        // The Section 3.3 stress path: (0,2) -> (3,2) goes through (2,2)-(3,2).
+        assert_eq!(
+            r,
+            vec![Tile::new(0, 2), Tile::new(1, 2), Tile::new(2, 2), Tile::new(3, 2)]
+        );
+        // X first, then Y.
+        let r = Tile::new(1, 1).xy_route(Tile::new(2, 3));
+        assert_eq!(
+            r,
+            vec![Tile::new(1, 1), Tile::new(2, 1), Tile::new(2, 2), Tile::new(2, 3)]
+        );
+        // Degenerate route: same tile.
+        assert_eq!(Tile::new(4, 2).xy_route(Tile::new(4, 2)), vec![Tile::new(4, 2)]);
+    }
+
+    #[test]
+    fn route_length_equals_distance() {
+        for a in 0..TILE_COLS * TILE_ROWS {
+            for b in 0..TILE_COLS * TILE_ROWS {
+                let (ta, tb) = (Tile::from_index(a), Tile::from_index(b));
+                assert_eq!(ta.xy_route(tb).len() as u32, ta.routing_distance(tb));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 6x4 mesh")]
+    fn tile_bounds_checked() {
+        let _ = Tile::new(6, 0);
+    }
+
+    #[test]
+    fn distance_finders_cover_the_sweep_ranges() {
+        for d in 1..=9 {
+            let c = core_at_mpb_distance(CoreId(0), d, NUM_CORES)
+                .unwrap_or_else(|| panic!("no core at MPB distance {d}"));
+            assert_eq!(CoreId(0).mpb_distance(c), d);
+        }
+        assert!(core_at_mpb_distance(CoreId(0), 10, NUM_CORES).is_none());
+        for d in 1..=4 {
+            let c = core_with_mem_distance(d, NUM_CORES)
+                .unwrap_or_else(|| panic!("no core at memory distance {d}"));
+            assert_eq!(c.mem_distance(), d);
+        }
+        assert!(core_with_mem_distance(5, NUM_CORES).is_none());
+        // Reduced runs still find nearby targets.
+        assert!(core_at_mpb_distance(CoreId(0), 2, 8).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Units of time and data used throughout the reproduction.
+//!
+//! The paper expresses all model parameters in time units because the SCC
+//! cores, mesh and memory controllers run at different frequencies
+//! (Section 3.1).  We use an integer picosecond clock so that simulator
+//! runs are exactly reproducible — no floating-point accumulation order
+//! can change a schedule.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// The SCC transfers data between MPBs at cache-line granularity: one
+/// packet carries one 32-byte cache line (Section 2.2).
+pub const CACHE_LINE_BYTES: usize = 32;
+
+/// Each tile has a 16 KB MPB, split evenly between its two cores.
+pub const MPB_BYTES_PER_CORE: usize = 8 * 1024;
+
+/// Per-core MPB capacity in cache lines (256).
+pub const MPB_LINES_PER_CORE: usize = MPB_BYTES_PER_CORE / CACHE_LINE_BYTES;
+
+/// Number of cache lines needed to hold `bytes` bytes (rounded up).
+#[inline]
+pub const fn bytes_to_lines(bytes: usize) -> usize {
+    bytes.div_ceil(CACHE_LINE_BYTES)
+}
+
+/// Number of bytes spanned by `lines` cache lines.
+#[inline]
+pub const fn lines_to_bytes(lines: usize) -> usize {
+    lines * CACHE_LINE_BYTES
+}
+
+/// A point in (virtual or real) time, in integer picoseconds.
+///
+/// Picoseconds give sub-nanosecond resolution for micro-parameters such
+/// as per-hop router latency (5 ns on the SCC) while still covering
+/// ~5·10⁶ seconds in a `u64` — far beyond any experiment in this suite.
+///
+/// ```
+/// use scc_hal::Time;
+/// let hop = Time::from_ns(5);
+/// let nine_hops = hop * 9;
+/// assert_eq!(nine_hops.as_us_f64(), 0.045);
+/// assert_eq!(format!("{nine_hops}"), "0.045us");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    /// One picosecond.
+    pub const PS: Time = Time(1);
+    /// One nanosecond.
+    pub const NS: Time = Time(1_000);
+    /// One microsecond.
+    pub const US: Time = Time(1_000_000);
+    /// One millisecond.
+    pub const MS: Time = Time(1_000_000_000);
+
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Build a `Time` from a microsecond value, rounding to the nearest
+    /// picosecond. Panics on negative or non-finite input.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "time must be finite and non-negative, got {us}"
+        );
+        Time((us * 1e6).round() as u64)
+    }
+
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time subtraction underflow"))
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trips() {
+        assert_eq!(bytes_to_lines(0), 0);
+        assert_eq!(bytes_to_lines(1), 1);
+        assert_eq!(bytes_to_lines(32), 1);
+        assert_eq!(bytes_to_lines(33), 2);
+        assert_eq!(bytes_to_lines(96 * 32), 96);
+        assert_eq!(lines_to_bytes(96), 3072);
+        // 1 MiB = 32768 cache lines (largest message in the paper's Fig. 8b).
+        assert_eq!(bytes_to_lines(1 << 20), 32768);
+    }
+
+    #[test]
+    fn mpb_capacity_matches_paper() {
+        // 8 KB per core == 256 cache lines (Sections 1.1 and 2.1).
+        assert_eq!(MPB_LINES_PER_CORE, 256);
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(Time::from_ns(5).as_ps(), 5_000);
+        assert_eq!(Time::from_us_f64(0.126).as_ps(), 126_000);
+        assert!((Time::from_us_f64(16.6).as_us_f64() - 16.6).abs() < 1e-9);
+        assert_eq!(Time::from_us_f64(0.0), Time::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a + b, Time::from_ns(14));
+        assert_eq!(a - b, Time::from_ns(6));
+        assert_eq!(a * 3, Time::from_ns(30));
+        assert_eq!(a / 2, Time::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Time = [a, b, b].into_iter().sum();
+        assert_eq!(total, Time::from_ns(18));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = Time::from_ns(1) - Time::from_ns(2);
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        assert_eq!(format!("{}", Time::from_us_f64(1.5)), "1.500us");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the chip geometry.
+
+use proptest::prelude::*;
+use scc_hal::{CoreId, MemController, Tile, NUM_CORES};
+
+fn arb_tile() -> impl Strategy<Value = Tile> {
+    (0u8..6, 0u8..4).prop_map(|(x, y)| Tile::new(x, y))
+}
+
+proptest! {
+    /// X-Y routes are contiguous (each hop moves to a neighbouring
+    /// tile), start at the source and end at the destination.
+    #[test]
+    fn routes_are_contiguous(a in arb_tile(), b in arb_tile()) {
+        let route = a.xy_route(b);
+        prop_assert_eq!(*route.first().unwrap(), a);
+        prop_assert_eq!(*route.last().unwrap(), b);
+        for w in route.windows(2) {
+            let dx = w[0].x.abs_diff(w[1].x);
+            let dy = w[0].y.abs_diff(w[1].y);
+            prop_assert_eq!(dx + dy, 1, "non-adjacent hop {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Routing distance is symmetric and satisfies the triangle
+    /// inequality up to the double-counted middle router.
+    #[test]
+    fn distance_metric_properties(a in arb_tile(), b in arb_tile(), c in arb_tile()) {
+        prop_assert_eq!(a.routing_distance(b), b.routing_distance(a));
+        prop_assert!(a.routing_distance(a) == 1);
+        // d(a,c) ≤ d(a,b) + d(b,c) − 1 (b's router counted once).
+        prop_assert!(
+            a.routing_distance(c) < a.routing_distance(b) + b.routing_distance(c)
+        );
+    }
+
+    /// Core→tile→core round trips and tile-mate involution.
+    #[test]
+    fn core_tile_roundtrip(i in 0u8..48) {
+        let c = CoreId(i);
+        prop_assert!(c.tile().cores().contains(&c));
+        prop_assert_eq!(c.tile_mate().tile_mate(), c);
+        prop_assert_eq!(c.tile_mate().tile(), c.tile());
+        prop_assert!(c.mpb_distance(c.tile_mate()) == 1);
+    }
+
+    /// Every core's memory controller is the nearest of the four.
+    #[test]
+    fn controller_is_nearest(i in 0u8..48) {
+        let c = CoreId(i);
+        let mine = c.mem_distance();
+        for mc in MemController::ALL {
+            let d = c.tile().routing_distance(mc.attach_tile());
+            prop_assert!(mine <= d, "{c}: assigned {mine} but {mc:?} at {d}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_distance_table_sane() {
+    // All 48×48 distances in 1..=9; diagonal and tile-mates at 1.
+    for a in 0..NUM_CORES as u8 {
+        for b in 0..NUM_CORES as u8 {
+            let d = CoreId(a).mpb_distance(CoreId(b));
+            assert!((1..=9).contains(&d));
+            assert_eq!(d, CoreId(b).mpb_distance(CoreId(a)));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Extraction of Table-1 parameters from microbenchmark measurements.
+//!
+//! The paper validates its model by fitting the eight parameters to
+//! `put`/`get` timings (Section 3.2, Figure 3, Table 1). We reproduce
+//! that step: the `table1` binary in `scc-bench` runs the same
+//! microbenchmarks on the simulator and feeds the samples to
+//! [`fit_params`], which recovers the parameters by ordinary least
+//! squares on the model's (linear!) structure:
+//!
+//! * `C^mpb_r(d) = o^mpb + 2·Lhop·d` — a line in `d`;
+//! * `C^mem_r(d)`, `C^mem_w(d)` — lines in `d`;
+//! * `C_put/get(m, d)` — once the primitives above are known, the op
+//!   overheads `o_put`/`o_get` are the mean residual.
+
+use crate::params::ModelParams;
+
+/// Simple ordinary-least-squares fit of `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Root-mean-square residual of the fit, for quality reporting.
+    pub rms: f64,
+}
+
+/// Fit a straight line through `(x, y)` samples. Panics on fewer than
+/// two distinct x values (the fit would be underdetermined).
+pub fn linear_fit(samples: &[(f64, f64)]) -> LinearFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let det = n * sxx - sx * sx;
+    assert!(
+        det.abs() > 1e-12,
+        "all x values identical; cannot fit a slope"
+    );
+    let slope = (n * sxy - sx * sy) / det;
+    let intercept = (sy - slope * sx) / n;
+    let rms = (samples
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    LinearFit { intercept, slope, rms }
+}
+
+/// Microbenchmark samples used to recover the model parameters.
+///
+/// Completion times in microseconds.
+#[derive(Clone, Debug, Default)]
+pub struct FitSamples {
+    /// `(d, C)` — 1-line MPB read (remote) at distance `d`.
+    pub mpb_read: Vec<(u32, f64)>,
+    /// `(d, C)` — 1-line off-chip read at controller distance `d`.
+    pub mem_read: Vec<(u32, f64)>,
+    /// `(d, C)` — 1-line off-chip write at controller distance `d`.
+    pub mem_write: Vec<(u32, f64)>,
+    /// `(m, d_dst, C)` — MPB→MPB put completions.
+    pub put_mpb: Vec<(usize, u32, f64)>,
+    /// `(m, d_src, C)` — MPB→MPB get completions.
+    pub get_mpb: Vec<(usize, u32, f64)>,
+    /// `(m, d_src, d_dst, C)` — memory→MPB put completions.
+    pub put_mem: Vec<(usize, u32, u32, f64)>,
+    /// `(m, d_src, d_dst, C)` — MPB→memory get completions.
+    pub get_mem: Vec<(usize, u32, u32, f64)>,
+}
+
+/// Recover a full [`ModelParams`] from microbenchmark samples.
+///
+/// Returns the fitted parameters plus the worst RMS residual across the
+/// primitive fits, so callers can report fit quality like the paper's
+/// "our model precisely estimates the communication performance".
+pub fn fit_params(s: &FitSamples) -> (ModelParams, f64) {
+    // C^mpb_r(d) = o_mpb + 2 Lhop d
+    let r = linear_fit(&to_f64(&s.mpb_read));
+    let l_hop = r.slope / 2.0;
+    let o_mpb = r.intercept;
+
+    // C^mem_r/w(d) = o_mem_{r,w} + 2 Lhop d — reuse the mesh slope; fit
+    // only the intercept (mean of y - 2 Lhop d), like the paper which
+    // uses a single Lhop for all operations.
+    let o_mem_r = mean_intercept(&to_f64(&s.mem_read), 2.0 * l_hop);
+    let o_mem_w = mean_intercept(&to_f64(&s.mem_write), 2.0 * l_hop);
+
+    let c_mpb_r = |d: u32| o_mpb + 2.0 * l_hop * d as f64;
+    let c_mpb_w = |d: u32| o_mpb + 2.0 * l_hop * d as f64;
+    let c_mem_r = |d: u32| o_mem_r + 2.0 * l_hop * d as f64;
+    let c_mem_w = |d: u32| o_mem_w + 2.0 * l_hop * d as f64;
+
+    // Op overheads: mean residual over the op samples.
+    let o_mpb_put = mean(s.put_mpb.iter().map(|&(m, d, c)| {
+        c - m as f64 * (c_mpb_r(1) + c_mpb_w(d))
+    }));
+    let o_mpb_get = mean(s.get_mpb.iter().map(|&(m, d, c)| {
+        c - m as f64 * (c_mpb_r(d) + c_mpb_w(1))
+    }));
+    let o_mem_put = mean(s.put_mem.iter().map(|&(m, ds, dd, c)| {
+        c - m as f64 * (c_mem_r(ds) + c_mpb_w(dd))
+    }));
+    let o_mem_get = mean(s.get_mem.iter().map(|&(m, ds, dd, c)| {
+        c - m as f64 * (c_mpb_r(ds) + c_mem_w(dd))
+    }));
+
+    let params = ModelParams {
+        l_hop,
+        o_mpb,
+        o_mem_w,
+        o_mem_r,
+        o_mpb_put,
+        o_mpb_get,
+        o_mem_put,
+        o_mem_get,
+    };
+    (params, r.rms)
+}
+
+fn to_f64(v: &[(u32, f64)]) -> Vec<(f64, f64)> {
+    v.iter().map(|&(d, c)| (d as f64, c)).collect()
+}
+
+fn mean_intercept(samples: &[(f64, f64)], slope: f64) -> f64 {
+    mean(samples.iter().map(|&(x, y)| y - slope * x))
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for v in it {
+        sum += v;
+        n += 1;
+    }
+    assert!(n > 0, "cannot average zero samples");
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2p::P2p;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let f = linear_fit(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!(f.rms < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line() {
+        let f = linear_fit(&[(0.0, 0.1), (1.0, 0.9), (2.0, 2.1), (3.0, 2.9)]);
+        assert!((f.slope - 0.98).abs() < 0.1);
+        assert!(f.rms < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_fit_rejected() {
+        let _ = linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    /// Generating samples from the paper parameters and fitting must
+    /// recover them exactly (the model is linear, so zero noise ⇒ zero
+    /// error). This is the round-trip the table1 experiment relies on.
+    #[test]
+    fn round_trip_recovers_table1() {
+        let truth = ModelParams::paper();
+        let t = P2p::new(truth);
+        let mut s = FitSamples::default();
+        for d in 1..=9 {
+            s.mpb_read.push((d, t.c_mpb_r(d)));
+        }
+        for d in 1..=4 {
+            s.mem_read.push((d, t.c_mem_r(d)));
+            s.mem_write.push((d, t.c_mem_w(d)));
+        }
+        for m in [1usize, 4, 8, 16] {
+            for d in [1u32, 3, 5, 9] {
+                s.put_mpb.push((m, d, t.c_put_mpb(m, d)));
+                s.get_mpb.push((m, d, t.c_get_mpb(m, d)));
+            }
+            for d in [1u32, 2, 4] {
+                s.put_mem.push((m, d, d, t.c_put_mem(m, d, d)));
+                s.get_mem.push((m, d, d, t.c_get_mem(m, d, d)));
+            }
+        }
+        let (fitted, rms) = fit_params(&s);
+        assert!(rms < 1e-9);
+        for (a, b, name) in [
+            (fitted.l_hop, truth.l_hop, "l_hop"),
+            (fitted.o_mpb, truth.o_mpb, "o_mpb"),
+            (fitted.o_mem_r, truth.o_mem_r, "o_mem_r"),
+            (fitted.o_mem_w, truth.o_mem_w, "o_mem_w"),
+            (fitted.o_mpb_put, truth.o_mpb_put, "o_mpb_put"),
+            (fitted.o_mpb_get, truth.o_mpb_get, "o_mpb_get"),
+            (fitted.o_mem_put, truth.o_mem_put, "o_mem_put"),
+            (fitted.o_mem_get, truth.o_mem_get, "o_mem_get"),
+        ] {
+            assert!((a - b).abs() < 1e-9, "{name}: fitted {a}, truth {b}");
+        }
+        assert!(fitted.is_plausible());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the analytical model.
+
+use proptest::prelude::*;
+use scc_model::bcast::FullModelCfg;
+use scc_model::{
+    binomial_latency_full, fit_params, oc_latency_full, oc_throughput_full, sag_throughput_full,
+    FitSamples, ModelParams, P2p,
+};
+
+proptest! {
+    /// Latency is monotone in message size for every algorithm.
+    #[test]
+    fn latencies_monotone_in_size(
+        m in 1usize..500,
+        k in 2usize..48,
+        p in 2usize..49,
+    ) {
+        let params = ModelParams::paper();
+        let cfg = FullModelCfg::default();
+        let l1 = oc_latency_full(&params, &cfg, p, m, k);
+        let l2 = oc_latency_full(&params, &cfg, p, m + 1, k);
+        prop_assert!(l2 >= l1, "OC latency decreased: {l1} -> {l2}");
+        let b1 = binomial_latency_full(&params, &cfg, p, m);
+        let b2 = binomial_latency_full(&params, &cfg, p, m + 1);
+        prop_assert!(b2 >= b1);
+        prop_assert!(l1 > 0.0 && b1 > 0.0);
+    }
+
+    /// More cores never make a broadcast faster.
+    #[test]
+    fn latency_monotone_in_cores(m in 1usize..200, k in 2usize..24, p in 2usize..48) {
+        let params = ModelParams::paper();
+        let cfg = FullModelCfg::default();
+        let a = oc_latency_full(&params, &cfg, p, m, k);
+        let b = oc_latency_full(&params, &cfg, p + 1, m, k);
+        prop_assert!(b >= a - 1e-9, "p={p}: {a} -> {b}");
+    }
+
+    /// Throughputs are positive, finite, and OC dominates s-ag for all
+    /// plausible parameters scaled around Table 1.
+    #[test]
+    fn oc_dominates_sag_for_scaled_parameters(scale in 0.5f64..2.0, k in 2usize..48) {
+        let t1 = ModelParams::paper();
+        let params = ModelParams {
+            l_hop: t1.l_hop * scale,
+            o_mpb: t1.o_mpb * scale,
+            o_mem_w: t1.o_mem_w * scale,
+            o_mem_r: t1.o_mem_r * scale,
+            o_mpb_put: t1.o_mpb_put * scale,
+            o_mpb_get: t1.o_mpb_get * scale,
+            o_mem_put: t1.o_mem_put * scale,
+            o_mem_get: t1.o_mem_get * scale,
+        };
+        let cfg = FullModelCfg::default();
+        let oc = oc_throughput_full(&params, &cfg, 48, k);
+        let sag = sag_throughput_full(&params, &cfg, 48);
+        prop_assert!(oc.is_finite() && oc > 0.0);
+        prop_assert!(sag.is_finite() && sag > 0.0);
+        prop_assert!(oc > sag, "scale {scale}: {oc} <= {sag}");
+    }
+
+    /// Parameter fitting recovers scaled ground truths exactly from
+    /// noise-free samples (the model is linear in its parameters).
+    #[test]
+    fn fit_recovers_scaled_parameters(scale in 0.25f64..4.0) {
+        let t1 = ModelParams::paper();
+        let truth = ModelParams {
+            l_hop: t1.l_hop * scale,
+            o_mpb: t1.o_mpb * scale,
+            o_mem_w: t1.o_mem_w * scale,
+            o_mem_r: t1.o_mem_r * scale,
+            o_mpb_put: t1.o_mpb_put * scale,
+            o_mpb_get: t1.o_mpb_get * scale,
+            o_mem_put: t1.o_mem_put * scale,
+            o_mem_get: t1.o_mem_get * scale,
+        };
+        let t = P2p::new(truth);
+        let mut s = FitSamples::default();
+        for d in 1..=9 {
+            s.mpb_read.push((d, t.c_mpb_r(d)));
+        }
+        for d in 1..=4 {
+            s.mem_read.push((d, t.c_mem_r(d)));
+            s.mem_write.push((d, t.c_mem_w(d)));
+        }
+        for m in [1usize, 8] {
+            for d in [1u32, 5] {
+                s.put_mpb.push((m, d, t.c_put_mpb(m, d)));
+                s.get_mpb.push((m, d, t.c_get_mpb(m, d)));
+            }
+            s.put_mem.push((m, 2, 1, t.c_put_mem(m, 2, 1)));
+            s.get_mem.push((m, 1, 2, t.c_get_mem(m, 1, 2)));
+        }
+        let (fitted, rms) = fit_params(&s);
+        prop_assert!(rms < 1e-9);
+        prop_assert!((fitted.l_hop - truth.l_hop).abs() < 1e-9);
+        prop_assert!((fitted.o_mpb_get - truth.o_mpb_get).abs() < 1e-9);
+        prop_assert!((fitted.o_mem_w - truth.o_mem_w).abs() < 1e-9);
+    }
+}

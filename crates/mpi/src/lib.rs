@@ -1,0 +1,275 @@
+//! # scc-mpi — an MPI-flavoured facade over the OC-Bcast stack
+//!
+//! The paper closes with "we also plan to extend our approach to other
+//! collective operations and integrate them in an MPI library"
+//! (Section 7). This crate is that integration layer: a single
+//! [`Communicator`] owning the MPB layout and exposing the familiar
+//! verbs — `send`/`recv`, `bcast`, `reduce`, `allreduce`, `allgather`,
+//! `barrier` — over the RMA collectives of `oc-bcast` and the
+//! two-sided layer of `scc-rcce`.
+//!
+//! Design choices:
+//!
+//! * One MPB budget for everything: the communicator carves the 256
+//!   lines per core into an OC-Bcast context (k = 7, 48-line double
+//!   buffers), a reduce context, a small point-to-point channel and a
+//!   barrier — all collectives are callable at any time without
+//!   re-allocation. The narrower buffers trade a little peak
+//!   throughput for a permanently resident layout (quantified in the
+//!   crate tests).
+//! * Buffers are byte ranges in the core's private memory
+//!   ([`scc_hal::MemRange`]), matching the paper's semantics where
+//!   application data lives off-chip.
+//! * Everything is generic over [`scc_hal::Rma`], so a `Communicator`
+//!   works on the simulator and on real threads alike.
+
+use oc_bcast::collectives::{oc_allgather, OcReduce};
+use oc_bcast::{OcBcast, OcConfig};
+use scc_hal::{CoreId, MemRange, Rma, RmaError, RmaResult};
+use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, RcceComm};
+
+pub use oc_bcast::collectives::ReduceOp;
+
+/// Rank of a process within the communicator (identical to the core id
+/// in this single-chip world).
+pub type Rank = usize;
+
+/// The world communicator: every core of the run.
+///
+/// Construct one per core, identically (symmetric MPB allocation), then
+/// call collectives collectively and point-to-point verbs pairwise.
+pub struct Communicator {
+    bcast: OcBcast,
+    reduce: OcReduce,
+    p2p: RcceComm,
+    barrier: Barrier,
+    num_cores: usize,
+}
+
+impl Communicator {
+    /// MPB line budget: OC-Bcast 1+7+2·48 = 104, reduce 1+7+7·8 = 64,
+    /// point-to-point 48+1+26 ≤ 75, barrier 6 — total ≤ 249 for the
+    /// full 48-core chip.
+    pub fn new(num_cores: usize) -> Result<Communicator, MpbExhausted> {
+        let mut alloc = MpbAllocator::new();
+        let bcast = OcBcast::new(
+            &mut alloc,
+            OcConfig { chunk_lines: 48, ..OcConfig::default() },
+        )?;
+        let reduce = OcReduce::with_slot_lines(&mut alloc, 7, 8)?;
+        let barrier = Barrier::new(&mut alloc, num_cores)?;
+        let p2p_payload = alloc.lines_free().saturating_sub(num_cores + 1).max(1);
+        let p2p = RcceComm::with_payload_lines(&mut alloc, num_cores, p2p_payload)?;
+        Ok(Communicator { bcast, reduce, p2p, barrier, num_cores })
+    }
+
+    /// This process's rank.
+    pub fn rank<R: Rma>(&self, c: &R) -> Rank {
+        c.core().index()
+    }
+
+    /// Number of processes.
+    pub fn size(&self) -> usize {
+        self.num_cores
+    }
+
+    fn check_rank(&self, r: Rank) -> RmaResult<CoreId> {
+        if r >= self.num_cores {
+            return Err(RmaError::Engine(format!(
+                "rank {r} outside communicator of size {}",
+                self.num_cores
+            )));
+        }
+        Ok(CoreId(r as u8))
+    }
+
+    /// Blocking point-to-point send (must be matched by [`Communicator::recv`]).
+    pub fn send<R: Rma>(&self, c: &mut R, dst: Rank, buf: MemRange) -> RmaResult<()> {
+        let dst = self.check_rank(dst)?;
+        self.p2p.send(c, dst, buf)
+    }
+
+    /// Blocking point-to-point receive.
+    pub fn recv<R: Rma>(&self, c: &mut R, src: Rank, buf: MemRange) -> RmaResult<()> {
+        let src = self.check_rank(src)?;
+        self.p2p.recv(c, src, buf)
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (OC-Bcast underneath).
+    pub fn bcast<R: Rma>(&mut self, c: &mut R, root: Rank, buf: MemRange) -> RmaResult<()> {
+        let root = self.check_rank(root)?;
+        self.bcast.bcast(c, root, buf)
+    }
+
+    /// Elementwise reduction of `u64` vectors to `root` (in place).
+    pub fn reduce<R: Rma>(
+        &mut self,
+        c: &mut R,
+        root: Rank,
+        buf: MemRange,
+        op: ReduceOp,
+    ) -> RmaResult<()> {
+        let root = self.check_rank(root)?;
+        self.reduce.reduce(c, root, buf, op)
+    }
+
+    /// Reduction delivered to every rank.
+    pub fn allreduce<R: Rma>(&mut self, c: &mut R, buf: MemRange, op: ReduceOp) -> RmaResult<()> {
+        self.reduce.reduce(c, CoreId(0), buf, op)?;
+        self.bcast.bcast(c, CoreId(0), buf)
+    }
+
+    /// Allgather: rank `j` contributes the `j`-th slice of `buf` (the
+    /// deterministic line-aligned partition of
+    /// [`oc_bcast::scatter_allgather::slice_range`]); afterwards every
+    /// rank holds the whole range.
+    pub fn allgather<R: Rma>(&mut self, c: &mut R, buf: MemRange) -> RmaResult<()> {
+        oc_allgather(c, &mut self.bcast, buf)
+    }
+
+    /// Dissemination barrier over all ranks.
+    pub fn barrier<R: Rma>(&mut self, c: &mut R) -> RmaResult<()> {
+        self.barrier.wait(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_bcast::scatter_allgather::slice_range;
+    use scc_hal::RmaExt;
+    use scc_sim::{run_spmd, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig { num_cores: n, mem_bytes: 1 << 20, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn layout_fits_the_full_chip() {
+        match Communicator::new(48) {
+            Ok(comm) => assert_eq!(comm.size(), 48),
+            Err(e) => panic!("the resident layout must fit 48 cores: {e}"),
+        }
+    }
+
+    #[test]
+    fn bcast_reduce_barrier_interplay() {
+        let p = 12;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<(Vec<u8>, u64)> {
+            let mut comm = Communicator::new(p).expect("layout");
+            let me = comm.rank(c) as u64;
+
+            // Broadcast a config blob from rank 2.
+            let blob: Vec<u8> = (0..5000).map(|i| (i % 209) as u8).collect();
+            if comm.rank(c) == 2 {
+                c.mem_write(0, &blob)?;
+            }
+            comm.bcast(c, 2, MemRange::new(0, 5000))?;
+            let got = c.mem_to_vec(MemRange::new(0, 5000))?;
+
+            comm.barrier(c)?;
+
+            // Allreduce each rank's contribution.
+            c.mem_write(8192, &(me * me).to_le_bytes())?;
+            comm.allreduce(c, MemRange::new(8192, 8), ReduceOp::Sum)?;
+            let mut b = [0u8; 8];
+            c.mem_read(8192, &mut b)?;
+            Ok((got, u64::from_le_bytes(b)))
+        })
+        .unwrap();
+        let blob: Vec<u8> = (0..5000).map(|i| (i % 209) as u8).collect();
+        let expect_sum: u64 = (0..12u64).map(|m| m * m).sum();
+        for (i, r) in rep.results.iter().enumerate() {
+            let (got, sum) = r.as_ref().unwrap();
+            assert_eq!(got, &blob, "rank {i} bcast");
+            assert_eq!(*sum, expect_sum, "rank {i} allreduce");
+        }
+    }
+
+    #[test]
+    fn sendrecv_pairs() {
+        let rep = run_spmd(&cfg(4), |c| -> RmaResult<Vec<u8>> {
+            let comm = Communicator::new(4).expect("layout");
+            let me = comm.rank(c);
+            let msg: Vec<u8> = (0..300).map(|i| (i as u8) ^ (me as u8)).collect();
+            c.mem_write(0, &msg)?;
+            // Exchange with partner (0↔1, 2↔3).
+            let partner = me ^ 1;
+            let r_out = MemRange::new(0, 300);
+            let r_in = MemRange::new(320, 300);
+            if me.is_multiple_of(2) {
+                comm.send(c, partner, r_out)?;
+                comm.recv(c, partner, r_in)?;
+            } else {
+                comm.recv(c, partner, r_in)?;
+                comm.send(c, partner, r_out)?;
+            }
+            c.mem_to_vec(r_in)
+        })
+        .unwrap();
+        for (i, r) in rep.results.iter().enumerate() {
+            let expect: Vec<u8> = (0..300).map(|b| (b as u8) ^ ((i ^ 1) as u8)).collect();
+            assert_eq!(r.as_ref().unwrap(), &expect, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn allgather_via_facade() {
+        let p = 8;
+        let len = 2048;
+        let rep = run_spmd(&cfg(p), move |c| -> RmaResult<Vec<u8>> {
+            let mut comm = Communicator::new(p).expect("layout");
+            let me = comm.rank(c);
+            let buf = MemRange::new(0, len);
+            let mine = slice_range(buf, p, me);
+            let fill: Vec<u8> = (0..mine.len).map(|i| (i as u8).wrapping_add(me as u8 * 31)).collect();
+            c.mem_write(mine.offset, &fill)?;
+            comm.allgather(c, buf)?;
+            c.mem_to_vec(buf)
+        })
+        .unwrap();
+        let buf = MemRange::new(0, len);
+        let mut expect = vec![0u8; len];
+        for j in 0..p {
+            let s = slice_range(buf, p, j);
+            for i in 0..s.len {
+                expect[s.offset + i] = (i as u8).wrapping_add(j as u8 * 31);
+            }
+        }
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let rep = run_spmd(&cfg(2), |c| -> RmaResult<bool> {
+            let mut comm = Communicator::new(2).expect("layout");
+            let e = comm.bcast(c, 7, MemRange::new(0, 8));
+            Ok(matches!(e, Err(RmaError::Engine(_))))
+        })
+        .unwrap();
+        assert!(rep.results.into_iter().all(|r| r.unwrap()));
+    }
+
+    #[test]
+    fn works_on_real_threads_too() {
+        let p = 3;
+        let rep = scc_rt::run_spmd(
+            &scc_rt::RtConfig { num_cores: p, mem_bytes: 1 << 16 },
+            move |c| -> RmaResult<u64> {
+                let mut comm = Communicator::new(p).expect("layout");
+                let me = comm.rank(c) as u64;
+                c.mem_write(0, &(me + 1).to_le_bytes())?;
+                comm.allreduce(c, MemRange::new(0, 8), ReduceOp::Sum)?;
+                let mut b = [0u8; 8];
+                c.mem_read(0, &mut b)?;
+                Ok(u64::from_le_bytes(b))
+            },
+        )
+        .unwrap();
+        for r in rep.results {
+            assert_eq!(r.unwrap(), 6);
+        }
+    }
+}

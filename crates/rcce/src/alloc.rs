@@ -1,0 +1,198 @@
+//! Symmetric MPB line allocator.
+//!
+//! Collectives and the send/receive layer reserve MPB lines for flags
+//! and payload buffers. Like RCCE's `RCCE_malloc`, allocation is
+//! *symmetric*: every core makes the same sequence of calls, so the
+//! same lines are assigned on every core and a peer's flag or buffer
+//! can be addressed remotely with the local handle's line number.
+//!
+//! First-fit with explicit free: contexts (e.g. an OC-Bcast context and
+//! later a scatter-allgather context in the same program) can release
+//! their lines for the next protocol, which matters because the 256
+//! lines per core cannot hold two full contexts at once.
+
+use scc_hal::MPB_LINES_PER_CORE;
+use std::fmt;
+
+/// A reserved, contiguous range of MPB lines (identical on all cores).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MpbRegion {
+    pub first_line: usize,
+    pub lines: usize,
+}
+
+impl MpbRegion {
+    /// The line `i` within the region.
+    #[inline]
+    pub fn line(&self, i: usize) -> usize {
+        assert!(i < self.lines, "line {i} outside region of {} lines", self.lines);
+        self.first_line + i
+    }
+}
+
+/// Allocation failure: the MPB is full (or too fragmented).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct MpbExhausted {
+    pub requested: usize,
+    pub largest_free: usize,
+}
+
+impl fmt::Debug for MpbExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MPB exhausted: requested {} lines, largest free block is {}",
+            self.requested, self.largest_free
+        )
+    }
+}
+
+impl fmt::Display for MpbExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for MpbExhausted {}
+
+/// First-fit allocator over the 256 MPB lines of each core.
+///
+/// ```
+/// use scc_rcce::MpbAllocator;
+/// let mut alloc = MpbAllocator::new();
+/// let flags = alloc.alloc(8).unwrap();      // lines 0..8
+/// let payload = alloc.alloc(96).unwrap();   // lines 8..104
+/// assert_eq!(payload.first_line, 8);
+/// alloc.free(flags);
+/// assert_eq!(alloc.alloc(4).unwrap().first_line, 0); // first fit reuses the gap
+/// ```
+#[derive(Clone, Debug)]
+pub struct MpbAllocator {
+    /// Allocated regions, sorted by first line.
+    taken: Vec<MpbRegion>,
+}
+
+impl Default for MpbAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MpbAllocator {
+    pub fn new() -> MpbAllocator {
+        MpbAllocator { taken: Vec::new() }
+    }
+
+    /// Reserve `lines` contiguous MPB lines.
+    pub fn alloc(&mut self, lines: usize) -> Result<MpbRegion, MpbExhausted> {
+        assert!(lines > 0, "cannot allocate zero lines");
+        let mut cursor = 0usize;
+        let mut insert_at = 0usize;
+        let mut largest = 0usize;
+        for (i, r) in self.taken.iter().enumerate() {
+            let gap = r.first_line - cursor;
+            if gap >= lines {
+                break;
+            }
+            largest = largest.max(gap);
+            cursor = r.first_line + r.lines;
+            insert_at = i + 1;
+        }
+        if cursor + lines > MPB_LINES_PER_CORE {
+            return Err(MpbExhausted {
+                requested: lines,
+                largest_free: largest.max(MPB_LINES_PER_CORE.saturating_sub(cursor)),
+            });
+        }
+        let region = MpbRegion { first_line: cursor, lines };
+        self.taken.insert(insert_at, region);
+        Ok(region)
+    }
+
+    /// Release a region previously returned by [`MpbAllocator::alloc`].
+    /// Panics if the region is not currently allocated (a double free
+    /// is a protocol bug worth failing loudly on).
+    pub fn free(&mut self, region: MpbRegion) {
+        let idx = self
+            .taken
+            .iter()
+            .position(|r| *r == region)
+            .unwrap_or_else(|| panic!("freeing unallocated region {region:?}"));
+        self.taken.remove(idx);
+    }
+
+    /// Lines still available (total, ignoring fragmentation).
+    pub fn lines_free(&self) -> usize {
+        MPB_LINES_PER_CORE - self.taken.iter().map(|r| r.lines).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut a = MpbAllocator::new();
+        let r1 = a.alloc(10).unwrap();
+        let r2 = a.alloc(5).unwrap();
+        assert_eq!(r1.first_line, 0);
+        assert_eq!(r2.first_line, 10);
+        assert_eq!(a.lines_free(), 256 - 15);
+        assert_eq!(r1.line(3), 3);
+        assert_eq!(r2.line(0), 10);
+    }
+
+    #[test]
+    fn free_then_first_fit_reuses_gap() {
+        let mut a = MpbAllocator::new();
+        let r1 = a.alloc(10).unwrap();
+        let _r2 = a.alloc(20).unwrap();
+        a.free(r1);
+        // A smaller request fits in the gap left by r1.
+        let r3 = a.alloc(8).unwrap();
+        assert_eq!(r3.first_line, 0);
+        // A larger one goes after r2.
+        let r4 = a.alloc(12).unwrap();
+        assert_eq!(r4.first_line, 30);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_block() {
+        let mut a = MpbAllocator::new();
+        let _ = a.alloc(250).unwrap();
+        let e = a.alloc(10).unwrap_err();
+        assert_eq!(e.requested, 10);
+        assert_eq!(e.largest_free, 6);
+    }
+
+    #[test]
+    fn two_full_contexts_do_not_fit_but_sequential_do() {
+        // An OC-Bcast context (k = 47: 1 + 47 + 192 = 240 lines) and an
+        // RCCE send/recv context (253 lines) cannot coexist...
+        let mut a = MpbAllocator::new();
+        let oc = a.alloc(240).unwrap();
+        assert!(a.alloc(253).is_err());
+        // ...but after freeing the first, the second fits.
+        a.free(oc);
+        assert!(a.alloc(253).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut a = MpbAllocator::new();
+        let r = a.alloc(4).unwrap();
+        a.free(r);
+        a.free(r);
+    }
+
+    #[test]
+    fn line_accessor_bounds() {
+        let mut a = MpbAllocator::new();
+        let r = a.alloc(4).unwrap();
+        assert_eq!(r.line(3), 3);
+        let result = std::panic::catch_unwind(|| r.line(4));
+        assert!(result.is_err());
+    }
+}

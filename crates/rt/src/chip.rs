@@ -1,0 +1,143 @@
+//! The shared MPB block: atomics plus the word-level copy routines.
+
+use scc_hal::{CoreId, FlagValue, MpbAddr, CACHE_LINE_BYTES, MPB_BYTES_PER_CORE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// 8-byte words per cache line.
+const WORDS_PER_LINE: usize = CACHE_LINE_BYTES / 8;
+/// Words per core MPB region.
+const WORDS_PER_CORE: usize = MPB_BYTES_PER_CORE / 8;
+
+/// All MPBs of the chip as one shared block of atomic words.
+pub struct RtMpb {
+    words: Vec<AtomicU64>,
+    num_cores: usize,
+}
+
+impl RtMpb {
+    pub fn new(num_cores: usize) -> RtMpb {
+        RtMpb {
+            words: (0..num_cores * WORDS_PER_CORE).map(|_| AtomicU64::new(0)).collect(),
+            num_cores,
+        }
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    #[inline]
+    fn word_index(&self, core: CoreId, line: usize, word: usize) -> usize {
+        debug_assert!(core.index() < self.num_cores);
+        core.index() * WORDS_PER_CORE + line * WORDS_PER_LINE + word
+    }
+
+    /// Copy `len` bytes from `src` into the MPB at `dst` (line-aligned
+    /// start; a partial final line leaves its tail bytes untouched).
+    /// `Relaxed` stores — a subsequent flag write provides the release.
+    pub fn write_bytes(&self, dst: MpbAddr, src: &[u8]) {
+        let mut off = 0usize;
+        let base = self.word_index(dst.core, dst.line(), 0);
+        while off < src.len() {
+            let word = base + off / 8;
+            let take = (src.len() - off).min(8);
+            if take == 8 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&src[off..off + 8]);
+                self.words[word].store(u64::from_le_bytes(b), Ordering::Relaxed);
+            } else {
+                // Partial tail word: read-modify-write of the low bytes.
+                let cur = self.words[word].load(Ordering::Relaxed);
+                let mut b = cur.to_le_bytes();
+                b[..take].copy_from_slice(&src[off..off + take]);
+                self.words[word].store(u64::from_le_bytes(b), Ordering::Relaxed);
+            }
+            off += take;
+        }
+    }
+
+    /// Copy `dst.len()` bytes out of the MPB at `src`. `Relaxed` loads —
+    /// the caller observed a flag with `Acquire` first.
+    pub fn read_bytes(&self, src: MpbAddr, dst: &mut [u8]) {
+        let mut off = 0usize;
+        let base = self.word_index(src.core, src.line(), 0);
+        while off < dst.len() {
+            let word = self.words[base + off / 8].load(Ordering::Relaxed).to_le_bytes();
+            let take = (dst.len() - off).min(8);
+            dst[off..off + take].copy_from_slice(&word[..take]);
+            off += take;
+        }
+    }
+
+    /// MPB-to-MPB copy through a bounce buffer (the issuing core's
+    /// "registers", exactly like the real `put`/`get`).
+    pub fn copy(&self, src: MpbAddr, dst: MpbAddr, lines: usize) {
+        let mut buf = [0u8; CACHE_LINE_BYTES];
+        for l in 0..lines {
+            self.read_bytes(src.offset(l), &mut buf);
+            self.write_bytes(dst.offset(l), &buf);
+        }
+    }
+
+    /// `Release`-store a flag value into the first word of a line.
+    pub fn flag_store(&self, dst: MpbAddr, value: FlagValue) {
+        let idx = self.word_index(dst.core, dst.line(), 0);
+        self.words[idx].store(value.0 as u64, Ordering::Release);
+    }
+
+    /// `Acquire`-load a flag value.
+    pub fn flag_load(&self, src: MpbAddr) -> FlagValue {
+        let idx = self.word_index(src.core, src.line(), 0);
+        FlagValue(self.words[idx].load(Ordering::Acquire) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        let mpb = RtMpb::new(4);
+        let data: Vec<u8> = (0..100).collect();
+        let addr = MpbAddr::new(CoreId(2), 10);
+        mpb.write_bytes(addr, &data);
+        let mut out = vec![0u8; 100];
+        mpb.read_bytes(addr, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn partial_tail_preserves_neighbors() {
+        let mpb = RtMpb::new(1);
+        let addr = MpbAddr::new(CoreId(0), 0);
+        mpb.write_bytes(addr, &[0xFF; 32]);
+        mpb.write_bytes(addr, &[1, 2, 3]); // 3-byte partial word
+        let mut out = [0u8; 32];
+        mpb.read_bytes(addr, &mut out);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert_eq!(&out[3..8], &[0xFF; 5], "tail of the word must survive");
+        assert_eq!(&out[8..], &[0xFF; 24]);
+    }
+
+    #[test]
+    fn mpb_to_mpb_copy() {
+        let mpb = RtMpb::new(3);
+        let src = MpbAddr::new(CoreId(0), 5);
+        let dst = MpbAddr::new(CoreId(2), 100);
+        mpb.write_bytes(src, &[7u8; 64]);
+        mpb.copy(src, dst, 2);
+        let mut out = [0u8; 64];
+        mpb.read_bytes(dst, &mut out);
+        assert_eq!(out, [7u8; 64]);
+    }
+
+    #[test]
+    fn flags_are_line_granular() {
+        let mpb = RtMpb::new(2);
+        mpb.flag_store(MpbAddr::new(CoreId(1), 3), FlagValue(42));
+        assert_eq!(mpb.flag_load(MpbAddr::new(CoreId(1), 3)), FlagValue(42));
+        assert_eq!(mpb.flag_load(MpbAddr::new(CoreId(1), 2)), FlagValue(0));
+        assert_eq!(mpb.flag_load(MpbAddr::new(CoreId(0), 3)), FlagValue(0));
+    }
+}

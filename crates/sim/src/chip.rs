@@ -1,0 +1,351 @@
+//! Shared state of the simulated chip: MPB and private-memory contents,
+//! and the occupancy state of every contended resource (mesh routers,
+//! MPB ports, memory controllers).
+//!
+//! Resource use follows a reservation discipline: each line transfer is
+//! simulated at its start event in global time order and books capacity
+//! on the routers, the target MPB port and (for off-chip transfers) the
+//! memory controller it touches. Resources keep a short calendar of
+//! outstanding reservations (see [`Calendar`]) so that packets arriving
+//! in an idle gap are served there instead of queueing behind a
+//! reservation made for a later instant.
+
+use crate::params::SimParams;
+use scc_hal::{CoreId, MemController, Tile, Time, MPB_BYTES_PER_CORE};
+use std::collections::VecDeque;
+
+/// Reservation calendar of a single-server resource.
+///
+/// A scalar "next free" timestamp is not enough here: a multi-stage
+/// operation simulated at event time `t` reserves resources at several
+/// instants *after* `t`, and another operation simulated next — at the
+/// same event time — may arrive at one of those resources *earlier*
+/// than an existing reservation. The calendar keeps the outstanding
+/// reservations as disjoint, start-sorted intervals and places each new
+/// request into the earliest idle gap at or after its arrival, which is
+/// exactly what the hardware's FIFO would have done.
+#[derive(Debug, Default, Clone)]
+pub struct Calendar {
+    slots: VecDeque<(Time, Time)>,
+}
+
+impl Calendar {
+    /// Reserve `service` time starting no earlier than `arrival`;
+    /// returns the service start. `prune_before` must be a lower bound
+    /// on every future arrival (the scheduler's current event time), so
+    /// intervals ending before it can be dropped.
+    pub fn reserve(&mut self, arrival: Time, service: Time, prune_before: Time) -> Time {
+        while let Some(&(_, end)) = self.slots.front() {
+            if end <= prune_before {
+                self.slots.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut t0 = arrival;
+        let mut idx = 0usize;
+        for (i, &(s, e)) in self.slots.iter().enumerate() {
+            if s >= t0 + service {
+                break; // fits entirely in the gap before this slot
+            }
+            if e > t0 {
+                t0 = e;
+            }
+            idx = i + 1;
+        }
+        self.slots.insert(idx, (t0, t0 + service));
+        t0
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Aggregate counters exposed in the run report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events popped from the queue.
+    pub events: u64,
+    /// Timed RMA operations simulated.
+    pub ops: u64,
+    /// Cache lines moved by all operations.
+    pub lines_moved: u64,
+    /// Total time spent queueing at MPB ports (summed over packets).
+    pub port_wait: Time,
+    /// Total time spent queueing inside mesh routers.
+    pub router_wait: Time,
+    /// Total time spent queueing at memory controllers.
+    pub mc_wait: Time,
+    /// Flag park/wake cycles.
+    pub parks: u64,
+    /// Total MPB-port service time booked (for utilization reports).
+    pub port_busy: Time,
+    /// Total router occupancy booked.
+    pub router_busy: Time,
+    /// Total memory-controller service time booked.
+    pub mc_busy: Time,
+}
+
+/// Mutable chip state owned by the scheduler thread.
+pub struct Chip {
+    pub params: SimParams,
+    pub num_cores: usize,
+    mem_bytes: usize,
+    /// MPB contents, `num_cores * 8 KB`, indexed by core then byte.
+    mpb: Vec<u8>,
+    /// Private off-chip memory of each core.
+    private: Vec<Vec<u8>>,
+    /// Reservation calendar per mesh router (one per tile, 24 entries).
+    routers: Vec<Calendar>,
+    /// Calendar per tile MPB port (the two cores of a tile share the
+    /// physical MPB, hence the port).
+    ports: Vec<Calendar>,
+    /// Calendar per memory controller.
+    mcs: Vec<Calendar>,
+    /// Lower bound on all future arrivals, advanced by the scheduler;
+    /// lets the calendars prune expired reservations.
+    prune_before: Time,
+    pub stats: SimStats,
+}
+
+impl Chip {
+    pub fn new(params: SimParams, num_cores: usize, mem_bytes: usize) -> Chip {
+        assert!((1..=scc_hal::NUM_CORES).contains(&num_cores));
+        Chip {
+            params,
+            num_cores,
+            mem_bytes,
+            mpb: vec![0u8; num_cores * MPB_BYTES_PER_CORE],
+            private: (0..num_cores).map(|_| vec![0u8; mem_bytes]).collect(),
+            routers: vec![Calendar::default(); 24],
+            ports: vec![Calendar::default(); 24],
+            mcs: vec![Calendar::default(); 4],
+            prune_before: Time::ZERO,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Advance the pruning horizon (called by the scheduler with its
+    /// event clock; all future arrivals are at or after it).
+    pub fn set_prune_horizon(&mut self, now: Time) {
+        self.prune_before = now;
+    }
+
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    // ---- byte storage -------------------------------------------------
+
+    pub fn mpb_slice(&self, core: CoreId, byte_off: usize, len: usize) -> &[u8] {
+        let base = core.index() * MPB_BYTES_PER_CORE + byte_off;
+        &self.mpb[base..base + len]
+    }
+
+    pub fn mpb_slice_mut(&mut self, core: CoreId, byte_off: usize, len: usize) -> &mut [u8] {
+        let base = core.index() * MPB_BYTES_PER_CORE + byte_off;
+        &mut self.mpb[base..base + len]
+    }
+
+    pub fn private_slice(&self, core: CoreId, off: usize, len: usize) -> &[u8] {
+        &self.private[core.index()][off..off + len]
+    }
+
+    pub fn private_slice_mut(&mut self, core: CoreId, off: usize, len: usize) -> &mut [u8] {
+        &mut self.private[core.index()][off..off + len]
+    }
+
+    /// Copy between an MPB region and a private-memory region in either
+    /// direction without aliasing issues (the two storages are disjoint).
+    pub fn copy_mpb_to_private(&mut self, src: CoreId, src_byte: usize, dst: CoreId, dst_off: usize, len: usize) {
+        let base = src.index() * MPB_BYTES_PER_CORE + src_byte;
+        let (mpb, private) = (&self.mpb, &mut self.private);
+        private[dst.index()][dst_off..dst_off + len].copy_from_slice(&mpb[base..base + len]);
+    }
+
+    pub fn copy_private_to_mpb(&mut self, src: CoreId, src_off: usize, dst: CoreId, dst_byte: usize, len: usize) {
+        let base = dst.index() * MPB_BYTES_PER_CORE + dst_byte;
+        let (mpb, private) = (&mut self.mpb, &self.private);
+        mpb[base..base + len].copy_from_slice(&private[src.index()][src_off..src_off + len]);
+    }
+
+    pub fn copy_mpb_to_mpb(&mut self, src: CoreId, src_byte: usize, dst: CoreId, dst_byte: usize, len: usize) {
+        let s = src.index() * MPB_BYTES_PER_CORE + src_byte;
+        let d = dst.index() * MPB_BYTES_PER_CORE + dst_byte;
+        if s == d {
+            return;
+        }
+        // Regions may belong to the same vector; use a temp copy for the
+        // (rare, small) overlapping-safe path.
+        let tmp = self.mpb[s..s + len].to_vec();
+        self.mpb[d..d + len].copy_from_slice(&tmp);
+    }
+
+    // ---- timed resources ----------------------------------------------
+
+    /// Send one packet from tile `from` to tile `to` starting at `t`;
+    /// returns the arrival time at the destination router. Charges
+    /// `L_hop` per router traversed and reserves each router for
+    /// `router_occupancy` (virtual cut-through pipelining).
+    pub fn traverse(&mut self, t: Time, from: Tile, to: Tile) -> Time {
+        let mut t = t;
+        for tile in from.xy_route(to) {
+            let start = self.routers[tile.index()].reserve(
+                t,
+                self.params.router_occupancy,
+                self.prune_before,
+            );
+            self.stats.router_wait += start - t;
+            self.stats.router_busy += self.params.router_occupancy;
+            t = start + self.params.l_hop;
+        }
+        t
+    }
+
+    /// Occupy the MPB port of `tile` for a read; returns the service
+    /// completion time.
+    pub fn port_read(&mut self, t: Time, tile: Tile) -> Time {
+        let service = self.params.mpb_port_read;
+        self.use_port(t, tile, service)
+    }
+
+    /// Occupy the MPB port of `tile` for a write.
+    pub fn port_write(&mut self, t: Time, tile: Tile) -> Time {
+        let service = self.params.mpb_port_write;
+        self.use_port(t, tile, service)
+    }
+
+    fn use_port(&mut self, t: Time, tile: Tile, service: Time) -> Time {
+        let start = self.ports[tile.index()].reserve(t, service, self.prune_before);
+        self.stats.port_wait += start - t;
+        self.stats.port_busy += service;
+        start + service
+    }
+
+    /// Occupy a memory controller for one line read/write.
+    pub fn mc_service(&mut self, t: Time, mc: MemController, write: bool) -> Time {
+        let service = if write { self.params.mc_write } else { self.params.mc_read };
+        let start = self.mcs[mc.index()].reserve(t, service, self.prune_before);
+        self.stats.mc_wait += start - t;
+        self.stats.mc_busy += service;
+        start + service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Chip {
+        Chip::new(SimParams::default(), 48, 4096)
+    }
+
+    #[test]
+    fn calendar_fills_gaps_and_prunes() {
+        let mut cal = Calendar::default();
+        let ns = Time::from_ns;
+        // First reservation: starts at arrival.
+        assert_eq!(cal.reserve(ns(100), ns(10), Time::ZERO), ns(100));
+        // A later reservation far in the future.
+        assert_eq!(cal.reserve(ns(500), ns(10), Time::ZERO), ns(500));
+        // An "earlier" arrival (same event time) slips into the idle gap
+        // between the two instead of queueing behind the 500ns slot.
+        assert_eq!(cal.reserve(ns(105), ns(10), Time::ZERO), ns(110));
+        // No gap big enough before 500: a 400ns-long request must wait.
+        assert_eq!(cal.reserve(ns(105), ns(400), Time::ZERO), ns(510));
+        // Pruning drops expired slots.
+        assert_eq!(cal.len(), 4);
+        let _ = cal.reserve(ns(2000), ns(1), ns(1500));
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn calendar_back_to_back_same_arrival() {
+        let mut cal = Calendar::default();
+        let ns = Time::from_ns;
+        assert_eq!(cal.reserve(ns(0), ns(7), Time::ZERO), ns(0));
+        assert_eq!(cal.reserve(ns(0), ns(7), Time::ZERO), ns(7));
+        assert_eq!(cal.reserve(ns(0), ns(7), Time::ZERO), ns(14));
+    }
+
+    #[test]
+    fn traverse_uncontended_charges_d_lhop() {
+        let mut c = chip();
+        let from = Tile::new(0, 0);
+        let to = Tile::new(3, 2);
+        let d = from.routing_distance(to) as u64;
+        let t1 = c.traverse(Time::ZERO, from, to);
+        assert_eq!(t1, c.params.l_hop * d);
+        assert_eq!(c.stats.router_wait, Time::ZERO);
+    }
+
+    #[test]
+    fn traverse_same_tile_is_one_router() {
+        let mut c = chip();
+        let t = c.traverse(Time::ZERO, Tile::new(2, 2), Tile::new(2, 2));
+        assert_eq!(t, c.params.l_hop);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_on_router() {
+        let mut c = chip();
+        let tile = Tile::new(1, 1);
+        let a = c.traverse(Time::ZERO, tile, tile);
+        assert_eq!(a, c.params.l_hop);
+        // Second packet issued at the same instant waits occupancy.
+        let b = c.traverse(Time::ZERO, tile, tile);
+        assert_eq!(b, c.params.router_occupancy + c.params.l_hop);
+        assert_eq!(c.stats.router_wait, c.params.router_occupancy);
+    }
+
+    #[test]
+    fn port_serializes_concurrent_accesses() {
+        let mut c = chip();
+        let tile = Tile::new(0, 0);
+        let a = c.port_read(Time::ZERO, tile);
+        let b = c.port_read(Time::ZERO, tile);
+        let s = c.params.mpb_port_read;
+        assert_eq!(a, s);
+        assert_eq!(b, s * 2);
+        assert_eq!(c.stats.port_wait, s);
+    }
+
+    #[test]
+    fn mc_serializes_and_distinguishes_read_write() {
+        let mut c = chip();
+        let mc = MemController::SouthWest;
+        let a = c.mc_service(Time::ZERO, mc, false);
+        let b = c.mc_service(Time::ZERO, mc, true);
+        assert_eq!(a, c.params.mc_read);
+        assert_eq!(b, c.params.mc_read + c.params.mc_write);
+        // Other controllers are independent.
+        let x = c.mc_service(Time::ZERO, MemController::NorthEast, false);
+        assert_eq!(x, c.params.mc_read);
+    }
+
+    #[test]
+    fn storage_is_isolated_per_core() {
+        let mut c = chip();
+        c.mpb_slice_mut(CoreId(0), 0, 4).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(c.mpb_slice(CoreId(0), 0, 4), &[1, 2, 3, 4]);
+        assert_eq!(c.mpb_slice(CoreId(1), 0, 4), &[0, 0, 0, 0]);
+
+        c.private_slice_mut(CoreId(5), 32, 2).copy_from_slice(&[9, 9]);
+        assert_eq!(c.private_slice(CoreId(5), 32, 2), &[9, 9]);
+        assert_eq!(c.private_slice(CoreId(6), 32, 2), &[0, 0]);
+    }
+
+    #[test]
+    fn cross_space_copies() {
+        let mut c = chip();
+        c.private_slice_mut(CoreId(2), 0, 3).copy_from_slice(b"abc");
+        c.copy_private_to_mpb(CoreId(2), 0, CoreId(7), 64, 3);
+        assert_eq!(c.mpb_slice(CoreId(7), 64, 3), b"abc");
+        c.copy_mpb_to_mpb(CoreId(7), 64, CoreId(3), 0, 3);
+        assert_eq!(c.mpb_slice(CoreId(3), 0, 3), b"abc");
+        c.copy_mpb_to_private(CoreId(3), 0, CoreId(3), 96, 3);
+        assert_eq!(c.private_slice(CoreId(3), 96, 3), b"abc");
+    }
+}

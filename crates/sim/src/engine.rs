@@ -1,0 +1,734 @@
+//! The conservative sequential discrete-event engine.
+//!
+//! Each simulated core runs the user's SPMD closure on its own OS
+//! thread, but exactly one thread is runnable at any instant: the
+//! scheduler wakes a core by sending it a grant and then blocks until
+//! that core either issues its next timed request or finishes. Events
+//! are ordered by `(virtual time, sequence number)`, so runs are
+//! bit-for-bit deterministic regardless of OS scheduling.
+//!
+//! Operations are *simulated* (resources reserved, completion time
+//! computed) at issue and their memory effects applied at completion —
+//! the completion time is each op's linearization point, which keeps
+//! reads, writes and flag parking globally time-ordered and makes the
+//! wake-on-write machinery race-free.
+
+use crate::chip::{Chip, SimStats};
+use crate::ops::{self, Effect, Op};
+use crate::params::SimParams;
+use crate::trace::{OpKind, OpTrace};
+use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaError, RmaResult, Time, NUM_CORES};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Configuration of a simulator run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of participating cores (`P ≤ 48`).
+    pub num_cores: usize,
+    /// Private off-chip memory per core, in bytes.
+    pub mem_bytes: usize,
+    /// Chip timing parameters.
+    pub params: SimParams,
+    /// Record an [`OpTrace`] entry per timed operation (costs memory
+    /// proportional to the op count; off by default).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_cores: NUM_CORES,
+            mem_bytes: 4 << 20,
+            params: SimParams::default(),
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn with_cores(num_cores: usize) -> SimConfig {
+        SimConfig { num_cores, ..SimConfig::default() }
+    }
+}
+
+/// Whole-run failure of a simulation.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Every unfinished core was parked on a flag nobody can write.
+    Deadlock { parked: Vec<(CoreId, usize)> },
+    /// A core thread disconnected (panicked) or the engine wedged.
+    Engine(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { parked } => {
+                write!(f, "simulation deadlock; parked: ")?;
+                for (c, l) in parked {
+                    write!(f, "{c}@line{l} ")?;
+                }
+                Ok(())
+            }
+            SimError::Engine(m) => write!(f, "engine failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a successful run.
+#[derive(Debug)]
+pub struct SimReport<R> {
+    /// Per-core return values of the SPMD closure.
+    pub results: Vec<R>,
+    /// Virtual time at which each core finished.
+    pub end_times: Vec<Time>,
+    /// Virtual time at which the last core finished.
+    pub makespan: Time,
+    /// Engine counters.
+    pub stats: SimStats,
+    /// Op-level trace, when enabled in the config.
+    pub trace: Option<Vec<OpTrace>>,
+}
+
+// ---- messages ----------------------------------------------------------
+
+enum Request {
+    Op(Op),
+    Park { line: usize },
+    Compute(Time),
+    MemWrite { offset: usize, data: Vec<u8> },
+    MemRead { offset: usize, len: usize },
+    Finish,
+}
+
+enum Grant {
+    Go { now: Time },
+    Bytes { now: Time, data: Vec<u8> },
+    Flag { now: Time, value: FlagValue },
+    Rejected(RmaError),
+    Deadlock,
+}
+
+// ---- event queue ---------------------------------------------------------
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(PartialEq, Eq)]
+enum EventKind {
+    /// Wake a core with a plain `Go` (start, compute done, park wake).
+    Resume(usize),
+    /// Advance the core's pending op by one cache line, or — once all
+    /// lines are done — apply its effects and resume the core.
+    Step(usize),
+}
+
+struct PendingOp {
+    op: Op,
+    remaining: usize,
+    issued: Time,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---- scheduler -----------------------------------------------------------
+
+struct Scheduler<'a> {
+    chip: &'a mut Chip,
+    grant_tx: Vec<Sender<Grant>>,
+    req_rx: Vec<Receiver<Request>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Time,
+    pending: Vec<Option<PendingOp>>,
+    parked: Vec<Option<usize>>,
+    finished: Vec<bool>,
+    end_times: Vec<Time>,
+    done: usize,
+    deadlocks: Vec<(CoreId, usize)>,
+    deadlock_rounds: u32,
+    trace: Option<Vec<OpTrace>>,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(
+        chip: &'a mut Chip,
+        grant_tx: Vec<Sender<Grant>>,
+        req_rx: Vec<Receiver<Request>>,
+        trace: bool,
+    ) -> Self {
+        let n = grant_tx.len();
+        Scheduler {
+            chip,
+            grant_tx,
+            req_rx,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            pending: (0..n).map(|_| None).collect(),
+            parked: vec![None; n],
+            finished: vec![false; n],
+            end_times: vec![Time::ZERO; n],
+            done: 0,
+            deadlocks: Vec::new(),
+            deadlock_rounds: 0,
+            trace: trace.then(Vec::new),
+        }
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    fn send(&self, core: usize, grant: Grant) -> Result<(), SimError> {
+        self.grant_tx[core]
+            .send(grant)
+            .map_err(|_| SimError::Engine(format!("core C{core} dropped its grant channel")))
+    }
+
+    fn run(mut self) -> Result<(Vec<Time>, Option<Vec<OpTrace>>), SimError> {
+        let n = self.grant_tx.len();
+        for i in 0..n {
+            self.push(Time::ZERO, EventKind::Resume(i));
+        }
+        while self.done < n {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                self.handle_deadlock()?;
+                continue;
+            };
+            self.chip.stats.events += 1;
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.chip.set_prune_horizon(self.now);
+            match ev.kind {
+                EventKind::Resume(i) => {
+                    self.send(i, Grant::Go { now: self.now })?;
+                    self.attend(i)?;
+                }
+                EventKind::Step(i) => {
+                    let p = self.pending[i].as_mut().expect("Step without a pending op");
+                    if p.remaining == 0 {
+                        let done = self.pending[i].take().expect("pending vanished");
+                        let op = done.op;
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.push(OpTrace {
+                                core: CoreId(i as u8),
+                                kind: OpKind::of(&op),
+                                lines: ops::total_lines(&op),
+                                start: done.issued,
+                                end: self.now,
+                            });
+                        }
+                        let grant = self.apply_and_grant(i, &op);
+                        self.send(i, grant)?;
+                        self.attend(i)?;
+                    } else {
+                        p.remaining -= 1;
+                        let op = p.op.clone();
+                        let done = ops::simulate_line(self.chip, CoreId(i as u8), &op, self.now);
+                        self.push(done, EventKind::Step(i));
+                    }
+                }
+            }
+        }
+        if self.deadlocks.is_empty() {
+            Ok((self.end_times, self.trace))
+        } else {
+            Err(SimError::Deadlock { parked: std::mem::take(&mut self.deadlocks) })
+        }
+    }
+
+    fn apply_and_grant(&mut self, core: usize, op: &Op) -> Grant {
+        match ops::apply(self.chip, CoreId(core as u8), op) {
+            Effect::None => Grant::Go { now: self.now },
+            Effect::Flag(value) => Grant::Flag { now: self.now, value },
+            Effect::Bytes(data) => Grant::Bytes { now: self.now, data },
+            Effect::Wrote(region) => {
+                // Wake every core parked on a just-written line; the
+                // wake carries the commit timestamp, and the waiter
+                // re-reads the flag before trusting it.
+                for w in 0..self.parked.len() {
+                    if let Some(line) = self.parked[w] {
+                        if region.covers(CoreId(w as u8), line) {
+                            self.parked[w] = None;
+                            self.push(self.now, EventKind::Resume(w));
+                        }
+                    }
+                }
+                Grant::Go { now: self.now }
+            }
+        }
+    }
+
+    /// Serve a core's requests until it blocks on a timed operation,
+    /// parks, or finishes.
+    fn attend(&mut self, i: usize) -> Result<(), SimError> {
+        loop {
+            let req = self.req_rx[i].recv().map_err(|_| {
+                SimError::Engine(format!("core C{i} disconnected mid-run (panicked?)"))
+            })?;
+            match req {
+                Request::Finish => {
+                    self.finished[i] = true;
+                    self.end_times[i] = self.now;
+                    self.done += 1;
+                    return Ok(());
+                }
+                Request::Compute(t) => {
+                    let at = self.now + t;
+                    self.push(at, EventKind::Resume(i));
+                    return Ok(());
+                }
+                Request::Park { line } => {
+                    if line >= scc_hal::MPB_LINES_PER_CORE {
+                        self.send(
+                            i,
+                            Grant::Rejected(RmaError::MpbOutOfRange {
+                                addr: MpbAddr::new(CoreId(i as u8), 0),
+                                lines: line,
+                            }),
+                        )?;
+                        continue;
+                    }
+                    self.chip.stats.parks += 1;
+                    self.parked[i] = Some(line);
+                    return Ok(());
+                }
+                Request::MemRead { offset, len } => {
+                    let grant = if offset + len <= self.chip.mem_bytes() {
+                        let data = self.chip.private_slice(CoreId(i as u8), offset, len).to_vec();
+                        Grant::Bytes { now: self.now, data }
+                    } else {
+                        Grant::Rejected(RmaError::MemOutOfRange {
+                            offset,
+                            len,
+                            mem_len: self.chip.mem_bytes(),
+                        })
+                    };
+                    self.send(i, grant)?;
+                }
+                Request::MemWrite { offset, data } => {
+                    let grant = if offset + data.len() <= self.chip.mem_bytes() {
+                        self.chip
+                            .private_slice_mut(CoreId(i as u8), offset, data.len())
+                            .copy_from_slice(&data);
+                        Grant::Go { now: self.now }
+                    } else {
+                        Grant::Rejected(RmaError::MemOutOfRange {
+                            offset,
+                            len: data.len(),
+                            mem_len: self.chip.mem_bytes(),
+                        })
+                    };
+                    self.send(i, grant)?;
+                }
+                Request::Op(op) => {
+                    if let Err(e) = ops::validate(self.chip, CoreId(i as u8), &op) {
+                        self.send(i, Grant::Rejected(e))?;
+                        continue;
+                    }
+                    self.chip.stats.ops += 1;
+                    let overhead = ops::op_overhead(self.chip, &op);
+                    let remaining = ops::total_lines(&op);
+                    self.pending[i] = Some(PendingOp { op, remaining, issued: self.now });
+                    self.push(self.now + overhead, EventKind::Step(i));
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Queue empty but cores unfinished: everyone left is parked on a
+    /// flag that no scheduled op will ever write. Abort their waits.
+    fn handle_deadlock(&mut self) -> Result<(), SimError> {
+        self.deadlock_rounds += 1;
+        if self.deadlock_rounds > 100 {
+            return Err(SimError::Engine(
+                "livelock: cores keep re-parking after deadlock notification".into(),
+            ));
+        }
+        let victims: Vec<usize> = (0..self.parked.len())
+            .filter(|&i| self.parked[i].is_some())
+            .collect();
+        if victims.is_empty() {
+            return Err(SimError::Engine(
+                "scheduler stalled: queue empty, cores unfinished, none parked".into(),
+            ));
+        }
+        for v in victims {
+            let line = self.parked[v].take().expect("victim must be parked");
+            self.deadlocks.push((CoreId(v as u8), line));
+            self.send(v, Grant::Deadlock)?;
+            self.attend(v)?;
+        }
+        Ok(())
+    }
+}
+
+// ---- the per-core handle ---------------------------------------------------
+
+/// The [`Rma`] endpoint handed to the SPMD closure for one simulated
+/// core. All methods communicate with the scheduler thread; virtual
+/// time advances only through timed operations.
+pub struct SimCore {
+    id: CoreId,
+    num_cores: usize,
+    mem_bytes: usize,
+    now: Cell<Time>,
+    parked_line: Cell<usize>,
+    tx: Sender<Request>,
+    rx: Receiver<Grant>,
+}
+
+impl SimCore {
+    fn rpc(&self, req: Request) -> RmaResult<Grant> {
+        self.tx
+            .send(req)
+            .map_err(|_| RmaError::Engine("scheduler gone".into()))?;
+        match self.rx.recv() {
+            Ok(Grant::Rejected(e)) => Err(e),
+            Ok(Grant::Deadlock) => Err(RmaError::Deadlock {
+                core: self.id,
+                line: self.parked_line.get(),
+            }),
+            Ok(g) => {
+                match &g {
+                    Grant::Go { now } | Grant::Bytes { now, .. } | Grant::Flag { now, .. } => {
+                        self.now.set(*now)
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(g)
+            }
+            Err(_) => Err(RmaError::Engine("scheduler gone".into())),
+        }
+    }
+
+    fn op(&self, op: Op) -> RmaResult<Grant> {
+        self.rpc(Request::Op(op))
+    }
+
+    fn wait_start(&self) -> RmaResult<()> {
+        match self.rx.recv() {
+            Ok(Grant::Go { now }) => {
+                self.now.set(now);
+                Ok(())
+            }
+            _ => Err(RmaError::Engine("no start grant".into())),
+        }
+    }
+
+    fn finish(&self) {
+        // Ignore send failure: if the scheduler is gone the run already
+        // failed and the error surfaced elsewhere.
+        let _ = self.tx.send(Request::Finish);
+    }
+}
+
+impl Rma for SimCore {
+    fn core(&self) -> CoreId {
+        self.id
+    }
+
+    fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    fn now(&self) -> Time {
+        self.now.get()
+    }
+
+    fn mem_len(&self) -> usize {
+        self.mem_bytes
+    }
+
+    fn put_from_mem(&mut self, src: MemRange, dst: MpbAddr) -> RmaResult<()> {
+        self.op(Op::PutFromMem { src, dst, cached: false }).map(drop)
+    }
+
+    fn put_from_mpb(&mut self, src_line: usize, dst: MpbAddr, lines: usize) -> RmaResult<()> {
+        self.op(Op::PutFromMpb { src_line, dst, lines }).map(drop)
+    }
+
+    fn put_from_mem_cached(&mut self, src: MemRange, dst: MpbAddr) -> RmaResult<()> {
+        self.op(Op::PutFromMem { src, dst, cached: true }).map(drop)
+    }
+
+    fn get_to_mem(&mut self, src: MpbAddr, dst: MemRange) -> RmaResult<()> {
+        self.op(Op::GetToMem { src, dst }).map(drop)
+    }
+
+    fn get_to_mpb(&mut self, src: MpbAddr, dst_line: usize, lines: usize) -> RmaResult<()> {
+        self.op(Op::GetToMpb { src, dst_line, lines }).map(drop)
+    }
+
+    fn flag_put(&mut self, dst: MpbAddr, value: FlagValue) -> RmaResult<()> {
+        self.op(Op::FlagPut { dst, value }).map(drop)
+    }
+
+    fn flag_read_local(&mut self, line: usize) -> RmaResult<FlagValue> {
+        match self.op(Op::ReadLine { line })? {
+            Grant::Flag { value, .. } => Ok(value),
+            _ => Err(RmaError::Engine("flag read returned no value".into())),
+        }
+    }
+
+    fn flag_wait_local(
+        &mut self,
+        line: usize,
+        pred: &mut dyn FnMut(FlagValue) -> bool,
+    ) -> RmaResult<FlagValue> {
+        loop {
+            let v = self.flag_read_local(line)?;
+            if pred(v) {
+                return Ok(v);
+            }
+            self.parked_line.set(line);
+            self.rpc(Request::Park { line })?;
+        }
+    }
+
+    fn mem_write(&mut self, offset: usize, data: &[u8]) -> RmaResult<()> {
+        self.rpc(Request::MemWrite { offset, data: data.to_vec() }).map(drop)
+    }
+
+    fn mem_read(&self, offset: usize, buf: &mut [u8]) -> RmaResult<()> {
+        match self.rpc(Request::MemRead { offset, len: buf.len() })? {
+            Grant::Bytes { data, .. } => {
+                buf.copy_from_slice(&data);
+                Ok(())
+            }
+            _ => Err(RmaError::Engine("memory read returned no bytes".into())),
+        }
+    }
+
+    fn compute(&mut self, t: Time) {
+        // Plain time passage cannot fail except on engine teardown,
+        // where the error will surface on the next fallible call.
+        let _ = self.rpc(Request::Compute(t));
+    }
+}
+
+/// Run `f` as an SPMD program on the simulated chip: one invocation per
+/// core, all starting at virtual time zero. Returns when every core's
+/// closure has returned.
+///
+/// The run is fully deterministic: same config and same (per-core
+/// deterministic) closure ⇒ identical report, independent of host
+/// scheduling.
+pub fn run_spmd<R, F>(cfg: &SimConfig, f: F) -> Result<SimReport<R>, SimError>
+where
+    R: Send,
+    F: Fn(&mut SimCore) -> R + Send + Sync,
+{
+    let n = cfg.num_cores;
+    assert!((1..=NUM_CORES).contains(&n), "num_cores must be in 1..=48");
+    let mut chip = Chip::new(cfg.params, n, cfg.mem_bytes);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut grant_txs = Vec::with_capacity(n);
+        let mut req_rxs = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for i in 0..n {
+            let (gtx, grx) = channel::<Grant>();
+            let (rtx, rrx) = channel::<Request>();
+            grant_txs.push(gtx);
+            req_rxs.push(rrx);
+            let mem_bytes = cfg.mem_bytes;
+            joins.push(s.spawn(move || -> Option<R> {
+                let mut core = SimCore {
+                    id: CoreId(i as u8),
+                    num_cores: n,
+                    mem_bytes,
+                    now: Cell::new(Time::ZERO),
+                    parked_line: Cell::new(0),
+                    tx: rtx,
+                    rx: grx,
+                };
+                core.wait_start().ok()?;
+                let r = f(&mut core);
+                core.finish();
+                Some(r)
+            }));
+        }
+
+        let sched_result = Scheduler::new(&mut chip, grant_txs, req_rxs, cfg.trace).run();
+
+        let mut results = Vec::with_capacity(n);
+        for j in joins {
+            match j.join() {
+                Ok(Some(r)) => results.push(r),
+                Ok(None) => {}
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        let (end_times, trace) = sched_result?;
+        if results.len() != n {
+            return Err(SimError::Engine("some cores never started".into()));
+        }
+        let makespan = end_times.iter().copied().fold(Time::ZERO, Time::max);
+        Ok(SimReport { results, end_times, makespan, stats: chip.stats.clone(), trace })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::RmaExt;
+
+    #[test]
+    fn trivial_run_finishes_at_time_zero() {
+        let cfg = SimConfig { num_cores: 4, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| c.core().index()).unwrap();
+        assert_eq!(rep.results, vec![0, 1, 2, 3]);
+        assert_eq!(rep.makespan, Time::ZERO);
+    }
+
+    #[test]
+    fn single_op_advances_virtual_time_exactly() {
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            if c.core().index() == 0 {
+                c.put_from_mpb(0, MpbAddr::new(CoreId(1), 0), 4).unwrap();
+            }
+            c.now()
+        })
+        .unwrap();
+        // C_put_mpb(4, 1) = 0.069 + 4·(0.136 + 0.136) µs = 1.157 µs.
+        assert_eq!(rep.results[0], Time::from_ns(69 + 4 * (136 + 136)));
+        assert_eq!(rep.results[1], Time::ZERO);
+    }
+
+    #[test]
+    fn flag_handoff_moves_data_between_cores() {
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let msg = b"on-chip hello";
+        let rep = run_spmd(&cfg, move |c| -> RmaResult<Vec<u8>> {
+            if c.core().index() == 0 {
+                c.mem_write(0, msg)?;
+                // Stage into own MPB (line 1..), then signal core 1.
+                c.put_from_mem(MemRange::new(0, msg.len()), MpbAddr::new(CoreId(0), 1))?;
+                c.flag_put(MpbAddr::new(CoreId(1), 0), FlagValue(7))?;
+                Ok(Vec::new())
+            } else {
+                c.flag_wait_eq(0, FlagValue(7))?;
+                c.get_to_mem(MpbAddr::new(CoreId(0), 1), MemRange::new(64, msg.len()))?;
+                c.mem_to_vec(MemRange::new(64, msg.len()))
+            }
+        })
+        .unwrap();
+        let got = rep.results[1].as_ref().unwrap();
+        assert_eq!(got.as_slice(), msg);
+        // The receiver must finish after the sender's data put started.
+        assert!(rep.end_times[1] > rep.end_times[0].saturating_sub(Time::US));
+    }
+
+    #[test]
+    fn deadlock_detected_and_reported() {
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let err = run_spmd(&cfg, |c| -> RmaResult<()> {
+            if c.core().index() == 1 {
+                // Nobody ever writes this flag.
+                c.flag_wait_eq(3, FlagValue(1))?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { parked } => {
+                assert_eq!(parked, vec![(CoreId(1), 3)]);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejected_op_reports_error_without_advancing_time() {
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            let e = c.get_to_mpb(MpbAddr::new(CoreId(0), 250), 0, 20).unwrap_err();
+            assert!(matches!(e, RmaError::MpbOutOfRange { .. }));
+            c.now()
+        })
+        .unwrap();
+        assert_eq!(rep.results[0], Time::ZERO);
+    }
+
+    #[test]
+    fn compute_advances_time_without_touching_resources() {
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            c.compute(Time::from_us_f64(2.5));
+            c.now()
+        })
+        .unwrap();
+        assert_eq!(rep.results[0], Time::from_us_f64(2.5));
+        assert_eq!(rep.stats.ops, 0);
+    }
+
+    #[test]
+    fn determinism_same_program_same_trace() {
+        let cfg = SimConfig { num_cores: 8, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let prog = |c: &mut SimCore| -> Time {
+            let me = c.core().index();
+            let next = CoreId(((me + 1) % 8) as u8);
+            for round in 1..=5u32 {
+                c.flag_put(MpbAddr::new(next, 1), FlagValue(round)).unwrap();
+                c.flag_wait_ge(1, FlagValue(round)).unwrap();
+            }
+            c.now()
+        };
+        let a = run_spmd(&cfg, prog).unwrap();
+        let b = run_spmd(&cfg, prog).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.end_times, b.end_times);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.makespan > Time::ZERO);
+    }
+
+    #[test]
+    fn mem_rw_is_untimed_and_isolated() {
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            c.mem_write(0, &[c.core().0 + 1; 8]).unwrap();
+            let mut buf = [0u8; 8];
+            c.mem_read(0, &mut buf).unwrap();
+            (c.now(), buf)
+        })
+        .unwrap();
+        assert_eq!(rep.results[0], (Time::ZERO, [1u8; 8]));
+        assert_eq!(rep.results[1], (Time::ZERO, [2u8; 8]));
+    }
+
+    #[test]
+    fn oversized_mem_access_rejected() {
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 64, params: SimParams::default(), ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            let e = c.mem_write(60, &[0u8; 8]).unwrap_err();
+            matches!(e, RmaError::MemOutOfRange { .. })
+        })
+        .unwrap();
+        assert!(rep.results[0]);
+    }
+}

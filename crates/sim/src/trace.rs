@@ -1,0 +1,179 @@
+//! Optional op-level tracing: when enabled in [`crate::SimConfig`],
+//! every timed RMA operation is recorded with its issue and completion
+//! times, giving a per-core timeline of the collective — the tool used
+//! to debug the protocols in this repository and to illustrate the
+//! pipeline in the `gantt` binary.
+
+use crate::ops::Op;
+use scc_hal::{CoreId, Time};
+use std::fmt;
+
+/// Coarse classification of a traced operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    PutFromMem,
+    PutFromMpb,
+    GetToMem,
+    GetToMpb,
+    FlagPut,
+    FlagRead,
+}
+
+impl OpKind {
+    pub fn of(op: &Op) -> OpKind {
+        match op {
+            Op::PutFromMem { .. } => OpKind::PutFromMem,
+            Op::PutFromMpb { .. } => OpKind::PutFromMpb,
+            Op::GetToMem { .. } => OpKind::GetToMem,
+            Op::GetToMpb { .. } => OpKind::GetToMpb,
+            Op::FlagPut { .. } => OpKind::FlagPut,
+            Op::ReadLine { .. } => OpKind::FlagRead,
+        }
+    }
+
+    pub fn short(&self) -> &'static str {
+        match self {
+            OpKind::PutFromMem => "PUTm",
+            OpKind::PutFromMpb => "PUTb",
+            OpKind::GetToMem => "GETm",
+            OpKind::GetToMpb => "GETb",
+            OpKind::FlagPut => "FLAG",
+            OpKind::FlagRead => "POLL",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+/// One traced operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpTrace {
+    pub core: CoreId,
+    pub kind: OpKind,
+    pub lines: usize,
+    pub start: Time,
+    pub end: Time,
+}
+
+/// Per-core, per-kind aggregate of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// `(ops, lines, busy time)` per kind, indexed per core.
+    pub per_core: Vec<CoreSummary>,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct CoreSummary {
+    pub ops: usize,
+    pub lines: usize,
+    pub busy: Time,
+    pub polling: Time,
+}
+
+/// Aggregate a trace into per-core totals.
+pub fn summarize(trace: &[OpTrace], num_cores: usize) -> TraceSummary {
+    let mut per_core = vec![CoreSummary::default(); num_cores];
+    for t in trace {
+        let s = &mut per_core[t.core.index()];
+        s.ops += 1;
+        s.lines += t.lines;
+        s.busy += t.end - t.start;
+        if t.kind == OpKind::FlagRead {
+            s.polling += t.end - t.start;
+        }
+    }
+    TraceSummary { per_core }
+}
+
+/// Render a fixed-width text Gantt chart of the trace: one row per
+/// core, `width` character cells spanning `[0, horizon]`, each cell
+/// showing the op that was active (last-writer-wins within a cell).
+pub fn render_gantt(trace: &[OpTrace], num_cores: usize, width: usize) -> String {
+    assert!(width >= 10);
+    let horizon = trace.iter().map(|t| t.end).fold(Time::ZERO, Time::max);
+    if horizon == Time::ZERO {
+        return String::from("(empty trace)\n");
+    }
+    let mut rows = vec![vec![b'.'; width]; num_cores];
+    for t in trace {
+        let a = (t.start.as_ps() as u128 * width as u128 / horizon.as_ps() as u128) as usize;
+        let b = (t.end.as_ps() as u128 * width as u128 / horizon.as_ps() as u128) as usize;
+        let glyph = match t.kind {
+            OpKind::PutFromMem => b'P',
+            OpKind::PutFromMpb => b'p',
+            OpKind::GetToMem => b'G',
+            OpKind::GetToMpb => b'g',
+            OpKind::FlagPut => b'f',
+            OpKind::FlagRead => b'.', // polls are idle time, keep quiet
+        };
+        if glyph == b'.' {
+            continue;
+        }
+        for cell in rows[t.core.index()].iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time 0 .. {horizon}  (P=put mem→MPB, p=put MPB→MPB, G=get→mem, g=get→MPB, f=flag)\n"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("C{i:<2} |{}|\n", String::from_utf8_lossy(row)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(core: u8, kind: OpKind, start: u64, end: u64) -> OpTrace {
+        OpTrace {
+            core: CoreId(core),
+            kind,
+            lines: 1,
+            start: Time::from_ns(start),
+            end: Time::from_ns(end),
+        }
+    }
+
+    #[test]
+    fn summary_totals() {
+        let trace = vec![
+            t(0, OpKind::PutFromMem, 0, 100),
+            t(0, OpKind::FlagPut, 100, 120),
+            t(1, OpKind::FlagRead, 0, 50),
+            t(1, OpKind::GetToMpb, 50, 200),
+        ];
+        let s = summarize(&trace, 2);
+        assert_eq!(s.per_core[0].ops, 2);
+        assert_eq!(s.per_core[0].busy, Time::from_ns(120));
+        assert_eq!(s.per_core[0].polling, Time::ZERO);
+        assert_eq!(s.per_core[1].polling, Time::from_ns(50));
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_glyphs() {
+        let trace = vec![
+            t(0, OpKind::PutFromMem, 0, 500),
+            t(1, OpKind::GetToMpb, 500, 1000),
+        ];
+        let g = render_gantt(&trace, 2, 20);
+        assert!(g.contains('P'), "{g}");
+        assert!(g.contains('g'), "{g}");
+        // Core 0 is busy in the first half only.
+        let c0 = g.lines().find(|l| l.starts_with("C0")).unwrap();
+        let cells = &c0[c0.find('|').unwrap() + 1..c0.rfind('|').unwrap()];
+        assert_eq!(cells.len(), 20, "{g}");
+        assert!(cells[..10].contains('P') && !cells[10..].contains('P'), "{g}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(render_gantt(&[], 4, 20), "(empty trace)\n");
+    }
+}

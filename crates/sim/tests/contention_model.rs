@@ -1,0 +1,29 @@
+//! Cross-check: the closed-queueing contention model of `scc-model`
+//! brackets the simulator's measured Figure-4 curve.
+
+use scc_model::ClosedQueue;
+use scc_sim::{measure_contention, SimConfig, SimParams};
+
+#[test]
+fn closed_queueing_model_matches_simulator() {
+    let cfg = SimConfig { num_cores: 48, mem_bytes: 64 * 1024, params: SimParams::default(), ..SimConfig::default() };
+    let q = ClosedQueue::get_scenario(128, 9.0, 0.010, 0.126, 0.005);
+    for n in [1usize, 8, 16, 24, 32, 40, 47] {
+        let v = measure_contention(&cfg, n, 128, false, 2).expect("sim");
+        let avg = v.iter().map(|t| t.as_us_f64()).sum::<f64>() / v.len() as f64;
+        let (lo, hi) = q.cycle_bounds_us(n);
+        // The accessors sit at mixed distances (the model's d = 9 is
+        // the single-accessor worst case), so allow the measured mean
+        // to undershoot the lower bound by the distance spread (~12%).
+        assert!(
+            avg >= lo * 0.85 && avg <= hi * 1.05,
+            "n={n}: measured {avg:.1} outside model bounds [{lo:.1}, {hi:.1}]"
+        );
+        // The point estimate tracks the measurement within 20%.
+        let est = q.cycle_estimate_us(n);
+        assert!(
+            (avg / est - 1.0).abs() < 0.20,
+            "n={n}: measured {avg:.1} vs estimate {est:.1}"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Monte-Carlo π with the MPI-flavoured facade (`scc-mpi`) on the
+//! simulated chip — the paper's Section 7 end state: applications
+//! programmed against familiar verbs, collectives running on RMA.
+//!
+//! Rank 0 broadcasts the experiment configuration, every rank samples
+//! its share of points, an allreduce sums the hits, and everyone
+//! computes the same estimate.
+//!
+//! Run: `cargo run --release --example mpi_pi`
+
+use scc_hal::{MemRange, Rma, RmaResult, Time};
+use scc_mpi::{Communicator, ReduceOp};
+use scc_sim::{run_spmd, SimConfig};
+
+const P: usize = 48;
+const SAMPLES_PER_RANK: u64 = 20_000;
+
+fn main() {
+    let cfg = SimConfig { num_cores: P, mem_bytes: 1 << 16, ..SimConfig::default() };
+    let report = run_spmd(&cfg, |c| -> RmaResult<f64> {
+        let mut comm = Communicator::new(P).expect("MPB layout");
+        let me = comm.rank(c);
+
+        // Rank 0 decides the run configuration (seed + samples).
+        if me == 0 {
+            let mut blob = [0u8; 16];
+            blob[..8].copy_from_slice(&0xC0FFEE_u64.to_le_bytes());
+            blob[8..].copy_from_slice(&SAMPLES_PER_RANK.to_le_bytes());
+            c.mem_write(0, &blob)?;
+        }
+        comm.bcast(c, 0, MemRange::new(0, 16))?;
+        let mut blob = [0u8; 16];
+        c.mem_read(0, &mut blob)?;
+        let seed = u64::from_le_bytes(blob[..8].try_into().expect("8B"));
+        let samples = u64::from_le_bytes(blob[8..].try_into().expect("8B"));
+
+        // Local sampling (xorshift; charged as compute time).
+        let mut state = seed ^ ((me as u64 + 1) * 0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut hits = 0u64;
+        for _ in 0..samples {
+            let x = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            let y = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        c.compute(Time::from_ns(20 * samples));
+
+        // Global sum, visible everywhere.
+        c.mem_write(32, &hits.to_le_bytes())?;
+        comm.allreduce(c, MemRange::new(32, 8), ReduceOp::Sum)?;
+        let mut b = [0u8; 8];
+        c.mem_read(32, &mut b)?;
+        let total_hits = u64::from_le_bytes(b);
+        Ok(4.0 * total_hits as f64 / (samples * P as u64) as f64)
+    })
+    .expect("simulation");
+
+    let estimates: Vec<f64> = report.results.into_iter().map(|r| r.expect("rank")).collect();
+    let pi = estimates[0];
+    assert!(
+        estimates.iter().all(|e| (e - pi).abs() < 1e-12),
+        "allreduce must give every rank the same estimate"
+    );
+    println!(
+        "π ≈ {pi:.5} from {} samples across {P} ranks (error {:+.5})",
+        SAMPLES_PER_RANK * P as u64,
+        pi - std::f64::consts::PI
+    );
+    println!("virtual makespan: {}", report.makespan);
+    assert!((pi - std::f64::consts::PI).abs() < 0.01);
+}

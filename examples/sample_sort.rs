@@ -1,0 +1,180 @@
+//! Parallel sample sort on the simulated SCC — the classic
+//! all-to-all-heavy SPMD kernel, exercising the one-sided personalized
+//! collectives (`OnesidedGroup`) together with OC-Bcast:
+//!
+//! 1. every core sorts its local keys and contributes samples
+//!    (gather to core 0);
+//! 2. core 0 selects `P − 1` splitters and OC-broadcasts them;
+//! 3. cores partition their keys and exchange buckets with the
+//!    one-sided all-to-all;
+//! 4. cores merge their received buckets; core 0 verifies the global
+//!    order with a final gather of per-core summaries.
+//!
+//! Run: `cargo run --release --example sample_sort`
+
+use oc_bcast::alltoall::OnesidedGroup;
+use oc_bcast::scatter_allgather::slice_range;
+use oc_bcast::{OcBcast, OcConfig};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, SimConfig};
+
+const P: usize = 16;
+const KEYS_PER_CORE: usize = 512;
+const SAMPLES_PER_CORE: usize = 8;
+/// Bucket capacity in keys (4× the expected share, comfortably above
+/// the w.h.p. bound for uniform keys).
+const BUCKET_CAP: usize = 4 * KEYS_PER_CORE / P;
+
+/// Per-slice byte layout: an 8-byte count then `BUCKET_CAP` keys,
+/// rounded up to cache lines.
+const SLICE_BYTES: usize = (8 + BUCKET_CAP * 8).div_ceil(32) * 32;
+
+// Private-memory layout (all 32-aligned).
+const SAMPLES_OFF: usize = 0; // P * SAMPLES_PER_CORE * 8 gathered here
+const SPLITTERS_OFF: usize = 8192;
+const SEND_OFF: usize = 16384;
+const RECV_OFF: usize = SEND_OFF + P * SLICE_BYTES + 64 * 32;
+const SUMMARY_OFF: usize = RECV_OFF + P * SLICE_BYTES + 64 * 32;
+
+fn keys_for(core: usize) -> Vec<u64> {
+    let mut state = (core as u64 + 7) * 0x2545_F491_4F6C_DD1D;
+    (0..KEYS_PER_CORE)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = SimConfig { num_cores: P, mem_bytes: 1 << 20, ..SimConfig::default() };
+    let report = run_spmd(&cfg, |c| -> RmaResult<(u64, u64, u64)> {
+        let me = c.core().index();
+        let mut alloc = MpbAllocator::new();
+        let mut group = OnesidedGroup::new(&mut alloc, P, 80).expect("group ctx");
+        let mut bcast = OcBcast::new(
+            &mut alloc,
+            OcConfig { chunk_lines: 20, ..OcConfig::default() },
+        )
+        .expect("bcast ctx");
+
+        // 1. Local sort + samples.
+        let mut keys = keys_for(me);
+        keys.sort_unstable();
+        c.compute(Time::from_ns(30 * KEYS_PER_CORE as u64)); // ~n log n fixed-cost sort
+
+        let sample_area = MemRange::new(SAMPLES_OFF, P * SAMPLES_PER_CORE * 8);
+        let mine = slice_range(sample_area, P, me);
+        let samples: Vec<u8> = (0..SAMPLES_PER_CORE)
+            .flat_map(|i| keys[i * KEYS_PER_CORE / SAMPLES_PER_CORE + KEYS_PER_CORE / (2 * SAMPLES_PER_CORE)].to_le_bytes())
+            .collect();
+        c.mem_write(mine.offset, &samples[..mine.len.min(samples.len())])?;
+        group.gather(c, CoreId(0), sample_area)?;
+
+        // 2. Core 0 picks splitters, broadcast.
+        if me == 0 {
+            let mut all = vec![0u8; sample_area.len];
+            c.mem_read(SAMPLES_OFF, &mut all)?;
+            let mut vals: Vec<u64> = all
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
+                .collect();
+            vals.sort_unstable();
+            let splitters: Vec<u8> = (1..P)
+                .flat_map(|j| vals[j * vals.len() / P].to_le_bytes())
+                .collect();
+            c.mem_write(SPLITTERS_OFF, &splitters)?;
+            c.compute(Time::from_ns(vals.len() as u64 * 25));
+        }
+        let splitter_range = MemRange::new(SPLITTERS_OFF, (P - 1) * 8);
+        bcast.bcast(c, CoreId(0), splitter_range)?;
+        let mut raw = vec![0u8; (P - 1) * 8];
+        c.mem_read(SPLITTERS_OFF, &mut raw)?;
+        let splitters: Vec<u64> = raw
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
+            .collect();
+
+        // 3. Partition into buckets and pack send slices.
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); P];
+        for &k in &keys {
+            let b = splitters.partition_point(|&s| s <= k);
+            buckets[b].push(k);
+        }
+        c.compute(Time::from_ns(12 * KEYS_PER_CORE as u64));
+        let send = MemRange::new(SEND_OFF, P * SLICE_BYTES);
+        let recv = MemRange::new(RECV_OFF, P * SLICE_BYTES);
+        for (j, bucket) in buckets.iter().enumerate() {
+            assert!(bucket.len() <= BUCKET_CAP, "bucket overflow: {}", bucket.len());
+            let s = slice_range(send, P, j);
+            let mut blob = Vec::with_capacity(SLICE_BYTES);
+            blob.extend_from_slice(&(bucket.len() as u64).to_le_bytes());
+            for k in bucket {
+                blob.extend_from_slice(&k.to_le_bytes());
+            }
+            c.mem_write(s.offset, &blob)?;
+        }
+        group.alltoall(c, send, recv)?;
+
+        // 4. Unpack + merge.
+        let mut merged = Vec::new();
+        for j in 0..P {
+            let s = slice_range(recv, P, j);
+            let mut head = [0u8; 8];
+            c.mem_read(s.offset, &mut head)?;
+            let count = u64::from_le_bytes(head) as usize;
+            let mut body = vec![0u8; count * 8];
+            c.mem_read(s.offset + 8, &mut body)?;
+            merged.extend(body.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8B"))));
+        }
+        merged.sort_unstable();
+        c.compute(Time::from_ns(30 * merged.len().max(1) as u64));
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+
+        // 5. Summary gather for global verification at core 0.
+        let summary = MemRange::new(SUMMARY_OFF, P * 32);
+        let s = slice_range(summary, P, me);
+        let (lo, hi) = (
+            merged.first().copied().unwrap_or(u64::MAX),
+            merged.last().copied().unwrap_or(0),
+        );
+        let mut blob = [0u8; 32];
+        blob[..8].copy_from_slice(&lo.to_le_bytes());
+        blob[8..16].copy_from_slice(&hi.to_le_bytes());
+        blob[16..24].copy_from_slice(&(merged.len() as u64).to_le_bytes());
+        c.mem_write(s.offset, &blob)?;
+        group.gather(c, CoreId(0), summary)?;
+
+        if me == 0 {
+            let mut all = vec![0u8; summary.len];
+            c.mem_read(SUMMARY_OFF, &mut all)?;
+            let mut total = 0u64;
+            let mut prev_hi = 0u64;
+            for j in 0..P {
+                let rec = &all[j * 32..];
+                let lo = u64::from_le_bytes(rec[..8].try_into().expect("8B"));
+                let hi = u64::from_le_bytes(rec[8..16].try_into().expect("8B"));
+                let n = u64::from_le_bytes(rec[16..24].try_into().expect("8B"));
+                if n > 0 {
+                    assert!(lo >= prev_hi, "partitions out of order at core {j}");
+                    prev_hi = hi;
+                }
+                total += n;
+            }
+            assert_eq!(total as usize, P * KEYS_PER_CORE, "keys lost or duplicated");
+        }
+        Ok((lo, hi, merged.len() as u64))
+    })
+    .expect("simulation");
+
+    let counts: Vec<u64> = report.results.iter().map(|r| r.as_ref().expect("core").2).collect();
+    println!(
+        "sample sort of {} keys across {P} cores: globally ordered, counts {:?}",
+        P * KEYS_PER_CORE,
+        counts
+    );
+    println!("virtual makespan: {}", report.makespan);
+}

@@ -1,0 +1,48 @@
+//! Tune the tree degree `k` for hypothetical future many-core chips
+//! with the analytical model — the paper's motivating scenario
+//! ("chips with hundreds if not thousands of cores will be available",
+//! Section 1), applied beyond the 48-core SCC.
+//!
+//! For each chip size the example prints the latency-optimal `k` for a
+//! small and a medium message, the tree depth it induces, and the
+//! latency landscape around the optimum.
+//!
+//! Run: `cargo run --release --example tune_k`
+
+use scc_model::bcast::{oc_latency_full, tree_depth, FullModelCfg};
+use scc_model::series::best_k;
+use scc_model::ModelParams;
+
+fn main() {
+    let params = ModelParams::paper();
+    let cfg = FullModelCfg::default();
+
+    println!("latency-optimal OC-Bcast tree degree (Table-1 parameters, contention-free model)");
+    println!(
+        "{:>6} {:>10} {:>8} {:>7} {:>12}",
+        "P", "msg (CL)", "best k", "depth", "latency (µs)"
+    );
+    for p in [48usize, 128, 256, 512, 1024] {
+        for m in [1usize, 96] {
+            let (k, lat) = best_k(&params, &cfg, p, m);
+            println!(
+                "{p:>6} {m:>10} {k:>8} {:>7} {lat:>12.2}",
+                tree_depth(p, k)
+            );
+        }
+    }
+    println!();
+
+    // The landscape for the paper's chip: why k = 7 is a good choice.
+    println!("latency landscape at P = 48 (µs):");
+    println!("{:>6} {:>10} {:>10} {:>8}", "k", "1 CL", "96 CL", "depth");
+    for k in [2usize, 3, 4, 5, 6, 7, 8, 12, 16, 24, 47] {
+        let l1 = oc_latency_full(&params, &cfg, 48, 1, k);
+        let l96 = oc_latency_full(&params, &cfg, 48, 96, k);
+        println!("{k:>6} {l1:>10.2} {l96:>10.2} {:>8}", tree_depth(48, k));
+    }
+    println!();
+    println!("note: the model is contention-free; the paper caps useful k at ~24");
+    println!("concurrent MPB accessors (Section 3.3) and picks k = 7 as the");
+    println!("latency/throughput/contention trade-off.");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration matrix: every broadcast algorithm × both
+//! execution engines × message sizes × core counts × sources, always
+//! verifying payload content at every core.
+
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, MemRange, Rma, RmaExt, RmaResult};
+use scc_rcce::MpbAllocator;
+
+fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(131).wrapping_add(seed)).collect()
+}
+
+/// The SPMD body shared by both engines.
+fn body<R: Rma>(c: &mut R, alg: Algorithm, root: u8, msg: &[u8]) -> RmaResult<Vec<u8>> {
+    let mut alloc = MpbAllocator::new();
+    let mut b = Broadcaster::new(&mut alloc, alg, c.num_cores())
+        .map_err(|e| scc_hal::RmaError::Engine(e.to_string()))?;
+    let r = MemRange::new(0, msg.len());
+    if c.core() == CoreId(root) {
+        c.mem_write(0, msg)?;
+    }
+    b.bcast(c, CoreId(root), r)?;
+    c.mem_to_vec(r)
+}
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::oc_default(),
+        Algorithm::oc_with_k(2),
+        Algorithm::oc_with_k(47),
+        Algorithm::Binomial,
+        Algorithm::ScatterAllgather,
+    ]
+}
+
+fn check_sim(p: usize, alg: Algorithm, root: u8, len: usize) {
+    let msg = pattern(len, root.wrapping_add(p as u8));
+    let expect = msg.clone();
+    let cfg = scc_sim::SimConfig { num_cores: p, mem_bytes: 1 << 20, ..Default::default() };
+    let rep = scc_sim::run_spmd(&cfg, move |c| body(c, alg, root, &msg))
+        .unwrap_or_else(|e| panic!("sim p={p} {} root={root} len={len}: {e}", alg.label()));
+    for (i, r) in rep.results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("core result"),
+            &expect,
+            "sim core {i}: p={p} {} root={root} len={len}",
+            alg.label()
+        );
+    }
+}
+
+fn check_rt(p: usize, alg: Algorithm, root: u8, len: usize) {
+    let msg = pattern(len, root.wrapping_mul(3));
+    let expect = msg.clone();
+    let cfg = scc_rt::RtConfig { num_cores: p, mem_bytes: 1 << 20 };
+    let rep = scc_rt::run_spmd(&cfg, move |c| body(c, alg, root, &msg)).expect("rt run");
+    for (i, r) in rep.results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("core result"),
+            &expect,
+            "rt core {i}: p={p} {} root={root} len={len}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn sim_all_algorithms_all_sizes() {
+    for alg in algorithms() {
+        for len in [1usize, 31, 32, 33, 96 * 32, 97 * 32, 3 * 96 * 32 + 5] {
+            check_sim(12, alg, 0, len);
+        }
+    }
+}
+
+#[test]
+fn sim_full_chip() {
+    for alg in algorithms() {
+        check_sim(48, alg, 0, 2500);
+    }
+}
+
+#[test]
+fn sim_various_core_counts() {
+    for p in [2usize, 3, 5, 8, 17, 31, 48] {
+        for alg in [Algorithm::oc_default(), Algorithm::Binomial, Algorithm::ScatterAllgather] {
+            check_sim(p, alg, 0, 777);
+        }
+    }
+}
+
+#[test]
+fn sim_various_roots() {
+    for root in [1u8, 5, 11] {
+        for alg in algorithms() {
+            check_sim(12, alg, root, 900);
+        }
+    }
+}
+
+#[test]
+fn sim_one_megabyte_oc() {
+    // The largest message of Figure 8b.
+    check_sim(12, Algorithm::oc_default(), 0, 1 << 20);
+}
+
+#[test]
+fn rt_all_algorithms() {
+    for alg in algorithms() {
+        check_rt(6, alg, 0, 5000);
+    }
+}
+
+#[test]
+fn rt_non_zero_root_and_odd_p() {
+    check_rt(5, Algorithm::oc_default(), 3, 1234);
+    check_rt(3, Algorithm::ScatterAllgather, 2, 4096);
+    check_rt(7, Algorithm::Binomial, 6, 64);
+}
+
+#[test]
+fn rt_repeated_broadcasts_rotating_roots() {
+    let cfg = scc_rt::RtConfig { num_cores: 4, mem_bytes: 1 << 16 };
+    let rep = scc_rt::run_spmd(&cfg, |c| -> RmaResult<bool> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 4)
+            .expect("ctx");
+        let mut ok = true;
+        for round in 0..16u8 {
+            let root = CoreId(round % 4);
+            let msg = pattern(100 + round as usize * 37, round);
+            let r = MemRange::new(0, msg.len());
+            if c.core() == root {
+                c.mem_write(0, &msg)?;
+            }
+            b.bcast(c, root, r)?;
+            ok &= c.mem_to_vec(r)? == msg;
+        }
+        Ok(ok)
+    })
+    .expect("rt");
+    assert!(rep.results.into_iter().all(|r| r.expect("core")));
+}

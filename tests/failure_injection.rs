@@ -1,0 +1,220 @@
+//! Failure injection: protocol misuse must surface as typed errors
+//! (deadlock reports, allocation failures, bounds errors), never as
+//! silent corruption or hangs.
+
+use oc_bcast::{Algorithm, Broadcaster, OcConfig};
+use scc_hal::{CoreId, FlagValue, MemRange, Rma, RmaError, RmaResult};
+use scc_rcce::{MpbAllocator, RcceComm};
+use scc_sim::{run_spmd, SimConfig, SimError};
+
+fn cfg(p: usize) -> SimConfig {
+    SimConfig { num_cores: p, mem_bytes: 1 << 16, ..Default::default() }
+}
+
+#[test]
+fn mismatched_collective_roots_deadlock_cleanly() {
+    // Core 3 disagrees about who the root is: some cores wait for
+    // notifications that never come. The engine must detect it and name
+    // the parked cores instead of hanging.
+    let err = run_spmd(&cfg(6), |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 6).expect("ctx");
+        let root = if c.core().index() == 3 { CoreId(1) } else { CoreId(0) };
+        let r = MemRange::new(0, 64);
+        if c.core() == root {
+            c.mem_write(0, &[1u8; 64])?;
+        }
+        b.bcast(c, root, r)
+    })
+    .unwrap_err();
+    match err {
+        SimError::Deadlock { parked } => assert!(!parked.is_empty()),
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn missing_sender_deadlocks_with_line_info() {
+    let err = run_spmd(&cfg(2), |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let comm = RcceComm::new(&mut alloc, 2).expect("ctx");
+        if c.core().index() == 1 {
+            // Receive from a core that never sends.
+            comm.recv(c, CoreId(0), MemRange::new(0, 128))?;
+        }
+        Ok(())
+    })
+    .unwrap_err();
+    let SimError::Deadlock { parked } = err else {
+        panic!("expected deadlock")
+    };
+    assert_eq!(parked.len(), 1);
+    assert_eq!(parked[0].0, CoreId(1));
+}
+
+#[test]
+fn deadlocked_core_receives_a_typed_error() {
+    // The parked core itself observes RmaError::Deadlock and can clean
+    // up; the run still reports the failure.
+    let err = run_spmd(&cfg(2), |c| -> RmaResult<&'static str> {
+        if c.core().index() == 1 {
+            match c.flag_wait_local(5, &mut |v| v == FlagValue(9)) {
+                Err(RmaError::Deadlock { core, line }) => {
+                    assert_eq!(core, CoreId(1));
+                    assert_eq!(line, 5);
+                    return Ok("recovered");
+                }
+                other => panic!("expected deadlock error, got {other:?}"),
+            }
+        }
+        Ok("idle")
+    })
+    .unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }));
+}
+
+#[test]
+fn oversized_context_fails_at_allocation_not_at_runtime() {
+    let mut alloc = MpbAllocator::new();
+    // k = 63 fits exactly (1 + 63 + 192 = 256)…
+    assert!(oc_bcast::OcBcast::new(&mut alloc, OcConfig { k: 63, ..Default::default() }).is_ok());
+    // …and the MPB is now full: nothing else fits.
+    assert!(alloc.alloc(1).is_err());
+
+    let mut alloc = MpbAllocator::new();
+    let err = oc_bcast::OcBcast::new(&mut alloc, OcConfig { k: 64, ..Default::default() });
+    assert!(err.is_err(), "k = 64 with 96-line double buffers must not fit");
+}
+
+#[test]
+fn rma_bounds_errors_are_reported_not_fatal() {
+    let rep = run_spmd(&cfg(2), |c| -> RmaResult<u32> {
+        let mut hits = 0;
+        if c
+            .get_to_mem(
+                scc_hal::MpbAddr::new(CoreId(1), 200),
+                MemRange::new(0, 100 * 32),
+            )
+            .is_err()
+        {
+            hits += 1;
+        }
+        if c.mem_read(1 << 20, &mut [0u8; 4]).is_err() {
+            hits += 1;
+        }
+        if c.put_from_mpb(0, scc_hal::MpbAddr::new(CoreId(1), 0), 0).is_err() {
+            hits += 1;
+        }
+        // The core is still healthy after rejected ops.
+        c.flag_put(scc_hal::MpbAddr::new(c.core(), 0), FlagValue(3))?;
+        let v = c.flag_read_local(0)?;
+        assert_eq!(v, FlagValue(3));
+        Ok(hits)
+    })
+    .expect("run survives rejected ops");
+    assert_eq!(rep.results[0].as_ref().unwrap(), &3);
+}
+
+#[test]
+fn broadcast_to_absent_core_is_rejected() {
+    // Run with 4 cores, address core 7: the op-level validation fires.
+    let rep = run_spmd(&cfg(4), |c| -> RmaResult<bool> {
+        let e = c.flag_put(scc_hal::MpbAddr::new(CoreId(7), 0), FlagValue(1));
+        Ok(matches!(e, Err(RmaError::Engine(_))))
+    })
+    .expect("run");
+    assert!(rep.results.into_iter().all(|r| r.unwrap()));
+}
+
+#[test]
+fn allocator_misuse_is_loud() {
+    let mut alloc = MpbAllocator::new();
+    let r = alloc.alloc(10).expect("alloc");
+    alloc.free(r);
+    let result = std::panic::catch_unwind(move || alloc.free(r));
+    assert!(result.is_err(), "double free must panic");
+}
+
+#[test]
+fn mismatched_message_sizes_detected_as_deadlock_or_error() {
+    // Cores disagree on the chunk count: sequence numbers diverge and
+    // someone waits forever. The engine must not hang.
+    let err = run_spmd(&cfg(4), |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 4).expect("ctx");
+        let len = if c.core().index() == 2 { 96 * 32 } else { 3 * 96 * 32 };
+        let r = MemRange::new(0, len);
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![5u8; len])?;
+        }
+        b.bcast(c, CoreId(0), r)?;
+        // A second collective makes the divergence fatal even if the
+        // first one squeaked through.
+        b.bcast(c, CoreId(0), r)
+    })
+    .unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "got {err}");
+}
+
+#[test]
+fn rt_backend_surfaces_bounds_errors_too() {
+    let rep = scc_rt::run_spmd(&scc_rt::RtConfig { num_cores: 2, mem_bytes: 256 }, |c| {
+        let a = c.mem_write(250, &[1u8; 10]).unwrap_err();
+        let b = c
+            .get_to_mpb(scc_hal::MpbAddr::new(CoreId(1), 250), 0, 10)
+            .unwrap_err();
+        (
+            matches!(a, RmaError::MemOutOfRange { .. }),
+            matches!(b, RmaError::MpbOutOfRange { .. }),
+        )
+    })
+    .expect("rt");
+    for r in rep.results {
+        assert_eq!(r, (true, true));
+    }
+}
+
+#[test]
+fn zero_length_collectives_are_noops_everywhere() {
+    let rep = run_spmd(&cfg(4), |c| -> RmaResult<scc_hal::Time> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 4).expect("ctx");
+        b.bcast(c, CoreId(0), MemRange::new(0, 0))?;
+        Ok(c.now())
+    })
+    .expect("run");
+    for r in rep.results {
+        assert_eq!(r.unwrap(), scc_hal::Time::ZERO);
+    }
+}
+
+#[test]
+fn panic_in_one_core_propagates() {
+    let result = std::panic::catch_unwind(|| {
+        let _ = run_spmd(&cfg(3), |c| {
+            if c.core().index() == 1 {
+                panic!("injected core failure");
+            }
+            c.flag_wait_local(0, &mut |v| v == FlagValue(1)).ok();
+        });
+    });
+    assert!(result.is_err(), "the injected panic must propagate to the caller");
+}
+
+#[test]
+fn rt_panic_in_one_core_poisons_waiters_instead_of_hanging() {
+    // A panicking core must not leave its peers spinning forever on
+    // flags it will never write: the poison flag aborts their waits,
+    // and the original panic propagates to the caller.
+    let result = std::panic::catch_unwind(|| {
+        let _ = scc_rt::run_spmd(&scc_rt::RtConfig { num_cores: 3, mem_bytes: 4096 }, |c| {
+            if c.core().index() == 1 {
+                panic!("injected rt core failure");
+            }
+            // These cores wait on a flag only core 1 could write.
+            let r = c.flag_wait_local(0, &mut |v| v == FlagValue(1));
+            assert!(matches!(r, Err(RmaError::Engine(_))), "wait must abort: {r:?}");
+        });
+    });
+    assert!(result.is_err(), "the injected panic must propagate");
+}
