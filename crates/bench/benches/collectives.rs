@@ -15,11 +15,8 @@ fn run_reduce(p: usize, elems: usize, reps: usize, all: bool) {
     let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
         let mut alloc = MpbAllocator::new();
         let mut red = OcReduce::with_slot_lines(&mut alloc, 3, 8).expect("reduce");
-        let mut bc = OcBcast::new(
-            &mut alloc,
-            OcConfig { chunk_lines: 48, ..OcConfig::default() },
-        )
-        .expect("bcast");
+        let mut bc = OcBcast::new(&mut alloc, OcConfig { chunk_lines: 48, ..OcConfig::default() })
+            .expect("bcast");
         let me = c.core().index() as u64;
         let v: Vec<u8> = (0..elems as u64).flat_map(|i| (i + me).to_le_bytes()).collect();
         let r = MemRange::new(0, bytes);

@@ -39,6 +39,11 @@ fn bench_engine(c: &mut Criterion) {
     for &(label, bytes) in &[("1CL", 32usize), ("96CL", 96 * 32)] {
         g.bench_with_input(BenchmarkId::new("oc_k7_p48", label), &bytes, |b, &bytes| {
             let cfg = SimConfig { num_cores: 48, mem_bytes: 1 << 16, ..SimConfig::default() };
+            // Setup stays outside the measured closure: the payload is
+            // allocated once here, not per iteration inside the
+            // virtual-time run.
+            let payload = vec![1u8; bytes];
+            let payload = payload.as_slice();
             b.iter(|| {
                 run_spmd(&cfg, move |core| -> RmaResult<()> {
                     let mut alloc = MpbAllocator::new();
@@ -46,7 +51,7 @@ fn bench_engine(c: &mut Criterion) {
                         Broadcaster::new(&mut alloc, Algorithm::oc_default(), 48).expect("ctx");
                     let r = MemRange::new(0, black_box(bytes));
                     if core.core().index() == 0 {
-                        core.mem_write(0, &vec![1u8; bytes])?;
+                        core.mem_write(0, payload)?;
                     }
                     bc.bcast(core, CoreId(0), r)
                 })

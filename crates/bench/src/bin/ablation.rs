@@ -19,8 +19,7 @@ use scc_hal::CoreId;
 
 fn run(cfg_oc: OcConfig, bytes: usize) -> (f64, f64) {
     let cfg = paper_chip();
-    let t = measure_bcast(&cfg, Algorithm::OcBcast(cfg_oc), CoreId(0), bytes, 1, 2)
-        .expect("sim");
+    let t = measure_bcast(&cfg, Algorithm::OcBcast(cfg_oc), CoreId(0), bytes, 1, 2).expect("sim");
     (t.latency_us, t.throughput_mb_s)
 }
 
@@ -48,11 +47,8 @@ fn main() {
     println!("# --- double buffering (large-message throughput, MB/s) ---");
     for (name, leaf_direct) in [("standard steps", false), ("leaf_direct", true)] {
         let on = run(OcConfig { leaf_direct, ..OcConfig::default() }, large).1;
-        let off = run(
-            OcConfig { leaf_direct, double_buffer: false, ..OcConfig::default() },
-            large,
-        )
-        .1;
+        let off =
+            run(OcConfig { leaf_direct, double_buffer: false, ..OcConfig::default() }, large).1;
         println!("{name:<16} double {on:>7.2}   single {off:>7.2}   gain {:>5.2}x", on / off);
     }
     println!("# (with the paper's early done-release the single buffer keeps up;");
@@ -75,7 +71,10 @@ fn main() {
     for chunk in [24usize, 48, 96, 120] {
         let c = OcConfig { chunk_lines: chunk, ..OcConfig::default() };
         let (_, t) = run(c, large);
-        println!("M_oc = {chunk:>3} CL: {t:>7.2} MB/s{}", if chunk == 96 { "  (paper)" } else { "" });
+        println!(
+            "M_oc = {chunk:>3} CL: {t:>7.2} MB/s{}",
+            if chunk == 96 { "  (paper)" } else { "" }
+        );
     }
     println!();
 

@@ -22,10 +22,8 @@ fn main() {
     ];
 
     for (title, kind, dmax) in panels {
-        let labels: Vec<String> = sizes
-            .iter()
-            .flat_map(|m| [format!("exp:{m}CL"), format!("model:{m}CL")])
-            .collect();
+        let labels: Vec<String> =
+            sizes.iter().flat_map(|m| [format!("exp:{m}CL"), format!("model:{m}CL")]).collect();
         let mut rows = Vec::new();
         for d in 1..=dmax {
             let mut cols = Vec::new();
@@ -48,7 +46,12 @@ fn main() {
         for (d, cols) in &rows {
             for pair in cols.chunks_exact(2) {
                 let rel = (pair[0] - pair[1]).abs() / pair[1];
-                assert!(rel < 0.02, "model mismatch at d={d}: exp {} vs model {}", pair[0], pair[1]);
+                assert!(
+                    rel < 0.02,
+                    "model mismatch at d={d}: exp {} vs model {}",
+                    pair[0],
+                    pair[1]
+                );
             }
         }
     }

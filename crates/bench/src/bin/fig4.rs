@@ -13,11 +13,8 @@ fn main() {
     let cfg = paper_chip();
     // The paper sweeps 1..48 accessors of core 0's MPB; with core 0 as
     // the victim, up to 47 other cores can access it concurrently.
-    let counts: &[usize] = if quick() {
-        &[1, 8, 24, 47]
-    } else {
-        &[1, 2, 4, 6, 8, 12, 16, 24, 32, 40, 47]
-    };
+    let counts: &[usize] =
+        if quick() { &[1, 8, 24, 47] } else { &[1, 2, 4, 6, 8, 12, 16, 24, 32, 40, 47] };
 
     // The closed-queueing bound model of scc-model (an extension: the
     // paper declares contention hard to model) overlays each panel.
@@ -57,10 +54,7 @@ fn main() {
             );
         }
         let a47 = at(47).expect("n=47 measured");
-        assert!(
-            a47 > single * 1.3,
-            "47 accessors must contend visibly: {single} vs {a47}"
-        );
+        assert!(a47 > single * 1.3, "47 accessors must contend visibly: {single} vs {a47}");
     }
     println!("# knee past 24 accessors, clear contention at 47 — as in Figure 4");
 }

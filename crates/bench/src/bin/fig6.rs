@@ -19,10 +19,7 @@ fn main() {
             "Figure 6a — modeled broadcast latency (µs), P = 48",
             (1..=180).step_by(4).collect::<Vec<usize>>(),
         ),
-        (
-            "Figure 6b — zoom on small messages",
-            (1..=30).collect::<Vec<usize>>(),
-        ),
+        ("Figure 6b — zoom on small messages", (1..=30).collect::<Vec<usize>>()),
     ] {
         let curves = fig6_curves(&params, &cfg, 48, &ks, &sizes);
         let labels: Vec<String> = curves.iter().map(|c| c.label.clone()).collect();
@@ -35,15 +32,10 @@ fn main() {
     }
 
     // The qualitative claims of Section 5.2.
-    let l = |m: usize, k: usize| {
-        scc_model::oc_latency_full(&params, &cfg, 48, m, k)
-    };
+    let l = |m: usize, k: usize| scc_model::oc_latency_full(&params, &cfg, 48, m, k);
     let binom = |m: usize| scc_model::binomial_latency_full(&params, &cfg, 48, m);
     assert!(l(1, 7) < binom(1), "OC-Bcast must beat binomial at 1 CL");
     assert!(l(1, 47) > l(1, 7), "k = 47 pays the polling cost at 1 CL");
-    assert!(
-        binom(180) - l(180, 7) > binom(1) - l(1, 7),
-        "the gap grows with message size"
-    );
+    assert!(binom(180) - l(180, 7) > binom(1) - l(1, 7), "the gap grows with message size");
     println!("# Section 5.2 ordering claims hold for the modeled curves");
 }

@@ -37,9 +37,7 @@ fn main() {
 
     // Section 6.2.1 claims.
     let col = |label: &str| labels.iter().position(|l| l == label).expect("column");
-    let at = |m: usize, label: &str| {
-        rows.iter().find(|r| r.0 == m).expect("row").1[col(label)]
-    };
+    let at = |m: usize, label: &str| rows.iter().find(|r| r.0 == m).expect("row").1[col(label)];
     let improvement = 1.0 - at(1, "k=7") / at(1, "binomial");
     println!(
         "# 1-CL latency: k=7 {:.2} µs vs binomial {:.2} µs — {:.0}% improvement (paper: ≥27%)",

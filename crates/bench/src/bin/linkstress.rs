@@ -19,10 +19,7 @@ fn main() {
             idle.as_us_f64(),
             loaded.as_us_f64()
         );
-        assert!(
-            ratio < 1.05,
-            "mesh must not contend under core-driven load (got {ratio:.3})"
-        );
+        assert!(ratio < 1.05, "mesh must not contend under core-driven load (got {ratio:.3})");
     }
     println!("# no measurable mesh contention — matches Section 3.3");
 }

@@ -32,13 +32,12 @@ fn main() {
         "# simplified Formula (15): {:.2} MB/s (k-independent)",
         oc_throughput_simplified(&params, 96)
     );
-    println!(
-        "# simplified Formula (16): {:.2} MB/s",
-        sag_throughput_simplified(&params, 48, 96)
-    );
+    println!("# simplified Formula (16): {:.2} MB/s", sag_throughput_simplified(&params, 48, 96));
 
     let sag = rows.last().expect("rows").1;
     let ratio = rows[1].1 / sag;
-    println!("# OC-Bcast (k=7) / scatter-allgather = {ratio:.2}x (paper: ~2.6x, \"almost 3 times\")");
+    println!(
+        "# OC-Bcast (k=7) / scatter-allgather = {ratio:.2}x (paper: ~2.6x, \"almost 3 times\")"
+    );
     assert!(ratio > 2.3, "the almost-3x headline must hold, got {ratio:.2}");
 }

@@ -22,10 +22,7 @@ fn main() {
     let mut best_lat: (f64, String) = (f64::INFINITY, String::new());
     let mut best_tput: (f64, String) = (0.0, String::new());
 
-    println!(
-        "{:<42} {:>10} {:>10}",
-        "configuration", "1CL (µs)", "peak MB/s"
-    );
+    println!("{:<42} {:>10} {:>10}", "configuration", "1CL (µs)", "peak MB/s");
     for &k in ks {
         for &chunk_lines in chunks {
             // k + 1 flags + two buffers + the measurement harness's
@@ -35,13 +32,8 @@ fn main() {
             }
             for &notify_fanout in fanouts {
                 for &strategy in &strategies {
-                    let oc = OcConfig {
-                        k,
-                        chunk_lines,
-                        notify_fanout,
-                        strategy,
-                        ..OcConfig::default()
-                    };
+                    let oc =
+                        OcConfig { k, chunk_lines, notify_fanout, strategy, ..OcConfig::default() };
                     let lat = measure_bcast(&cfg, Algorithm::OcBcast(oc), CoreId(0), small, 1, 2)
                         .expect("sim")
                         .latency_us;

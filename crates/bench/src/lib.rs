@@ -114,12 +114,7 @@ pub fn sweep_sizes(
 /// The algorithm set of Figures 6/8: OC-Bcast k ∈ {2, 7, 47} plus one
 /// baseline.
 pub fn paper_algorithms(baseline: Algorithm) -> Vec<Algorithm> {
-    vec![
-        Algorithm::oc_with_k(2),
-        Algorithm::oc_with_k(7),
-        Algorithm::oc_with_k(47),
-        baseline,
-    ]
+    vec![Algorithm::oc_with_k(2), Algorithm::oc_with_k(7), Algorithm::oc_with_k(47), baseline]
 }
 
 /// Render rows of `(x, columns…)` as an aligned table with a CSV twin

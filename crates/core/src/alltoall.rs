@@ -27,7 +27,9 @@
 //! same layout.
 
 use crate::scatter_allgather::slice_range;
-use scc_hal::{bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_hal::{
+    bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES,
+};
 use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
 
 /// Context for the personalized collectives (symmetric allocation).
@@ -360,7 +362,8 @@ mod tests {
             // Slice j carries the pair (me, j) pattern.
             for j in 0..p {
                 let s = slice_range(send, p, j);
-                let fill: Vec<u8> = (0..s.len).map(|i| me * 16 + j as u8 + (i as u8 & 0xC0)).collect();
+                let fill: Vec<u8> =
+                    (0..s.len).map(|i| me * 16 + j as u8 + (i as u8 & 0xC0)).collect();
                 c.mem_write(s.offset, &fill)?;
             }
             g.alltoall(c, send, recv)?;
@@ -375,11 +378,7 @@ mod tests {
                 let s = slice_range(MemRange::new(0, len), p, j);
                 for b in 0..s.len {
                     let expect = (j as u8) * 16 + i as u8 + (b as u8 & 0xC0);
-                    assert_eq!(
-                        got[s.offset + b],
-                        expect,
-                        "core {i} recv slice {j} byte {b}"
-                    );
+                    assert_eq!(got[s.offset + b], expect, "core {i} recv slice {j} byte {b}");
                 }
             }
         }

@@ -64,10 +64,9 @@ impl Broadcaster {
             Algorithm::RmaScatterAllgather => {
                 Ok(Broadcaster::OneSidedSag(RmaSag::with_defaults(alloc, num_cores)?))
             }
-            other => Ok(Broadcaster::TwoSided {
-                comm: RcceComm::new(alloc, num_cores)?,
-                alg: other,
-            }),
+            other => {
+                Ok(Broadcaster::TwoSided { comm: RcceComm::new(alloc, num_cores)?, alg: other })
+            }
         }
     }
 

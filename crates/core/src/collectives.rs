@@ -140,8 +140,8 @@ impl OcReduce {
                 c.mem_read(part.offset, &mut acc[..len])?;
                 for slot in 0..children.len() {
                     // Stage the slot into private scratch, then combine.
-                    let scratch = MemRange::new(msg.end().next_multiple_of(32), chunk_bytes)
-                        .slice(0, len);
+                    let scratch =
+                        MemRange::new(msg.end().next_multiple_of(32), chunk_bytes).slice(0, len);
                     c.get_to_mem(MpbAddr::new(me, self.slot_line(slot)), scratch)?;
                     c.mem_read(scratch.offset, &mut incoming[..len])?;
                     combine(op, &mut acc[..len], &incoming[..len]);
@@ -276,19 +276,11 @@ mod tests {
             c.mem_write(0, &bytes)?;
             red.reduce(c, CoreId(root), MemRange::new(0, bytes.len()), op)?;
             let out = c.mem_to_vec(MemRange::new(0, bytes.len()))?;
-            Ok(out
-                .chunks_exact(8)
-                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-                .collect())
+            Ok(out.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().unwrap())).collect())
         })
         .unwrap_or_else(|e| panic!("p={p} k={k} elems={elems}: {e}"));
         let expect: Vec<u64> = (0..elems as u64)
-            .map(|i| {
-                (0..p as u64)
-                    .map(|me| i * 1000 + me)
-                    .reduce(|a, b| op.apply(a, b))
-                    .unwrap()
-            })
+            .map(|i| (0..p as u64).map(|me| i * 1000 + me).reduce(|a, b| op.apply(a, b)).unwrap())
             .collect();
         assert_eq!(rep.results[root as usize].as_ref().unwrap(), &expect);
     }
@@ -418,15 +410,11 @@ mod tests {
                 ReduceOp::Sum,
             )?;
             let out = c.mem_to_vec(MemRange::new(0, bytes.len()))?;
-            Ok(out
-                .chunks_exact(8)
-                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-                .collect())
+            Ok(out.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().unwrap())).collect())
         })
         .unwrap();
-        let expect: Vec<u64> = (0..elems as u64)
-            .map(|i| (0..p as u64).map(|m| i * 7 + m).sum())
-            .collect();
+        let expect: Vec<u64> =
+            (0..elems as u64).map(|i| (0..p as u64).map(|m| i * 7 + m).sum()).collect();
         for (i, r) in rep.results.iter().enumerate() {
             assert_eq!(r.as_ref().unwrap(), &expect, "core {i}");
         }

@@ -62,8 +62,8 @@ pub mod tree;
 
 pub use alltoall::OnesidedGroup;
 pub use bcast::{Algorithm, Broadcaster};
-pub use collectives::{oc_allgather, oc_allreduce, OcReduce, ReduceOp};
 pub use binomial::binomial_bcast;
+pub use collectives::{oc_allgather, oc_allreduce, OcReduce, ReduceOp};
 pub use ocbcast::{OcBcast, OcConfig};
 pub use rma_sag::RmaSag;
 pub use scatter_allgather::scatter_allgather_bcast;

@@ -104,11 +104,7 @@ impl OcBcast {
         let notify = alloc.alloc(1)?;
         let done = alloc.alloc(cfg.k)?;
         let buf0 = alloc.alloc(cfg.chunk_lines)?;
-        let buf1 = if cfg.double_buffer {
-            alloc.alloc(cfg.chunk_lines)?
-        } else {
-            buf0
-        };
+        let buf1 = if cfg.double_buffer { alloc.alloc(cfg.chunk_lines)? } else { buf0 };
         Ok(OcBcast { cfg, notify, done, bufs: [buf0, buf1], seq: 0 })
     }
 
@@ -147,9 +143,8 @@ impl OcBcast {
 
         let parent = tree.parent(me);
         let children = tree.children(me).to_vec();
-        let parent_group = parent.and_then(|par| {
-            NotifyGroup::new(par, tree.children(par), self.cfg.notify_fanout)
-        });
+        let parent_group = parent
+            .and_then(|par| NotifyGroup::new(par, tree.children(par), self.cfg.notify_fanout));
         let own_group = NotifyGroup::new(me, &children, self.cfg.notify_fanout);
         let my_done_slot = tree.child_index(me);
         let is_leaf = children.is_empty();

@@ -36,7 +36,9 @@
 //!   messages this algorithm targets.
 
 use crate::scatter_allgather::slice_range;
-use scc_hal::{bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_hal::{
+    bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES,
+};
 use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
 
 /// One-sided scatter-allgather context (symmetric allocation).
@@ -56,7 +58,11 @@ impl RmaSag {
     /// Reserve two `half_lines` buffers plus four flag lines and the
     /// trailing barrier's lines. 96-line halves mirror OC-Bcast's
     /// chunking.
-    pub fn new(alloc: &mut MpbAllocator, num_cores: usize, half_lines: usize) -> Result<RmaSag, MpbExhausted> {
+    pub fn new(
+        alloc: &mut MpbAllocator,
+        num_cores: usize,
+        half_lines: usize,
+    ) -> Result<RmaSag, MpbExhausted> {
         assert!(half_lines >= 1);
         let notify = alloc.alloc(2)?;
         let done = alloc.alloc(2)?;
@@ -67,7 +73,10 @@ impl RmaSag {
     }
 
     /// Default configuration: 96-line halves.
-    pub fn with_defaults(alloc: &mut MpbAllocator, num_cores: usize) -> Result<RmaSag, MpbExhausted> {
+    pub fn with_defaults(
+        alloc: &mut MpbAllocator,
+        num_cores: usize,
+    ) -> Result<RmaSag, MpbExhausted> {
         Self::new(alloc, num_cores, 96)
     }
 
@@ -110,7 +119,10 @@ impl RmaSag {
             }
             let len = (src.len - off).min(chunk_bytes);
             if len > 0 {
-                c.put_from_mem_cached(src.slice(off, len), MpbAddr::new(dst, self.bufs[h].first_line))?;
+                c.put_from_mem_cached(
+                    src.slice(off, len),
+                    MpbAddr::new(dst, self.bufs[h].first_line),
+                )?;
             }
             c.flag_put(MpbAddr::new(dst, self.notify.line(h)), FlagValue(seq))?;
             last_half_seq[h] = seq;
@@ -355,9 +367,6 @@ mod tests {
             one_sided < 0.75 * two_sided,
             "one-sided s-ag must clearly beat two-sided: {one_sided:.0} vs {two_sided:.0} µs"
         );
-        assert!(
-            oc < one_sided,
-            "OC-Bcast must still win: {oc:.0} vs {one_sided:.0} µs"
-        );
+        assert!(oc < one_sided, "OC-Bcast must still win: {oc:.0} vs {one_sided:.0} µs");
     }
 }

@@ -201,10 +201,7 @@ impl TreeLayout {
     }
 
     pub fn depth(&self) -> usize {
-        (0..self.num_cores())
-            .map(|i| self.depth_of(CoreId(i as u8)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_cores()).map(|i| self.depth_of(CoreId(i as u8))).max().unwrap_or(0)
     }
 
     /// Sum over non-root cores of the mesh distance to their parent —
@@ -269,8 +266,7 @@ mod tests {
             let topo = TreeLayout::topology_aware(NUM_CORES, k, CoreId(0));
             // ~40% aggregate mesh-distance reduction on the full chip.
             assert!(
-                (topo.total_parent_distance() as f64)
-                    < 0.8 * by_id.total_parent_distance() as f64,
+                (topo.total_parent_distance() as f64) < 0.8 * by_id.total_parent_distance() as f64,
                 "k={k}: topo {} vs id {}",
                 topo.total_parent_distance(),
                 by_id.total_parent_distance()

@@ -78,10 +78,7 @@ impl KaryTree {
     pub fn children(&self, core: CoreId) -> Vec<CoreId> {
         let r = self.rank_of(core);
         let first = r * self.k + 1;
-        (first..first + self.k)
-            .take_while(|&c| c < self.p)
-            .map(|c| self.core_of(c))
-            .collect()
+        (first..first + self.k).take_while(|&c| c < self.p).map(|c| self.core_of(c)).collect()
     }
 
     /// The position of `core` among its parent's children (0-based);
@@ -264,7 +261,8 @@ mod tests {
             let c0 = t0.core_of(r);
             let cs = ts.core_of(r);
             assert_eq!((c0.index() + s as usize) % 12, cs.index());
-            let ch0: Vec<_> = t0.children(c0).iter().map(|c| (c.index() + s as usize) % 12).collect();
+            let ch0: Vec<_> =
+                t0.children(c0).iter().map(|c| (c.index() + s as usize) % 12).collect();
             let chs: Vec<_> = ts.children(cs).iter().map(|c| c.index()).collect();
             assert_eq!(ch0, chs);
         }

@@ -20,10 +20,7 @@ fn latency(p: usize, alg: Algorithm, bytes: usize) -> f64 {
         Ok(c.now())
     })
     .expect("sim");
-    rep.results
-        .into_iter()
-        .map(|r| r.unwrap().as_us_f64())
-        .fold(0.0, f64::max)
+    rep.results.into_iter().map(|r| r.unwrap().as_us_f64()).fold(0.0, f64::max)
 }
 
 #[test]

@@ -9,7 +9,9 @@ use scc_sim::{run_spmd, SimConfig};
 
 #[test]
 fn topo_strategy_delivers_everywhere() {
-    for (p, k, root, len) in [(48usize, 7usize, 0u8, 5000usize), (12, 2, 5, 97 * 32), (48, 24, 47, 640)] {
+    for (p, k, root, len) in
+        [(48usize, 7usize, 0u8, 5000usize), (12, 2, 5, 97 * 32), (48, 24, 47, 640)]
+    {
         let msg: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
         let expect = msg.clone();
         let cfg = SimConfig { num_cores: p, mem_bytes: 1 << 18, ..SimConfig::default() };
@@ -63,11 +65,9 @@ fn topo_tree_wins_on_the_simulator() {
         let cfg = SimConfig { num_cores: 48, mem_bytes: 1 << 18, ..SimConfig::default() };
         let rep = run_spmd(&cfg, move |c| -> RmaResult<scc_hal::Time> {
             let mut alloc = MpbAllocator::new();
-            let mut bc = OcBcast::new(
-                &mut alloc,
-                OcConfig { k: 2, strategy, ..OcConfig::default() },
-            )
-            .unwrap();
+            let mut bc =
+                OcBcast::new(&mut alloc, OcConfig { k: 2, strategy, ..OcConfig::default() })
+                    .unwrap();
             let r = MemRange::new(0, 32);
             if c.core().index() == 0 {
                 c.mem_write(0, &[3u8; 32])?;
@@ -76,15 +76,9 @@ fn topo_tree_wins_on_the_simulator() {
             Ok(c.now())
         })
         .unwrap();
-        rep.results
-            .into_iter()
-            .map(|r| r.unwrap().as_us_f64())
-            .fold(0.0, f64::max)
+        rep.results.into_iter().map(|r| r.unwrap().as_us_f64()).fold(0.0, f64::max)
     };
     let by_id = lat(TreeStrategy::ById);
     let topo = lat(TreeStrategy::TopologyAware);
-    assert!(
-        topo < by_id,
-        "topology-aware tree should cut k=2 latency: {topo:.2} vs {by_id:.2} µs"
-    );
+    assert!(topo < by_id, "topology-aware tree should cut k=2 latency: {topo:.2} vs {by_id:.2} µs");
 }

@@ -1,0 +1,242 @@
+//! A minimal, vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the API subset the workspace's benches use:
+//! `benchmark_group` / `bench_with_input` / `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each sample is timed with
+//! `std::time::Instant`; the report prints mean and minimum wall time
+//! per iteration (plus derived throughput) to stdout.
+//!
+//! Environment knobs:
+//! * `BENCH_SAMPLES` overrides every group's sample size;
+//! * `BENCH_FILTER` runs only benchmarks whose `group/id` contains the
+//!   given substring (mirrors `cargo bench -- <filter>`, which also
+//!   works: the first CLI argument is treated as a filter).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work performed per iteration, used to derive a rate from the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs the measured closure and accumulates per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after one untimed warmup call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size/throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let samples = self.criterion.sample_override.unwrap_or(self.sample_size);
+        let mut b = Bencher { samples: Vec::with_capacity(samples), target_samples: samples };
+        f(&mut b);
+        report(&full, &b.samples, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("nonempty");
+    print!(
+        "{name:<40} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  {:.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!("  {:.3} MB/s", n as f64 / mean.as_secs_f64() / 1e6);
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level harness handle, passed to every bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` puts the filter in argv[1].
+        let filter = std::env::args()
+            .nth(1)
+            .filter(|a| !a.starts_with('-'))
+            .or_else(|| std::env::var("BENCH_FILTER").ok());
+        let sample_override = std::env::var("BENCH_SAMPLES").ok().and_then(|s| s.parse().ok());
+        Criterion { filter, sample_override }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 100, throughput: None }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Declare a group of bench functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher { samples: Vec::new(), target_samples: 5 };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6); // warmup + samples
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("puts", 1000).to_string(), "puts/1000");
+        assert_eq!(BenchmarkId::from_parameter("k=7").to_string(), "k=7");
+    }
+
+    #[test]
+    fn groups_run_benches_end_to_end() {
+        let mut c = Criterion { filter: None, sample_override: Some(2) };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &1, |b, &_x| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert_eq!(ran, 3); // override 2 samples + 1 warmup
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("other".into()), sample_override: None };
+        let mut g = c.benchmark_group("unit");
+        let mut ran = false;
+        g.bench_function("f", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -27,10 +27,7 @@ impl MpbAddr {
             line < MPB_LINES_PER_CORE,
             "MPB line {line} out of range (core has {MPB_LINES_PER_CORE} lines)"
         );
-        MpbAddr {
-            core,
-            line: line as u16,
-        }
+        MpbAddr { core, line: line as u16 }
     }
 
     #[inline]

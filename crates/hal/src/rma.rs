@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn errors_format_usefully() {
-        let e = RmaError::MpbOutOfRange {
-            addr: MpbAddr::new(CoreId(2), 250),
-            lines: 10,
-        };
+        let e = RmaError::MpbOutOfRange { addr: MpbAddr::new(CoreId(2), 250), lines: 10 };
         let s = format!("{e}");
         assert!(s.contains("10 lines"), "{s}");
         assert!(s.contains("mpb[C2:250]"), "{s}");

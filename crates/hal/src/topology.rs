@@ -23,7 +23,8 @@ pub const TILE_ROWS: u8 = 4;
 /// Cores per tile.
 pub const CORES_PER_TILE: u8 = 2;
 /// Total number of cores on the chip.
-pub const NUM_CORES: usize = (TILE_COLS as usize) * (TILE_ROWS as usize) * (CORES_PER_TILE as usize);
+pub const NUM_CORES: usize =
+    (TILE_COLS as usize) * (TILE_ROWS as usize) * (CORES_PER_TILE as usize);
 
 /// Identifier of one of the 48 cores, numbered 0..48.
 ///
@@ -110,10 +111,7 @@ impl Tile {
     #[inline]
     pub fn from_index(idx: u8) -> Tile {
         assert!(idx < TILE_COLS * TILE_ROWS, "tile index {idx} out of range");
-        Tile {
-            x: idx % TILE_COLS,
-            y: idx / TILE_COLS,
-        }
+        Tile { x: idx % TILE_COLS, y: idx / TILE_COLS }
     }
 
     #[inline]
@@ -139,24 +137,48 @@ impl Tile {
         dx + dy + 1
     }
 
-    /// The ordered list of tiles whose routers the packet visits under
-    /// X-Y routing (first along x, then along y), including source and
-    /// destination routers. Length equals [`Tile::routing_distance`].
-    pub fn xy_route(self, to: Tile) -> Vec<Tile> {
-        let mut path = Vec::with_capacity(self.routing_distance(to) as usize);
-        let mut cur = self;
-        path.push(cur);
-        while cur.x != to.x {
-            cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-            path.push(cur);
-        }
-        while cur.y != to.y {
-            cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-            path.push(cur);
-        }
-        path
+    /// The ordered tiles whose routers the packet visits under X-Y
+    /// routing (first along x, then along y), including source and
+    /// destination routers. Yields [`Tile::routing_distance`] tiles.
+    /// Allocation-free: the simulator walks a route per cache line, on
+    /// its hottest path.
+    pub fn xy_route(self, to: Tile) -> XyRoute {
+        XyRoute { cur: Some(self), to }
     }
 }
+
+/// Iterator over the tiles of an X-Y route; see [`Tile::xy_route`].
+#[derive(Clone, Debug)]
+pub struct XyRoute {
+    cur: Option<Tile>,
+    to: Tile,
+}
+
+impl Iterator for XyRoute {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        let cur = self.cur?;
+        self.cur = if cur.x != self.to.x {
+            Some(Tile { x: if self.to.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y })
+        } else if cur.y != self.to.y {
+            Some(Tile { x: cur.x, y: if self.to.y > cur.y { cur.y + 1 } else { cur.y - 1 } })
+        } else {
+            None
+        };
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self.cur {
+            Some(c) => c.routing_distance(self.to) as usize,
+            None => 0,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for XyRoute {}
 
 impl fmt::Debug for Tile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -286,29 +308,22 @@ mod tests {
     #[test]
     fn each_controller_serves_twelve_cores() {
         for mc in MemController::ALL {
-            let n = CoreId::all(NUM_CORES)
-                .filter(|c| c.memory_controller() == mc)
-                .count();
+            let n = CoreId::all(NUM_CORES).filter(|c| c.memory_controller() == mc).count();
             assert_eq!(n, 12, "{mc:?} must serve one quadrant");
         }
     }
 
     #[test]
     fn xy_route_shape() {
-        let r = Tile::new(0, 2).xy_route(Tile::new(3, 2));
+        let r: Vec<Tile> = Tile::new(0, 2).xy_route(Tile::new(3, 2)).collect();
         // The Section 3.3 stress path: (0,2) -> (3,2) goes through (2,2)-(3,2).
-        assert_eq!(
-            r,
-            vec![Tile::new(0, 2), Tile::new(1, 2), Tile::new(2, 2), Tile::new(3, 2)]
-        );
+        assert_eq!(r, vec![Tile::new(0, 2), Tile::new(1, 2), Tile::new(2, 2), Tile::new(3, 2)]);
         // X first, then Y.
-        let r = Tile::new(1, 1).xy_route(Tile::new(2, 3));
-        assert_eq!(
-            r,
-            vec![Tile::new(1, 1), Tile::new(2, 1), Tile::new(2, 2), Tile::new(2, 3)]
-        );
+        let r: Vec<Tile> = Tile::new(1, 1).xy_route(Tile::new(2, 3)).collect();
+        assert_eq!(r, vec![Tile::new(1, 1), Tile::new(2, 1), Tile::new(2, 2), Tile::new(2, 3)]);
         // Degenerate route: same tile.
-        assert_eq!(Tile::new(4, 2).xy_route(Tile::new(4, 2)), vec![Tile::new(4, 2)]);
+        let r: Vec<Tile> = Tile::new(4, 2).xy_route(Tile::new(4, 2)).collect();
+        assert_eq!(r, vec![Tile::new(4, 2)]);
     }
 
     #[test]
@@ -316,7 +331,7 @@ mod tests {
         for a in 0..TILE_COLS * TILE_ROWS {
             for b in 0..TILE_COLS * TILE_ROWS {
                 let (ta, tb) = (Tile::from_index(a), Tile::from_index(b));
-                assert_eq!(ta.xy_route(tb).len() as u32, ta.routing_distance(tb));
+                assert_eq!(ta.xy_route(tb).count() as u32, ta.routing_distance(tb));
             }
         }
     }

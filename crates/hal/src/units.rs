@@ -74,10 +74,7 @@ impl Time {
     /// picosecond. Panics on negative or non-finite input.
     #[inline]
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(
-            us.is_finite() && us >= 0.0,
-            "time must be finite and non-negative, got {us}"
-        );
+        assert!(us.is_finite() && us >= 0.0, "time must be finite and non-negative, got {us}");
         Time((us * 1e6).round() as u64)
     }
 

@@ -12,7 +12,7 @@ proptest! {
     /// tile), start at the source and end at the destination.
     #[test]
     fn routes_are_contiguous(a in arb_tile(), b in arb_tile()) {
-        let route = a.xy_route(b);
+        let route: Vec<_> = a.xy_route(b).collect();
         prop_assert_eq!(*route.first().unwrap(), a);
         prop_assert_eq!(*route.last().unwrap(), b);
         for w in route.windows(2) {

@@ -25,10 +25,7 @@ pub struct NotifyCosts {
 impl NotifyCosts {
     /// Derive from the point-to-point model at MPB distance `d`.
     pub fn from_p2p(m: &P2p, d: u32) -> NotifyCosts {
-        NotifyCosts {
-            flag_put: m.c_put_mpb(1, d),
-            poll: m.c_mpb_r(1),
-        }
+        NotifyCosts { flag_put: m.c_put_mpb(1, d), poll: m.c_mpb_r(1) }
     }
 
     /// Zero-cost notification (turns the complete models into the
@@ -133,8 +130,7 @@ pub fn oc_throughput_simplified(params: &ModelParams, m_oc: usize) -> f64 {
 pub fn sag_throughput_simplified(params: &ModelParams, p: usize, m_oc: usize) -> f64 {
     let t = P2p::new(*params);
     let full_pairs = p as f64 * (t.c_put_mem(m_oc, 1, 1) + t.c_get_mem(m_oc, 1, 1));
-    let cached_pairs =
-        (2 * p - 3) as f64 * (m_oc as f64 * t.c_mpb_w(1) + t.c_get_mem(m_oc, 1, 1));
+    let cached_pairs = (2 * p - 3) as f64 * (m_oc as f64 * t.c_mpb_w(1) + t.c_get_mem(m_oc, 1, 1));
     (p * m_oc * 32) as f64 / (full_pairs + cached_pairs)
 }
 
@@ -227,11 +223,8 @@ pub fn oc_latency_full(
         for l in 1..=depth {
             let parent_data = if l == 1 { put[c] } else { got[l - 1][c] };
             let node_free = if c > 0 { end[l][c - 1] } else { 0.0 };
-            let child_done = if c >= 2 && l < depth {
-                got[l + 1][c - 2] + nc.flag_put
-            } else {
-                0.0
-            };
+            let child_done =
+                if c >= 2 && l < depth { got[l + 1][c - 2] + nc.flag_put } else { 0.0 };
             got[l][c] = (parent_data + n_k).max(node_free).max(child_done)
                 + t.c_get_mpb(size(c), cfg.d_mpb);
             let own_notify = if l < depth { 2.0 * nc.flag_put } else { 0.0 };
@@ -301,9 +294,8 @@ pub fn oc_throughput_full(params: &ModelParams, cfg: &FullModelCfg, p: usize, k:
     let t = P2p::new(*params);
     let nc = NotifyCosts::from_p2p(&t, cfg.d_mpb);
     let k_eff = k.min(p.saturating_sub(1)).max(1);
-    let root_stage = t.c_put_mem(cfg.m_oc, cfg.d_mem, cfg.d_mpb)
-        + 2.0 * nc.flag_put
-        + k_eff as f64 * nc.poll;
+    let root_stage =
+        t.c_put_mem(cfg.m_oc, cfg.d_mem, cfg.d_mpb) + 2.0 * nc.flag_put + k_eff as f64 * nc.poll;
     let node_stage = nc.poll
         + 2.0 * nc.flag_put // forward notifications in the parent's group
         + t.c_get_mpb(cfg.m_oc, cfg.d_mpb)
@@ -320,7 +312,8 @@ pub fn sag_throughput_full(params: &ModelParams, cfg: &FullModelCfg, p: usize) -
     let nc = NotifyCosts::from_p2p(&t, cfg.d_mpb);
     let handshake = 2.0 * (nc.flag_put + nc.poll);
     let full_pairs = p as f64
-        * (t.c_put_mem(cfg.m_oc, cfg.d_mem, cfg.d_mpb) + t.c_get_mem(cfg.m_oc, cfg.d_mpb, cfg.d_mem));
+        * (t.c_put_mem(cfg.m_oc, cfg.d_mem, cfg.d_mpb)
+            + t.c_get_mem(cfg.m_oc, cfg.d_mpb, cfg.d_mem));
     let cached_pairs = (2 * p - 3) as f64
         * (cfg.m_oc as f64 * t.c_mpb_w(cfg.d_mpb) + t.c_get_mem(cfg.m_oc, cfg.d_mpb, cfg.d_mem));
     let handshakes = (3 * p - 3) as f64 * handshake;
@@ -480,7 +473,8 @@ mod tests {
         // difference increases with the message size.
         let p = paper();
         let cfg = FullModelCfg::default();
-        let gap_small = binomial_latency_full(&p, &cfg, 48, 1) - oc_latency_full(&p, &cfg, 48, 1, 7);
+        let gap_small =
+            binomial_latency_full(&p, &cfg, 48, 1) - oc_latency_full(&p, &cfg, 48, 1, 7);
         let gap_large =
             binomial_latency_full(&p, &cfg, 48, 180) - oc_latency_full(&p, &cfg, 48, 180, 7);
         assert!(gap_small > 0.0, "OC-Bcast must win at 1 CL (gap {gap_small})");

@@ -48,7 +48,13 @@ impl ClosedQueue {
     /// requester's per-line cycle decomposed from Table-1-level
     /// parameters (see `scc-sim`'s `SimParams` docs). `d` is the
     /// average requester distance.
-    pub fn get_scenario(m: usize, d: f64, port_service_us: f64, o_mpb_us: f64, l_hop_us: f64) -> ClosedQueue {
+    pub fn get_scenario(
+        m: usize,
+        d: f64,
+        port_service_us: f64,
+        o_mpb_us: f64,
+        l_hop_us: f64,
+    ) -> ClosedQueue {
         // Per line: remote read (o^mpb + 2d·Lhop) + local write
         // (o^mpb + 2·Lhop); the contended port's share is `service`.
         let per_line = (o_mpb_us + 2.0 * d * l_hop_us) + (o_mpb_us + 2.0 * l_hop_us);

@@ -33,10 +33,7 @@ pub fn linear_fit(samples: &[(f64, f64)]) -> LinearFit {
     let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
     let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
     let det = n * sxx - sx * sx;
-    assert!(
-        det.abs() > 1e-12,
-        "all x values identical; cannot fit a slope"
-    );
+    assert!(det.abs() > 1e-12, "all x values identical; cannot fit a slope");
     let slope = (n * sxy - sx * sy) / det;
     let intercept = (sy - slope * sx) / n;
     let rms = (samples
@@ -95,29 +92,17 @@ pub fn fit_params(s: &FitSamples) -> (ModelParams, f64) {
     let c_mem_w = |d: u32| o_mem_w + 2.0 * l_hop * d as f64;
 
     // Op overheads: mean residual over the op samples.
-    let o_mpb_put = mean(s.put_mpb.iter().map(|&(m, d, c)| {
-        c - m as f64 * (c_mpb_r(1) + c_mpb_w(d))
-    }));
-    let o_mpb_get = mean(s.get_mpb.iter().map(|&(m, d, c)| {
-        c - m as f64 * (c_mpb_r(d) + c_mpb_w(1))
-    }));
-    let o_mem_put = mean(s.put_mem.iter().map(|&(m, ds, dd, c)| {
-        c - m as f64 * (c_mem_r(ds) + c_mpb_w(dd))
-    }));
-    let o_mem_get = mean(s.get_mem.iter().map(|&(m, ds, dd, c)| {
-        c - m as f64 * (c_mpb_r(ds) + c_mem_w(dd))
-    }));
+    let o_mpb_put =
+        mean(s.put_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(1) + c_mpb_w(d))));
+    let o_mpb_get =
+        mean(s.get_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(d) + c_mpb_w(1))));
+    let o_mem_put =
+        mean(s.put_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mem_r(ds) + c_mpb_w(dd))));
+    let o_mem_get =
+        mean(s.get_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mpb_r(ds) + c_mem_w(dd))));
 
-    let params = ModelParams {
-        l_hop,
-        o_mpb,
-        o_mem_w,
-        o_mem_r,
-        o_mpb_put,
-        o_mpb_get,
-        o_mem_put,
-        o_mem_get,
-    };
+    let params =
+        ModelParams { l_hop, o_mpb, o_mem_w, o_mem_r, o_mpb_put, o_mpb_get, o_mem_put, o_mem_get };
     (params, r.rms)
 }
 

@@ -182,9 +182,6 @@ mod tests {
         let m = p2p();
         let per_chunk = m.c_get_mpb(96, 1) + m.c_get_mem(96, 1, 1);
         let mb_per_s = 96.0 * 32.0 / per_chunk; // B/us == MB/s
-        assert!(
-            (mb_per_s - 35.0).abs() < 2.5,
-            "expected ~35 MB/s as in Table 2, got {mb_per_s}"
-        );
+        assert!((mb_per_s - 35.0).abs() < 2.5, "expected ~35 MB/s as in Table 2, got {mb_per_s}");
     }
 }

@@ -28,18 +28,12 @@ pub fn fig6_curves(
     for &k in ks {
         out.push(LatencyCurve {
             label: format!("k={k}"),
-            points: sizes
-                .iter()
-                .map(|&m| (m, oc_latency_full(params, cfg, p, m, k)))
-                .collect(),
+            points: sizes.iter().map(|&m| (m, oc_latency_full(params, cfg, p, m, k))).collect(),
         });
     }
     out.push(LatencyCurve {
         label: "binomial".to_string(),
-        points: sizes
-            .iter()
-            .map(|&m| (m, binomial_latency_full(params, cfg, p, m)))
-            .collect(),
+        points: sizes.iter().map(|&m| (m, binomial_latency_full(params, cfg, p, m))).collect(),
     });
     out
 }
@@ -54,17 +48,9 @@ pub fn table2_rows(
 ) -> Vec<(String, f64)> {
     let mut rows: Vec<(String, f64)> = ks
         .iter()
-        .map(|&k| {
-            (
-                format!("OC-Bcast, k={k}"),
-                oc_throughput_full(params, cfg, p, k),
-            )
-        })
+        .map(|&k| (format!("OC-Bcast, k={k}"), oc_throughput_full(params, cfg, p, k)))
         .collect();
-    rows.push((
-        "scatter-allgather".to_string(),
-        sag_throughput_full(params, cfg, p),
-    ));
+    rows.push(("scatter-allgather".to_string(), sag_throughput_full(params, cfg, p)));
     rows
 }
 
@@ -95,13 +81,8 @@ mod tests {
     #[test]
     fn fig6_has_all_curves_and_sane_ordering() {
         let sizes: Vec<usize> = (1..=180).step_by(10).collect();
-        let curves = fig6_curves(
-            &ModelParams::paper(),
-            &FullModelCfg::default(),
-            48,
-            &[2, 7, 47],
-            &sizes,
-        );
+        let curves =
+            fig6_curves(&ModelParams::paper(), &FullModelCfg::default(), 48, &[2, 7, 47], &sizes);
         assert_eq!(curves.len(), 4);
         assert_eq!(curves[3].label, "binomial");
         // The binomial curve dominates OC k=7 everywhere (Figure 6a).

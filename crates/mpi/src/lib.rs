@@ -52,10 +52,7 @@ impl Communicator {
     /// full 48-core chip.
     pub fn new(num_cores: usize) -> Result<Communicator, MpbExhausted> {
         let mut alloc = MpbAllocator::new();
-        let bcast = OcBcast::new(
-            &mut alloc,
-            OcConfig { chunk_lines: 48, ..OcConfig::default() },
-        )?;
+        let bcast = OcBcast::new(&mut alloc, OcConfig { chunk_lines: 48, ..OcConfig::default() })?;
         let reduce = OcReduce::with_slot_lines(&mut alloc, 7, 8)?;
         let barrier = Barrier::new(&mut alloc, num_cores)?;
         let p2p_payload = alloc.lines_free().saturating_sub(num_cores + 1).max(1);
@@ -222,7 +219,8 @@ mod tests {
             let me = comm.rank(c);
             let buf = MemRange::new(0, len);
             let mine = slice_range(buf, p, me);
-            let fill: Vec<u8> = (0..mine.len).map(|i| (i as u8).wrapping_add(me as u8 * 31)).collect();
+            let fill: Vec<u8> =
+                (0..mine.len).map(|i| (i as u8).wrapping_add(me as u8 * 31)).collect();
             c.mem_write(mine.offset, &fill)?;
             comm.allgather(c, buf)?;
             c.mem_to_vec(buf)

@@ -15,7 +15,9 @@
 //! advance the same counter).
 
 use crate::alloc::{MpbAllocator, MpbExhausted, MpbRegion};
-use scc_hal::{bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_hal::{
+    bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES,
+};
 
 /// A dedicated, pipelined channel between cores `a` and `b`.
 ///
@@ -101,10 +103,7 @@ impl Pipe {
             }
             let len = (src.len - off).min(chunk_bytes);
             if len > 0 {
-                c.put_from_mem(
-                    src.slice(off, len),
-                    MpbAddr::new(peer, self.halves[h].first_line),
-                )?;
+                c.put_from_mem(src.slice(off, len), MpbAddr::new(peer, self.halves[h].first_line))?;
             }
             c.flag_put(MpbAddr::new(peer, self.sent[h]), FlagValue(seq))?;
             off += len;
@@ -127,10 +126,7 @@ impl Pipe {
             c.flag_wait_local(self.sent[h], &mut |v| v.0 >= seq)?;
             let len = (dst.len - off).min(chunk_bytes);
             if len > 0 {
-                c.get_to_mem(
-                    MpbAddr::new(me, self.halves[h].first_line),
-                    dst.slice(off, len),
-                )?;
+                c.get_to_mem(MpbAddr::new(me, self.halves[h].first_line), dst.slice(off, len))?;
             }
             c.flag_put(MpbAddr::new(peer, self.ready[h]), FlagValue(seq))?;
             off += len;
@@ -217,8 +213,7 @@ mod tests {
                 let mut alloc = MpbAllocator::new();
                 let r = MemRange::new(0, len);
                 if pipelined {
-                    let mut pipe =
-                        Pipe::between(&mut alloc, CoreId(0), CoreId(1), 96).unwrap();
+                    let mut pipe = Pipe::between(&mut alloc, CoreId(0), CoreId(1), 96).unwrap();
                     if c.core().index() == 0 {
                         c.mem_write(0, &payload(len))?;
                         pipe.send(c, r)?;

@@ -59,12 +59,7 @@ impl RcceComm {
         let sent_region = alloc.alloc(1)?;
         let payload_lines = alloc.lines_free();
         let payload = alloc.alloc(payload_lines.max(1))?;
-        Ok(RcceComm {
-            ready,
-            sent: BinFlag { line: sent_region.first_line },
-            payload,
-            num_cores,
-        })
+        Ok(RcceComm { ready, sent: BinFlag { line: sent_region.first_line }, payload, num_cores })
     }
 
     /// Like [`RcceComm::new`] but with an explicit payload size, so the
@@ -81,12 +76,7 @@ impl RcceComm {
         let ready = alloc.alloc(num_cores)?;
         let sent_region = alloc.alloc(1)?;
         let payload = alloc.alloc(payload_lines)?;
-        Ok(RcceComm {
-            ready,
-            sent: BinFlag { line: sent_region.first_line },
-            payload,
-            num_cores,
-        })
+        Ok(RcceComm { ready, sent: BinFlag { line: sent_region.first_line }, payload, num_cores })
     }
 
     /// Release the context's lines.
@@ -114,7 +104,13 @@ impl RcceComm {
         self.send_impl(c, dst, src, true)
     }
 
-    fn send_impl<R: Rma>(&self, c: &mut R, dst: CoreId, src: MemRange, cached: bool) -> RmaResult<()> {
+    fn send_impl<R: Rma>(
+        &self,
+        c: &mut R,
+        dst: CoreId,
+        src: MemRange,
+        cached: bool,
+    ) -> RmaResult<()> {
         assert!(dst.index() < self.num_cores && dst != c.core(), "bad send target {dst}");
         let ready_line = self.ready.line(dst.index());
         let me = c.core();

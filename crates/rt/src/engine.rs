@@ -230,44 +230,38 @@ where
     let epoch = Instant::now();
     let f = &f;
 
-    let joined: Vec<Result<(R, Time), Box<dyn std::any::Any + Send>>> =
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|i| {
-                    let mpb = Arc::clone(&mpb);
-                    let start = Arc::clone(&start);
-                    let poisoned = Arc::clone(&poisoned);
-                    s.spawn(move || -> Result<(R, Time), Box<dyn std::any::Any + Send>> {
-                        let mut core = RtCore {
-                            id: CoreId(i as u8),
-                            num_cores: n,
-                            mpb,
-                            mem: vec![0u8; cfg.mem_bytes],
-                            epoch,
-                            poisoned: Arc::clone(&poisoned),
-                        };
-                        start.wait();
-                        // Catch panics so the poison flag releases any
-                        // peer spinning on a flag this core will never
-                        // write; re-thrown after all threads unwind.
-                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&mut core)
-                        }));
-                        match r {
-                            Ok(v) => Ok((v, core.now())),
-                            Err(p) => {
-                                poisoned.store(true, Ordering::Relaxed);
-                                Err(p)
-                            }
+    let joined: Vec<Result<(R, Time), Box<dyn std::any::Any + Send>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let mpb = Arc::clone(&mpb);
+                let start = Arc::clone(&start);
+                let poisoned = Arc::clone(&poisoned);
+                s.spawn(move || -> Result<(R, Time), Box<dyn std::any::Any + Send>> {
+                    let mut core = RtCore {
+                        id: CoreId(i as u8),
+                        num_cores: n,
+                        mpb,
+                        mem: vec![0u8; cfg.mem_bytes],
+                        epoch,
+                        poisoned: Arc::clone(&poisoned),
+                    };
+                    start.wait();
+                    // Catch panics so the poison flag releases any
+                    // peer spinning on a flag this core will never
+                    // write; re-thrown after all threads unwind.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut core)));
+                    match r {
+                        Ok(v) => Ok((v, core.now())),
+                        Err(p) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            Err(p)
                         }
-                    })
+                    }
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(Err))
-                .collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
+    });
 
     let mut results = Vec::with_capacity(n);
     let mut end_times = Vec::with_capacity(n);
@@ -291,8 +285,8 @@ mod tests {
 
     #[test]
     fn spmd_runs_all_cores() {
-        let rep = run_spmd(&RtConfig { num_cores: 4, mem_bytes: 4096 }, |c| c.core().index())
-            .unwrap();
+        let rep =
+            run_spmd(&RtConfig { num_cores: 4, mem_bytes: 4096 }, |c| c.core().index()).unwrap();
         assert_eq!(rep.results, vec![0, 1, 2, 3]);
     }
 
@@ -300,19 +294,20 @@ mod tests {
     fn flag_handoff_with_real_threads() {
         let msg = b"cross-thread payload".to_vec();
         let expect = msg.clone();
-        let rep = run_spmd(&RtConfig { num_cores: 2, mem_bytes: 4096 }, move |c| -> RmaResult<Vec<u8>> {
-            if c.core().index() == 0 {
-                c.mem_write(0, &msg)?;
-                c.put_from_mem(MemRange::new(0, msg.len()), MpbAddr::new(CoreId(0), 1))?;
-                c.flag_put(MpbAddr::new(CoreId(1), 0), FlagValue(1))?;
-                Ok(Vec::new())
-            } else {
-                c.flag_wait_eq(0, FlagValue(1))?;
-                c.get_to_mem(MpbAddr::new(CoreId(0), 1), MemRange::new(0, 20))?;
-                c.mem_to_vec(MemRange::new(0, 20))
-            }
-        })
-        .unwrap();
+        let rep =
+            run_spmd(&RtConfig { num_cores: 2, mem_bytes: 4096 }, move |c| -> RmaResult<Vec<u8>> {
+                if c.core().index() == 0 {
+                    c.mem_write(0, &msg)?;
+                    c.put_from_mem(MemRange::new(0, msg.len()), MpbAddr::new(CoreId(0), 1))?;
+                    c.flag_put(MpbAddr::new(CoreId(1), 0), FlagValue(1))?;
+                    Ok(Vec::new())
+                } else {
+                    c.flag_wait_eq(0, FlagValue(1))?;
+                    c.get_to_mem(MpbAddr::new(CoreId(0), 1), MemRange::new(0, 20))?;
+                    c.mem_to_vec(MemRange::new(0, 20))
+                }
+            })
+            .unwrap();
         assert_eq!(rep.results[1].as_ref().unwrap(), &expect);
     }
 
@@ -320,33 +315,34 @@ mod tests {
     fn many_rounds_of_ping_pong_stress() {
         // Exercises the acquire/release pairing under real reordering.
         let rounds = 500u32;
-        let rep = run_spmd(&RtConfig { num_cores: 2, mem_bytes: 4096 }, move |c| -> RmaResult<u32> {
-            let me = c.core().index();
-            let peer = CoreId(1 - me as u8);
-            let mut seen = 0;
-            for r in 1..=rounds {
-                if me == 0 {
-                    // Write payload derived from r, then signal.
-                    c.mem_write(0, &r.to_le_bytes())?;
-                    c.put_from_mem(MemRange::new(0, 4), MpbAddr::new(CoreId(0), 2))?;
-                    c.flag_put(MpbAddr::new(peer, 0), FlagValue(r))?;
-                    c.flag_wait_local(1, &mut |v| v.0 >= r)?;
-                } else {
-                    c.flag_wait_local(0, &mut |v| v.0 >= r)?;
-                    c.get_to_mem(MpbAddr::new(CoreId(0), 2), MemRange::new(32, 4))?;
-                    let mut b = [0u8; 4];
-                    c.mem_read(32, &mut b)?;
-                    // The payload must be exactly the round the flag
-                    // announced (release/acquire ordering).
-                    if u32::from_le_bytes(b) == r {
-                        seen += 1;
+        let rep =
+            run_spmd(&RtConfig { num_cores: 2, mem_bytes: 4096 }, move |c| -> RmaResult<u32> {
+                let me = c.core().index();
+                let peer = CoreId(1 - me as u8);
+                let mut seen = 0;
+                for r in 1..=rounds {
+                    if me == 0 {
+                        // Write payload derived from r, then signal.
+                        c.mem_write(0, &r.to_le_bytes())?;
+                        c.put_from_mem(MemRange::new(0, 4), MpbAddr::new(CoreId(0), 2))?;
+                        c.flag_put(MpbAddr::new(peer, 0), FlagValue(r))?;
+                        c.flag_wait_local(1, &mut |v| v.0 >= r)?;
+                    } else {
+                        c.flag_wait_local(0, &mut |v| v.0 >= r)?;
+                        c.get_to_mem(MpbAddr::new(CoreId(0), 2), MemRange::new(32, 4))?;
+                        let mut b = [0u8; 4];
+                        c.mem_read(32, &mut b)?;
+                        // The payload must be exactly the round the flag
+                        // announced (release/acquire ordering).
+                        if u32::from_le_bytes(b) == r {
+                            seen += 1;
+                        }
+                        c.flag_put(MpbAddr::new(peer, 1), FlagValue(r))?;
                     }
-                    c.flag_put(MpbAddr::new(peer, 1), FlagValue(r))?;
                 }
-            }
-            Ok(seen)
-        })
-        .unwrap();
+                Ok(seen)
+            })
+            .unwrap();
         assert_eq!(rep.results[1].as_ref().unwrap(), &rounds);
     }
 

@@ -12,7 +12,6 @@
 
 use crate::params::SimParams;
 use scc_hal::{CoreId, MemController, Tile, Time, MPB_BYTES_PER_CORE};
-use std::collections::VecDeque;
 
 /// Reservation calendar of a single-server resource.
 ///
@@ -26,7 +25,13 @@ use std::collections::VecDeque;
 /// exactly what the hardware's FIFO would have done.
 #[derive(Debug, Default, Clone)]
 pub struct Calendar {
-    slots: VecDeque<(Time, Time)>,
+    /// Disjoint, start-sorted intervals; the live ones are
+    /// `slots[head..]`. Pruning advances `head` instead of shifting the
+    /// vector; the dead prefix is compacted away once it grows past a
+    /// small bound, so storage stays flat (no ring-buffer index math in
+    /// the hot path) and amortized O(1) per reservation.
+    slots: Vec<(Time, Time)>,
+    head: usize,
 }
 
 impl Calendar {
@@ -34,24 +39,59 @@ impl Calendar {
     /// returns the service start. `prune_before` must be a lower bound
     /// on every future arrival (the scheduler's current event time), so
     /// intervals ending before it can be dropped.
+    #[inline]
     pub fn reserve(&mut self, arrival: Time, service: Time, prune_before: Time) -> Time {
-        while let Some(&(_, end)) = self.slots.front() {
-            if end <= prune_before {
-                self.slots.pop_front();
-            } else {
+        let mut head = self.head;
+        while let Some(&(_, end)) = self.slots.get(head) {
+            if end > prune_before {
                 break;
             }
+            head += 1;
+        }
+        self.head = head;
+        // Events are processed in nondecreasing virtual time, so most
+        // arrivals land at or after every outstanding reservation:
+        // appending is the hot path, O(1).
+        if let Some(&(_, last_end)) = self.slots.last() {
+            if arrival < last_end && head < self.slots.len() {
+                return self.reserve_in_gap(arrival, service);
+            }
+        }
+        if head == self.slots.len() {
+            self.slots.clear();
+            self.head = 0;
+        } else if head >= 64 {
+            self.slots.drain(..head);
+            self.head = 0;
+        }
+        self.slots.push((arrival, arrival + service));
+        arrival
+    }
+
+    /// Slow path of [`reserve`](Self::reserve): the arrival conflicts
+    /// with outstanding reservations; find the earliest idle gap at or
+    /// after it. Intervals are disjoint and start-sorted (hence also
+    /// end-sorted). Conflicts cluster at the tail — a packet's return
+    /// trip books the same routers its forward trip just did — so scan
+    /// backwards from the end; this is one or two well-predicted steps
+    /// in practice, where a binary search would mispredict every probe.
+    fn reserve_in_gap(&mut self, arrival: Time, service: Time) -> Time {
+        // First interval that ends after the arrival; everything before
+        // it is already over and cannot conflict.
+        let mut first = self.slots.len();
+        while first > self.head && self.slots[first - 1].1 > arrival {
+            first -= 1;
         }
         let mut t0 = arrival;
-        let mut idx = 0usize;
-        for (i, &(s, e)) in self.slots.iter().enumerate() {
+        let mut idx = first;
+        while let Some(&(s, e)) = self.slots.get(idx) {
             if s >= t0 + service {
                 break; // fits entirely in the gap before this slot
             }
             if e > t0 {
                 t0 = e;
             }
-            idx = i + 1;
+            idx += 1;
         }
         self.slots.insert(idx, (t0, t0 + service));
         t0
@@ -59,7 +99,7 @@ impl Calendar {
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.len() - self.head
     }
 }
 
@@ -86,6 +126,17 @@ pub struct SimStats {
     pub router_busy: Time,
     /// Total memory-controller service time booked.
     pub mc_busy: Time,
+    /// Events pushed onto the scheduler heap (engine-internal; elided
+    /// pushes from the coalesced fast path are *not* counted here).
+    pub heap_pushes: u64,
+    /// Line steps taken on the coalesced fast path, i.e. heap
+    /// round-trips elided. `events == heap_pushes + coalesced_steps`
+    /// on every successful run.
+    pub coalesced_steps: u64,
+    /// Grants delivered to a core other than the current baton holder
+    /// — each one is a real thread switch. Grants returned inline to
+    /// the requesting core are free and not counted.
+    pub handoffs: u64,
 }
 
 /// Mutable chip state owned by the scheduler thread.
@@ -95,7 +146,10 @@ pub struct Chip {
     mem_bytes: usize,
     /// MPB contents, `num_cores * 8 KB`, indexed by core then byte.
     mpb: Vec<u8>,
-    /// Private off-chip memory of each core.
+    /// Private off-chip memory of each core, grown lazily: logically
+    /// `mem_bytes` of zeroes, but backed only up to the highest byte a
+    /// run has actually touched (a 48-core chip would otherwise zero
+    /// 48 x `mem_bytes` on every `run_spmd`).
     private: Vec<Vec<u8>>,
     /// Reservation calendar per mesh router (one per tile, 24 entries).
     routers: Vec<Calendar>,
@@ -118,7 +172,7 @@ impl Chip {
             num_cores,
             mem_bytes,
             mpb: vec![0u8; num_cores * MPB_BYTES_PER_CORE],
-            private: (0..num_cores).map(|_| vec![0u8; mem_bytes]).collect(),
+            private: (0..num_cores).map(|_| Vec::new()).collect(),
             routers: vec![Calendar::default(); 24],
             ports: vec![Calendar::default(); 24],
             mcs: vec![Calendar::default(); 4],
@@ -149,38 +203,72 @@ impl Chip {
         &mut self.mpb[base..base + len]
     }
 
-    pub fn private_slice(&self, core: CoreId, off: usize, len: usize) -> &[u8] {
+    /// Materialize `core`'s private memory up to `len` bytes (4 KB
+    /// granularity, zero-filled — untouched memory reads as zeroes).
+    fn private_grow(&mut self, core: CoreId, len: usize) {
+        debug_assert!(len <= self.mem_bytes);
+        let mem = &mut self.private[core.index()];
+        if mem.len() < len {
+            mem.resize(len.next_multiple_of(4096).min(self.mem_bytes), 0);
+        }
+    }
+
+    pub fn private_slice(&mut self, core: CoreId, off: usize, len: usize) -> &[u8] {
+        self.private_grow(core, off + len);
         &self.private[core.index()][off..off + len]
     }
 
     pub fn private_slice_mut(&mut self, core: CoreId, off: usize, len: usize) -> &mut [u8] {
+        self.private_grow(core, off + len);
         &mut self.private[core.index()][off..off + len]
     }
 
     /// Copy between an MPB region and a private-memory region in either
     /// direction without aliasing issues (the two storages are disjoint).
-    pub fn copy_mpb_to_private(&mut self, src: CoreId, src_byte: usize, dst: CoreId, dst_off: usize, len: usize) {
+    pub fn copy_mpb_to_private(
+        &mut self,
+        src: CoreId,
+        src_byte: usize,
+        dst: CoreId,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.private_grow(dst, dst_off + len);
         let base = src.index() * MPB_BYTES_PER_CORE + src_byte;
         let (mpb, private) = (&self.mpb, &mut self.private);
         private[dst.index()][dst_off..dst_off + len].copy_from_slice(&mpb[base..base + len]);
     }
 
-    pub fn copy_private_to_mpb(&mut self, src: CoreId, src_off: usize, dst: CoreId, dst_byte: usize, len: usize) {
+    pub fn copy_private_to_mpb(
+        &mut self,
+        src: CoreId,
+        src_off: usize,
+        dst: CoreId,
+        dst_byte: usize,
+        len: usize,
+    ) {
+        self.private_grow(src, src_off + len);
         let base = dst.index() * MPB_BYTES_PER_CORE + dst_byte;
         let (mpb, private) = (&mut self.mpb, &self.private);
         mpb[base..base + len].copy_from_slice(&private[src.index()][src_off..src_off + len]);
     }
 
-    pub fn copy_mpb_to_mpb(&mut self, src: CoreId, src_byte: usize, dst: CoreId, dst_byte: usize, len: usize) {
+    pub fn copy_mpb_to_mpb(
+        &mut self,
+        src: CoreId,
+        src_byte: usize,
+        dst: CoreId,
+        dst_byte: usize,
+        len: usize,
+    ) {
         let s = src.index() * MPB_BYTES_PER_CORE + src_byte;
         let d = dst.index() * MPB_BYTES_PER_CORE + dst_byte;
         if s == d {
             return;
         }
-        // Regions may belong to the same vector; use a temp copy for the
-        // (rare, small) overlapping-safe path.
-        let tmp = self.mpb[s..s + len].to_vec();
-        self.mpb[d..d + len].copy_from_slice(&tmp);
+        // Regions may belong to the same vector and may overlap;
+        // copy_within has memmove semantics and allocates nothing.
+        self.mpb.copy_within(s..s + len, d);
     }
 
     // ---- timed resources ----------------------------------------------
@@ -190,17 +278,19 @@ impl Chip {
     /// `L_hop` per router traversed and reserves each router for
     /// `router_occupancy` (virtual cut-through pipelining).
     pub fn traverse(&mut self, t: Time, from: Tile, to: Tile) -> Time {
+        let occupancy = self.params.router_occupancy;
+        let l_hop = self.params.l_hop;
         let mut t = t;
+        let mut waited = Time::ZERO;
+        let mut hops = 0u64;
         for tile in from.xy_route(to) {
-            let start = self.routers[tile.index()].reserve(
-                t,
-                self.params.router_occupancy,
-                self.prune_before,
-            );
-            self.stats.router_wait += start - t;
-            self.stats.router_busy += self.params.router_occupancy;
-            t = start + self.params.l_hop;
+            let start = self.routers[tile.index()].reserve(t, occupancy, self.prune_before);
+            waited += start - t;
+            hops += 1;
+            t = start + l_hop;
         }
+        self.stats.router_wait += waited;
+        self.stats.router_busy += Time::from_ps(occupancy.as_ps() * hops);
         t
     }
 

@@ -1,28 +1,60 @@
 //! The conservative sequential discrete-event engine.
 //!
 //! Each simulated core runs the user's SPMD closure on its own OS
-//! thread, but exactly one thread is runnable at any instant: the
-//! scheduler wakes a core by sending it a grant and then blocks until
-//! that core either issues its next timed request or finishes. Events
+//! thread (leased from a process-wide pool, see [`crate::handoff`]),
+//! but exactly one simulated core is *runnable* at any instant; events
 //! are ordered by `(virtual time, sequence number)`, so runs are
 //! bit-for-bit deterministic regardless of OS scheduling.
+//!
+//! ## Baton-passing: the engine runs on the cores' threads
+//!
+//! There is no scheduler thread. The engine state (chip, event heap,
+//! pending ops) lives behind one mutex — the *baton* — and the event
+//! loop is executed by whichever core thread is currently runnable:
+//! when a core issues a timed request it keeps processing events
+//! inline until either its own grant is produced (it simply returns —
+//! zero thread switches, the common case for back-to-back operations
+//! of one core) or a grant for another core comes up, in which case it
+//! deposits the grant in that core's rendezvous [`ParkCell`], wakes it
+//! (one thread switch, where the old channel-based design needed two
+//! via the scheduler thread), and parks until its own grant arrives.
+//! The mutex is never contended in steady state — only the baton
+//! holder touches it — and the strict grant→request alternation per
+//! core is what makes the event order independent of the OS.
 //!
 //! Operations are *simulated* (resources reserved, completion time
 //! computed) at issue and their memory effects applied at completion —
 //! the completion time is each op's linearization point, which keeps
-//! reads, writes and flag parking globally time-ordered and makes the
-//! wake-on-write machinery race-free.
+//! reads, writes and flag parking globally time-ordered.
+//!
+//! ## The coalesced fast path
+//!
+//! A multi-line op is stepped one cache line per event. Pushing and
+//! popping the heap once per line is pure bookkeeping whenever the
+//! pending op is the only thing happening on the chip — the next
+//! line-completion event would come straight back as the heap minimum.
+//! The stepper therefore peeks the heap: while the just-simulated line
+//! completes strictly before the earliest queued event, it advances
+//! the clock and steps the next line directly. The `(time, seq)` order
+//! is preserved exactly — a queued event at the same instant has a
+//! smaller sequence number and would run first, so the fast path only
+//! triggers on *strictly earlier* completions — and each elided heap
+//! round-trip still counts in `SimStats::events`, keeping counters,
+//! traces and end times bit-identical to a run with coalescing
+//! disabled (see `SimConfig::coalesce`).
 
 use crate::chip::{Chip, SimStats};
+use crate::handoff::{self, ParkCell, Slot};
 use crate::ops::{self, Effect, Op};
 use crate::params::SimParams;
 use crate::trace::{OpKind, OpTrace};
 use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaError, RmaResult, Time, NUM_CORES};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::panic::resume_unwind;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration of a simulator run.
 #[derive(Clone, Debug)]
@@ -36,6 +68,11 @@ pub struct SimConfig {
     /// Record an [`OpTrace`] entry per timed operation (costs memory
     /// proportional to the op count; off by default).
     pub trace: bool,
+    /// Step op lines in a tight loop while no other event can
+    /// intervene (default on). Virtual-time behaviour is identical
+    /// either way; the knob exists so tests can regress-check that
+    /// claim and to help bisect engine bugs.
+    pub coalesce: bool,
 }
 
 impl Default for SimConfig {
@@ -45,6 +82,7 @@ impl Default for SimConfig {
             mem_bytes: 4 << 20,
             params: SimParams::default(),
             trace: false,
+            coalesce: true,
         }
     }
 }
@@ -100,18 +138,43 @@ pub struct SimReport<R> {
 
 enum Request {
     Op(Op),
-    Park { line: usize },
+    Park {
+        line: usize,
+    },
     Compute(Time),
-    MemWrite { offset: usize, data: Vec<u8> },
-    MemRead { offset: usize, len: usize },
-    Finish,
+    /// Untimed private-memory write; `buf` is the core's reusable
+    /// scratch buffer carrying the payload, returned in the grant.
+    MemWrite {
+        offset: usize,
+        buf: Vec<u8>,
+    },
+    /// Untimed private-memory read; the engine fills `buf` in place.
+    MemRead {
+        offset: usize,
+        len: usize,
+        buf: Vec<u8>,
+    },
 }
 
 enum Grant {
-    Go { now: Time },
-    Bytes { now: Time, data: Vec<u8> },
-    Flag { now: Time, value: FlagValue },
-    Rejected(RmaError),
+    Go {
+        now: Time,
+    },
+    /// Completion of a MemRead/MemWrite: hands the scratch buffer back.
+    Buf {
+        now: Time,
+        buf: Vec<u8>,
+    },
+    Flag {
+        now: Time,
+        value: FlagValue,
+    },
+    /// Validation failure; returns the scratch buffer when the request
+    /// carried one, so rejection does not leak the core's buffer.
+    Rejected {
+        err: RmaError,
+        buf: Option<Vec<u8>>,
+    },
     Deadlock,
 }
 
@@ -126,7 +189,8 @@ struct Event {
 
 #[derive(PartialEq, Eq)]
 enum EventKind {
-    /// Wake a core with a plain `Go` (start, compute done, park wake).
+    /// Wake a core with a plain `Go` (start, compute done, park wake)
+    /// — or with `Deadlock` if the core was deadlock-notified.
     Resume(usize),
     /// Advance the core's pending op by one cache line, or — once all
     /// lines are done — apply its effects and resume the core.
@@ -151,70 +215,186 @@ impl PartialOrd for Event {
     }
 }
 
-// ---- scheduler -----------------------------------------------------------
+// ---- the engine ----------------------------------------------------------
 
-struct Scheduler<'a> {
-    chip: &'a mut Chip,
-    grant_tx: Vec<Sender<Grant>>,
-    req_rx: Vec<Receiver<Request>>,
+/// What one turn of the event loop produced.
+enum Advanced {
+    /// Core `.0` becomes runnable and receives grant `.1`.
+    Granted(usize, Grant),
+    /// Every core finished; the run result can be assembled.
+    RunComplete,
+    /// The engine wedged; the run must be aborted.
+    Fatal(String),
+}
+
+enum Submitted {
+    /// The request completed immediately (untimed or rejected); the
+    /// submitting core stays runnable.
+    Ready(Grant),
+    /// The request scheduled future events; the submitter must drive
+    /// the event loop.
+    Blocked,
+}
+
+/// All mutable engine state, owned by the baton mutex in [`Shared`].
+struct Engine {
+    chip: Chip,
+    coalesce: bool,
     queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
     now: Time,
     pending: Vec<Option<PendingOp>>,
     parked: Vec<Option<usize>>,
+    /// Cores whose next `Resume` must deliver `Grant::Deadlock`.
+    deadlock_notified: Vec<bool>,
     finished: Vec<bool>,
     end_times: Vec<Time>,
     done: usize,
+    n: usize,
     deadlocks: Vec<(CoreId, usize)>,
     deadlock_rounds: u32,
     trace: Option<Vec<OpTrace>>,
+    /// Set once the run is being torn down; every later submit fails.
+    fatal: bool,
 }
 
-impl<'a> Scheduler<'a> {
-    fn new(
-        chip: &'a mut Chip,
-        grant_tx: Vec<Sender<Grant>>,
-        req_rx: Vec<Receiver<Request>>,
-        trace: bool,
-    ) -> Self {
-        let n = grant_tx.len();
-        Scheduler {
-            chip,
-            grant_tx,
-            req_rx,
-            queue: BinaryHeap::new(),
+impl Engine {
+    fn new(cfg: &SimConfig) -> Engine {
+        let n = cfg.num_cores;
+        let mut e = Engine {
+            chip: Chip::new(cfg.params, n, cfg.mem_bytes),
+            coalesce: cfg.coalesce,
+            queue: BinaryHeap::with_capacity(2 * n + 8),
             seq: 0,
             now: Time::ZERO,
             pending: (0..n).map(|_| None).collect(),
             parked: vec![None; n],
+            deadlock_notified: vec![false; n],
             finished: vec![false; n],
             end_times: vec![Time::ZERO; n],
             done: 0,
+            n,
             deadlocks: Vec::new(),
             deadlock_rounds: 0,
-            trace: trace.then(Vec::new),
+            trace: cfg.trace.then(Vec::new),
+            fatal: false,
+        };
+        for i in 0..n {
+            e.push(Time::ZERO, EventKind::Resume(i));
         }
+        e
     }
 
     fn push(&mut self, at: Time, kind: EventKind) {
+        self.chip.stats.heap_pushes += 1;
         self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
         self.seq += 1;
     }
 
-    fn send(&self, core: usize, grant: Grant) -> Result<(), SimError> {
-        self.grant_tx[core]
-            .send(grant)
-            .map_err(|_| SimError::Engine(format!("core C{core} dropped its grant channel")))
+    fn granted(&mut self, core: usize, grant: Grant) -> Advanced {
+        Advanced::Granted(core, grant)
     }
 
-    fn run(mut self) -> Result<(Vec<Time>, Option<Vec<OpTrace>>), SimError> {
-        let n = self.grant_tx.len();
-        for i in 0..n {
-            self.push(Time::ZERO, EventKind::Resume(i));
+    fn ready(&mut self, g: Grant) -> Result<Submitted, SimError> {
+        Ok(Submitted::Ready(g))
+    }
+
+    /// Feed one request of `core` into the engine. `Ready` responses
+    /// leave the core runnable; `Blocked` means the core must drive
+    /// [`advance`](Self::advance) until a grant emerges.
+    fn submit(&mut self, core: usize, req: Request) -> Result<Submitted, SimError> {
+        if self.fatal {
+            return Err(SimError::Engine("engine torn down".into()));
         }
-        while self.done < n {
+        match req {
+            Request::Compute(t) => {
+                let at = self.now + t;
+                self.push(at, EventKind::Resume(core));
+                Ok(Submitted::Blocked)
+            }
+            Request::Park { line } => {
+                if line >= scc_hal::MPB_LINES_PER_CORE {
+                    return self.ready(Grant::Rejected {
+                        err: RmaError::MpbOutOfRange {
+                            addr: MpbAddr::new(CoreId(core as u8), 0),
+                            lines: line,
+                        },
+                        buf: None,
+                    });
+                }
+                self.chip.stats.parks += 1;
+                self.parked[core] = Some(line);
+                Ok(Submitted::Blocked)
+            }
+            Request::MemRead { offset, len, mut buf } => {
+                let g = if offset + len <= self.chip.mem_bytes() {
+                    buf.clear();
+                    buf.extend_from_slice(self.chip.private_slice(CoreId(core as u8), offset, len));
+                    Grant::Buf { now: self.now, buf }
+                } else {
+                    Grant::Rejected {
+                        err: RmaError::MemOutOfRange {
+                            offset,
+                            len,
+                            mem_len: self.chip.mem_bytes(),
+                        },
+                        buf: Some(buf),
+                    }
+                };
+                self.ready(g)
+            }
+            Request::MemWrite { offset, buf } => {
+                let g = if offset + buf.len() <= self.chip.mem_bytes() {
+                    self.chip
+                        .private_slice_mut(CoreId(core as u8), offset, buf.len())
+                        .copy_from_slice(&buf);
+                    Grant::Buf { now: self.now, buf }
+                } else {
+                    Grant::Rejected {
+                        err: RmaError::MemOutOfRange {
+                            offset,
+                            len: buf.len(),
+                            mem_len: self.chip.mem_bytes(),
+                        },
+                        buf: Some(buf),
+                    }
+                };
+                self.ready(g)
+            }
+            Request::Op(op) => {
+                if let Err(e) = ops::validate(&self.chip, CoreId(core as u8), &op) {
+                    return self.ready(Grant::Rejected { err: e, buf: None });
+                }
+                self.chip.stats.ops += 1;
+                let overhead = ops::op_overhead(&self.chip, &op);
+                let remaining = ops::total_lines(&op);
+                self.pending[core] = Some(PendingOp { op, remaining, issued: self.now });
+                self.push(self.now + overhead, EventKind::Step(core));
+                Ok(Submitted::Blocked)
+            }
+        }
+    }
+
+    /// Record that `core` finished. The caller must then drive
+    /// [`advance`](Self::advance) to pass the baton on (or complete the
+    /// run).
+    fn submit_finish(&mut self, core: usize) {
+        self.finished[core] = true;
+        self.end_times[core] = self.now;
+        self.done += 1;
+    }
+
+    /// Run the event loop until a core becomes runnable, the run
+    /// completes, or the engine wedges.
+    fn advance(&mut self) -> Advanced {
+        loop {
+            if self.done == self.n {
+                return Advanced::RunComplete;
+            }
             let Some(Reverse(ev)) = self.queue.pop() else {
-                self.handle_deadlock()?;
+                if let Some(fatal) = self.handle_deadlock() {
+                    return Advanced::Fatal(fatal);
+                }
                 continue;
             };
             self.chip.stats.events += 1;
@@ -223,47 +403,71 @@ impl<'a> Scheduler<'a> {
             self.chip.set_prune_horizon(self.now);
             match ev.kind {
                 EventKind::Resume(i) => {
-                    self.send(i, Grant::Go { now: self.now })?;
-                    self.attend(i)?;
+                    let g = if std::mem::take(&mut self.deadlock_notified[i]) {
+                        Grant::Deadlock
+                    } else {
+                        Grant::Go { now: self.now }
+                    };
+                    return self.granted(i, g);
                 }
                 EventKind::Step(i) => {
-                    let p = self.pending[i].as_mut().expect("Step without a pending op");
-                    if p.remaining == 0 {
-                        let done = self.pending[i].take().expect("pending vanished");
-                        let op = done.op;
-                        if let Some(tr) = self.trace.as_mut() {
-                            tr.push(OpTrace {
-                                core: CoreId(i as u8),
-                                kind: OpKind::of(&op),
-                                lines: ops::total_lines(&op),
-                                start: done.issued,
-                                end: self.now,
-                            });
-                        }
-                        let grant = self.apply_and_grant(i, &op);
-                        self.send(i, grant)?;
-                        self.attend(i)?;
-                    } else {
-                        p.remaining -= 1;
-                        let op = p.op.clone();
-                        let done = ops::simulate_line(self.chip, CoreId(i as u8), &op, self.now);
-                        self.push(done, EventKind::Step(i));
+                    if let Some(g) = self.step(i) {
+                        return self.granted(i, g);
                     }
                 }
             }
         }
-        if self.deadlocks.is_empty() {
-            Ok((self.end_times, self.trace))
-        } else {
-            Err(SimError::Deadlock { parked: std::mem::take(&mut self.deadlocks) })
+    }
+
+    /// Process a `Step` event for core `i`, coalescing subsequent line
+    /// steps while no other queued event can precede them. Returns the
+    /// grant once the whole op completed, `None` if the next line went
+    /// back to the heap.
+    ///
+    /// Invariant: a coalesced step is taken only when the just-computed
+    /// line completion is *strictly earlier* than the heap minimum. The
+    /// event the slow path would have pushed carries a fresh (maximal)
+    /// sequence number, so at equal times the queued event wins — which
+    /// is exactly what popping from the heap would have done. Elided
+    /// pops still increment `stats.events`; only `stats.heap_pushes`
+    /// and `stats.coalesced_steps` reveal which path executed.
+    fn step(&mut self, i: usize) -> Option<Grant> {
+        loop {
+            let p = self.pending[i].as_mut().expect("Step without a pending op");
+            if p.remaining == 0 {
+                let done = self.pending[i].take().expect("pending vanished");
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.push(OpTrace {
+                        core: CoreId(i as u8),
+                        kind: OpKind::of(&done.op),
+                        lines: ops::total_lines(&done.op),
+                        start: done.issued,
+                        end: self.now,
+                    });
+                }
+                return Some(self.apply_op(i, &done.op));
+            }
+            p.remaining -= 1;
+            let line_done = ops::simulate_line(&mut self.chip, CoreId(i as u8), &p.op, self.now);
+            let fast =
+                self.coalesce && self.queue.peek().is_none_or(|Reverse(head)| line_done < head.at);
+            if fast {
+                // The elided event: count it as popped, advance the clock.
+                self.chip.stats.events += 1;
+                self.chip.stats.coalesced_steps += 1;
+                self.now = line_done;
+                self.chip.set_prune_horizon(line_done);
+            } else {
+                self.push(line_done, EventKind::Step(i));
+                return None;
+            }
         }
     }
 
-    fn apply_and_grant(&mut self, core: usize, op: &Op) -> Grant {
-        match ops::apply(self.chip, CoreId(core as u8), op) {
+    fn apply_op(&mut self, core: usize, op: &Op) -> Grant {
+        match ops::apply(&mut self.chip, CoreId(core as u8), op) {
             Effect::None => Grant::Go { now: self.now },
             Effect::Flag(value) => Grant::Flag { now: self.now, value },
-            Effect::Bytes(data) => Grant::Bytes { now: self.now, data },
             Effect::Wrote(region) => {
                 // Wake every core parked on a just-written line; the
                 // wake carries the commit timestamp, and the waiter
@@ -281,115 +485,89 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Serve a core's requests until it blocks on a timed operation,
-    /// parks, or finishes.
-    fn attend(&mut self, i: usize) -> Result<(), SimError> {
-        loop {
-            let req = self.req_rx[i].recv().map_err(|_| {
-                SimError::Engine(format!("core C{i} disconnected mid-run (panicked?)"))
-            })?;
-            match req {
-                Request::Finish => {
-                    self.finished[i] = true;
-                    self.end_times[i] = self.now;
-                    self.done += 1;
-                    return Ok(());
-                }
-                Request::Compute(t) => {
-                    let at = self.now + t;
-                    self.push(at, EventKind::Resume(i));
-                    return Ok(());
-                }
-                Request::Park { line } => {
-                    if line >= scc_hal::MPB_LINES_PER_CORE {
-                        self.send(
-                            i,
-                            Grant::Rejected(RmaError::MpbOutOfRange {
-                                addr: MpbAddr::new(CoreId(i as u8), 0),
-                                lines: line,
-                            }),
-                        )?;
-                        continue;
-                    }
-                    self.chip.stats.parks += 1;
-                    self.parked[i] = Some(line);
-                    return Ok(());
-                }
-                Request::MemRead { offset, len } => {
-                    let grant = if offset + len <= self.chip.mem_bytes() {
-                        let data = self.chip.private_slice(CoreId(i as u8), offset, len).to_vec();
-                        Grant::Bytes { now: self.now, data }
-                    } else {
-                        Grant::Rejected(RmaError::MemOutOfRange {
-                            offset,
-                            len,
-                            mem_len: self.chip.mem_bytes(),
-                        })
-                    };
-                    self.send(i, grant)?;
-                }
-                Request::MemWrite { offset, data } => {
-                    let grant = if offset + data.len() <= self.chip.mem_bytes() {
-                        self.chip
-                            .private_slice_mut(CoreId(i as u8), offset, data.len())
-                            .copy_from_slice(&data);
-                        Grant::Go { now: self.now }
-                    } else {
-                        Grant::Rejected(RmaError::MemOutOfRange {
-                            offset,
-                            len: data.len(),
-                            mem_len: self.chip.mem_bytes(),
-                        })
-                    };
-                    self.send(i, grant)?;
-                }
-                Request::Op(op) => {
-                    if let Err(e) = ops::validate(self.chip, CoreId(i as u8), &op) {
-                        self.send(i, Grant::Rejected(e))?;
-                        continue;
-                    }
-                    self.chip.stats.ops += 1;
-                    let overhead = ops::op_overhead(self.chip, &op);
-                    let remaining = ops::total_lines(&op);
-                    self.pending[i] = Some(PendingOp { op, remaining, issued: self.now });
-                    self.push(self.now + overhead, EventKind::Step(i));
-                    return Ok(());
-                }
-            }
-        }
-    }
-
     /// Queue empty but cores unfinished: everyone left is parked on a
-    /// flag that no scheduled op will ever write. Abort their waits.
-    fn handle_deadlock(&mut self) -> Result<(), SimError> {
+    /// flag that no scheduled op will ever write. Notify them one at a
+    /// time through ordinary `Resume` events so their subsequent
+    /// requests keep a deterministic order. Returns a message if the
+    /// engine is wedged beyond recovery.
+    fn handle_deadlock(&mut self) -> Option<String> {
         self.deadlock_rounds += 1;
         if self.deadlock_rounds > 100 {
-            return Err(SimError::Engine(
-                "livelock: cores keep re-parking after deadlock notification".into(),
-            ));
+            return Some("livelock: cores keep re-parking after deadlock notification".into());
         }
-        let victims: Vec<usize> = (0..self.parked.len())
-            .filter(|&i| self.parked[i].is_some())
-            .collect();
+        let victims: Vec<usize> =
+            (0..self.parked.len()).filter(|&i| self.parked[i].is_some()).collect();
         if victims.is_empty() {
-            return Err(SimError::Engine(
-                "scheduler stalled: queue empty, cores unfinished, none parked".into(),
-            ));
+            return Some("engine stalled: queue empty, cores unfinished, none parked".into());
         }
         for v in victims {
             let line = self.parked[v].take().expect("victim must be parked");
             self.deadlocks.push((CoreId(v as u8), line));
-            self.send(v, Grant::Deadlock)?;
-            self.attend(v)?;
+            self.deadlock_notified[v] = true;
+            self.push(self.now, EventKind::Resume(v));
         }
-        Ok(())
+        None
+    }
+
+    fn make_result(&mut self) -> Result<RunOutput, SimError> {
+        if self.deadlocks.is_empty() {
+            Ok(RunOutput {
+                end_times: std::mem::take(&mut self.end_times),
+                trace: self.trace.take(),
+                stats: self.chip.stats.clone(),
+            })
+        } else {
+            Err(SimError::Deadlock { parked: std::mem::take(&mut self.deadlocks) })
+        }
+    }
+}
+
+struct RunOutput {
+    end_times: Vec<Time>,
+    trace: Option<Vec<OpTrace>>,
+    stats: SimStats,
+}
+
+/// Engine state shared by all core threads of one run.
+struct Shared {
+    engine: Mutex<Engine>,
+    /// Per-core rendezvous for grants produced while the core was not
+    /// the baton holder.
+    grants: Vec<ParkCell<Grant>>,
+    /// Signalled exactly once, when the last core finishes (or the run
+    /// aborts); closed on teardown so the waiter never hangs.
+    completion: Slot<Result<RunOutput, SimError>>,
+}
+
+impl Shared {
+    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
+        // A panicking core thread may poison the baton; the abort path
+        // still needs the state (to set `fatal`), so recover.
+        self.engine.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Tear the run down: flag the engine fatal, deliver `err` to the
+    /// completion waiter and unblock every parked core.
+    fn abort(&self, err: SimError) {
+        self.lock_engine().fatal = true;
+        let _ = self.completion.try_put(Err(err));
+        self.completion.close();
+        for g in &self.grants {
+            g.close();
+        }
+    }
+
+    /// Deliver a grant to `core` and wake it. Failure means the run is
+    /// aborting; the waiter is then woken by `close` instead.
+    fn deposit(&self, core: usize, grant: Grant) {
+        let _ = self.grants[core].put(grant);
     }
 }
 
 // ---- the per-core handle ---------------------------------------------------
 
 /// The [`Rma`] endpoint handed to the SPMD closure for one simulated
-/// core. All methods communicate with the scheduler thread; virtual
+/// core. Requests are fed straight into the shared engine; virtual
 /// time advances only through timed operations.
 pub struct SimCore {
     id: CoreId,
@@ -397,31 +575,65 @@ pub struct SimCore {
     mem_bytes: usize,
     now: Cell<Time>,
     parked_line: Cell<usize>,
-    tx: Sender<Request>,
-    rx: Receiver<Grant>,
+    /// Reusable payload buffer for untimed memory requests; it rides
+    /// along in the request and comes back in the grant, so steady
+    /// state does no allocation per call.
+    scratch: RefCell<Vec<u8>>,
+    shared: Arc<Shared>,
 }
 
 impl SimCore {
+    /// Submit one request and run the engine until this core's grant is
+    /// available — inline when possible, via a single thread handoff
+    /// when another core must run first.
     fn rpc(&self, req: Request) -> RmaResult<Grant> {
-        self.tx
-            .send(req)
-            .map_err(|_| RmaError::Engine("scheduler gone".into()))?;
-        match self.rx.recv() {
-            Ok(Grant::Rejected(e)) => Err(e),
-            Ok(Grant::Deadlock) => Err(RmaError::Deadlock {
-                core: self.id,
-                line: self.parked_line.get(),
-            }),
-            Ok(g) => {
+        let me = self.id.index();
+        let mut eng = self.shared.lock_engine();
+        let grant = match eng.submit(me, req).map_err(|e| RmaError::Engine(e.to_string()))? {
+            Submitted::Ready(g) => g,
+            Submitted::Blocked => match eng.advance() {
+                Advanced::Granted(core, g) if core == me => g,
+                Advanced::Granted(core, g) => {
+                    eng.chip.stats.handoffs += 1;
+                    drop(eng);
+                    self.shared.deposit(core, g);
+                    self.shared.grants[me]
+                        .take()
+                        .map_err(|_| RmaError::Engine("run aborted".into()))?
+                }
+                Advanced::RunComplete => {
+                    // Unreachable: this core has not finished. Treat it
+                    // as a wedge rather than trusting the impossible.
+                    drop(eng);
+                    self.shared.abort(SimError::Engine("run completed with a core mid-op".into()));
+                    return Err(RmaError::Engine("engine wedged".into()));
+                }
+                Advanced::Fatal(msg) => {
+                    drop(eng);
+                    self.shared.abort(SimError::Engine(msg.clone()));
+                    return Err(RmaError::Engine(msg));
+                }
+            },
+        };
+        match grant {
+            Grant::Rejected { err, buf } => {
+                if let Some(b) = buf {
+                    self.scratch.replace(b);
+                }
+                Err(err)
+            }
+            Grant::Deadlock => {
+                Err(RmaError::Deadlock { core: self.id, line: self.parked_line.get() })
+            }
+            g => {
                 match &g {
-                    Grant::Go { now } | Grant::Bytes { now, .. } | Grant::Flag { now, .. } => {
+                    Grant::Go { now } | Grant::Buf { now, .. } | Grant::Flag { now, .. } => {
                         self.now.set(*now)
                     }
                     _ => unreachable!(),
                 }
                 Ok(g)
             }
-            Err(_) => Err(RmaError::Engine("scheduler gone".into())),
         }
     }
 
@@ -430,7 +642,7 @@ impl SimCore {
     }
 
     fn wait_start(&self) -> RmaResult<()> {
-        match self.rx.recv() {
+        match self.shared.grants[self.id.index()].take() {
             Ok(Grant::Go { now }) => {
                 self.now.set(now);
                 Ok(())
@@ -439,10 +651,31 @@ impl SimCore {
         }
     }
 
+    /// Retire this core: record its end time, then keep the event loop
+    /// moving — hand the baton to the next runnable core, or complete
+    /// the run if this was the last one.
     fn finish(&self) {
-        // Ignore send failure: if the scheduler is gone the run already
-        // failed and the error surfaced elsewhere.
-        let _ = self.tx.send(Request::Finish);
+        let mut eng = self.shared.lock_engine();
+        if eng.fatal {
+            return;
+        }
+        eng.submit_finish(self.id.index());
+        match eng.advance() {
+            Advanced::RunComplete => {
+                let result = eng.make_result();
+                drop(eng);
+                let _ = self.shared.completion.try_put(result);
+            }
+            Advanced::Granted(core, g) => {
+                eng.chip.stats.handoffs += 1;
+                drop(eng);
+                self.shared.deposit(core, g);
+            }
+            Advanced::Fatal(msg) => {
+                drop(eng);
+                self.shared.abort(SimError::Engine(msg));
+            }
+        }
     }
 }
 
@@ -510,13 +743,24 @@ impl Rma for SimCore {
     }
 
     fn mem_write(&mut self, offset: usize, data: &[u8]) -> RmaResult<()> {
-        self.rpc(Request::MemWrite { offset, data: data.to_vec() }).map(drop)
+        let mut buf = self.scratch.take();
+        buf.clear();
+        buf.extend_from_slice(data);
+        match self.rpc(Request::MemWrite { offset, buf })? {
+            Grant::Buf { buf, .. } => {
+                self.scratch.replace(buf);
+                Ok(())
+            }
+            _ => Err(RmaError::Engine("memory write returned no buffer".into())),
+        }
     }
 
     fn mem_read(&self, offset: usize, buf: &mut [u8]) -> RmaResult<()> {
-        match self.rpc(Request::MemRead { offset, len: buf.len() })? {
-            Grant::Bytes { data, .. } => {
-                buf.copy_from_slice(&data);
+        let scratch = self.scratch.take();
+        match self.rpc(Request::MemRead { offset, len: buf.len(), buf: scratch })? {
+            Grant::Buf { buf: filled, .. } => {
+                buf.copy_from_slice(&filled);
+                self.scratch.replace(filled);
                 Ok(())
             }
             _ => Err(RmaError::Engine("memory read returned no bytes".into())),
@@ -530,6 +774,19 @@ impl Rma for SimCore {
     }
 }
 
+/// Tears the whole run down if the SPMD closure panics, so the other
+/// core threads and the completion waiter unblock instead of waiting
+/// for a baton that will never be passed again.
+struct AbortOnPanic<'a>(&'a Shared);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort(SimError::Engine("a core thread panicked".into()));
+        }
+    }
+}
+
 /// Run `f` as an SPMD program on the simulated chip: one invocation per
 /// core, all starting at virtual time zero. Returns when every core's
 /// closure has returned.
@@ -537,6 +794,10 @@ impl Rma for SimCore {
 /// The run is fully deterministic: same config and same (per-core
 /// deterministic) closure ⇒ identical report, independent of host
 /// scheduling.
+///
+/// Core threads are leased from a process-wide pool, so back-to-back
+/// runs (sweeps, benches) pay no thread spawn/join cost after the
+/// first.
 pub fn run_spmd<R, F>(cfg: &SimConfig, f: F) -> Result<SimReport<R>, SimError>
 where
     R: Send,
@@ -544,51 +805,94 @@ where
 {
     let n = cfg.num_cores;
     assert!((1..=NUM_CORES).contains(&n), "num_cores must be in 1..=48");
-    let mut chip = Chip::new(cfg.params, n, cfg.mem_bytes);
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(Engine::new(cfg)),
+        grants: (0..n).map(|_| ParkCell::new()).collect(),
+        completion: Slot::new(),
+    });
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mem_bytes = cfg.mem_bytes;
     let f = &f;
-    std::thread::scope(|s| {
-        let mut grant_txs = Vec::with_capacity(n);
-        let mut req_rxs = Vec::with_capacity(n);
-        let mut joins = Vec::with_capacity(n);
-        for i in 0..n {
-            let (gtx, grx) = channel::<Grant>();
-            let (rtx, rrx) = channel::<Request>();
-            grant_txs.push(gtx);
-            req_rxs.push(rrx);
-            let mem_bytes = cfg.mem_bytes;
-            joins.push(s.spawn(move || -> Option<R> {
-                let mut core = SimCore {
-                    id: CoreId(i as u8),
-                    num_cores: n,
-                    mem_bytes,
-                    now: Cell::new(Time::ZERO),
-                    parked_line: Cell::new(0),
-                    tx: rtx,
-                    rx: grx,
-                };
-                core.wait_start().ok()?;
+
+    let workers = handoff::checkout(n);
+    for (i, worker) in workers.iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let result = &results[i];
+        let job = move || {
+            let _teardown_on_panic = AbortOnPanic(&shared);
+            let mut core = SimCore {
+                id: CoreId(i as u8),
+                num_cores: n,
+                mem_bytes,
+                now: Cell::new(Time::ZERO),
+                parked_line: Cell::new(0),
+                scratch: RefCell::new(Vec::new()),
+                shared: Arc::clone(&shared),
+            };
+            if core.wait_start().is_ok() {
                 let r = f(&mut core);
                 core.finish();
-                Some(r)
-            }));
-        }
+                *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            }
+        };
+        // SAFETY: the job borrows `f` and `results` from this stack
+        // frame. Every worker is awaited below — on the success and
+        // abort paths alike — before this frame returns, so the erased
+        // lifetime never outlives its borrows.
+        let job: Box<dyn FnOnce() + Send> = Box::new(job);
+        let job: handoff::Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send>, handoff::Job>(job) };
+        worker.submit(job);
+    }
 
-        let sched_result = Scheduler::new(&mut chip, grant_txs, req_rxs, cfg.trace).run();
-
-        let mut results = Vec::with_capacity(n);
-        for j in joins {
-            match j.join() {
-                Ok(Some(r)) => results.push(r),
-                Ok(None) => {}
-                Err(p) => std::panic::resume_unwind(p),
+    // Kick the run: deliver the first grant (core 0's start `Go`), then
+    // wait for completion while the core threads pass the baton around.
+    {
+        let mut eng = shared.lock_engine();
+        match eng.advance() {
+            Advanced::Granted(core, g) => {
+                eng.chip.stats.handoffs += 1;
+                drop(eng);
+                shared.deposit(core, g);
+            }
+            Advanced::RunComplete | Advanced::Fatal(_) => {
+                drop(eng);
+                shared.abort(SimError::Engine("engine wedged before any core started".into()));
             }
         }
-        let (end_times, trace) = sched_result?;
-        if results.len() != n {
-            return Err(SimError::Engine("some cores never started".into()));
+    }
+    let outcome =
+        shared.completion.take().unwrap_or_else(|_| Err(SimError::Engine("run aborted".into())));
+
+    // Wait for every worker before the borrowed stack may go away.
+    let mut core_panic = None;
+    for worker in &workers {
+        if let Err(p) = worker.wait() {
+            core_panic = Some(p);
         }
-        let makespan = end_times.iter().copied().fold(Time::ZERO, Time::max);
-        Ok(SimReport { results, end_times, makespan, stats: chip.stats.clone(), trace })
+    }
+    handoff::checkin(workers);
+    if let Some(p) = core_panic {
+        resume_unwind(p);
+    }
+
+    let out = outcome?;
+    let mut collected = Vec::with_capacity(n);
+    for slot in &results {
+        if let Some(r) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            collected.push(r);
+        }
+    }
+    if collected.len() != n {
+        return Err(SimError::Engine("some cores never started".into()));
+    }
+    let makespan = out.end_times.iter().copied().fold(Time::ZERO, Time::max);
+    Ok(SimReport {
+        results: collected,
+        end_times: out.end_times,
+        makespan,
+        stats: out.stats,
+        trace: out.trace,
     })
 }
 
@@ -599,7 +903,7 @@ mod tests {
 
     #[test]
     fn trivial_run_finishes_at_time_zero() {
-        let cfg = SimConfig { num_cores: 4, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 4, mem_bytes: 4096, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| c.core().index()).unwrap();
         assert_eq!(rep.results, vec![0, 1, 2, 3]);
         assert_eq!(rep.makespan, Time::ZERO);
@@ -607,7 +911,7 @@ mod tests {
 
     #[test]
     fn single_op_advances_virtual_time_exactly() {
-        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| {
             if c.core().index() == 0 {
                 c.put_from_mpb(0, MpbAddr::new(CoreId(1), 0), 4).unwrap();
@@ -622,7 +926,7 @@ mod tests {
 
     #[test]
     fn flag_handoff_moves_data_between_cores() {
-        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
         let msg = b"on-chip hello";
         let rep = run_spmd(&cfg, move |c| -> RmaResult<Vec<u8>> {
             if c.core().index() == 0 {
@@ -646,7 +950,7 @@ mod tests {
 
     #[test]
     fn deadlock_detected_and_reported() {
-        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
         let err = run_spmd(&cfg, |c| -> RmaResult<()> {
             if c.core().index() == 1 {
                 // Nobody ever writes this flag.
@@ -665,7 +969,7 @@ mod tests {
 
     #[test]
     fn rejected_op_reports_error_without_advancing_time() {
-        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| {
             let e = c.get_to_mpb(MpbAddr::new(CoreId(0), 250), 0, 20).unwrap_err();
             assert!(matches!(e, RmaError::MpbOutOfRange { .. }));
@@ -677,7 +981,7 @@ mod tests {
 
     #[test]
     fn compute_advances_time_without_touching_resources() {
-        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 4096, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| {
             c.compute(Time::from_us_f64(2.5));
             c.now()
@@ -689,7 +993,7 @@ mod tests {
 
     #[test]
     fn determinism_same_program_same_trace() {
-        let cfg = SimConfig { num_cores: 8, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 8, mem_bytes: 4096, ..SimConfig::default() };
         let prog = |c: &mut SimCore| -> Time {
             let me = c.core().index();
             let next = CoreId(((me + 1) % 8) as u8);
@@ -709,7 +1013,7 @@ mod tests {
 
     #[test]
     fn mem_rw_is_untimed_and_isolated() {
-        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| {
             c.mem_write(0, &[c.core().0 + 1; 8]).unwrap();
             let mut buf = [0u8; 8];
@@ -723,12 +1027,60 @@ mod tests {
 
     #[test]
     fn oversized_mem_access_rejected() {
-        let cfg = SimConfig { num_cores: 1, mem_bytes: 64, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 64, ..SimConfig::default() };
         let rep = run_spmd(&cfg, |c| {
             let e = c.mem_write(60, &[0u8; 8]).unwrap_err();
             matches!(e, RmaError::MemOutOfRange { .. })
         })
         .unwrap();
         assert!(rep.results[0]);
+    }
+
+    #[test]
+    fn mem_rw_reuses_the_scratch_buffer_across_rejections() {
+        // A rejected access must hand the scratch buffer back so later
+        // valid accesses still see correct data.
+        let cfg = SimConfig { num_cores: 1, mem_bytes: 64, ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            assert!(c.mem_write(60, &[1u8; 8]).is_err());
+            c.mem_write(0, &[7u8; 8]).unwrap();
+            let mut buf = [0u8; 8];
+            assert!(c.mem_read(60, &mut buf).is_err());
+            c.mem_read(0, &mut buf).unwrap();
+            buf
+        })
+        .unwrap();
+        assert_eq!(rep.results[0], [7u8; 8]);
+    }
+
+    #[test]
+    fn coalescing_counts_elided_events() {
+        // A single 32-line op on an otherwise idle chip coalesces every
+        // line step after the first pop.
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
+        let rep = run_spmd(&cfg, |c| {
+            if c.core().index() == 0 {
+                c.put_from_mpb(0, MpbAddr::new(CoreId(1), 0), 32).unwrap();
+            }
+        })
+        .unwrap();
+        assert!(rep.stats.coalesced_steps >= 31, "stats: {:?}", rep.stats);
+        assert_eq!(rep.stats.events, rep.stats.heap_pushes + rep.stats.coalesced_steps);
+    }
+
+    #[test]
+    fn panicking_core_aborts_the_run() {
+        let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = run_spmd(&cfg, |c| {
+                if c.core().index() == 1 {
+                    panic!("core exploded");
+                }
+                c.compute(Time::US);
+            });
+        });
+        let p = outcome.expect_err("panic must propagate to the caller");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "core exploded");
     }
 }

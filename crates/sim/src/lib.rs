@@ -19,6 +19,7 @@
 
 pub mod chip;
 pub mod engine;
+pub mod handoff;
 pub mod microbench;
 pub mod ops;
 pub mod params;

@@ -59,16 +59,10 @@ pub fn measure_p2p(
                 P2pKind::GetMpb => c.get_to_mpb(MpbAddr::new(peer, 0), 0, lines).unwrap(),
                 P2pKind::PutMpb => c.put_from_mpb(0, MpbAddr::new(peer, 0), lines).unwrap(),
                 P2pKind::GetMem => c
-                    .get_to_mem(
-                        MpbAddr::new(peer, 0),
-                        MemRange::new(0, lines * CACHE_LINE_BYTES),
-                    )
+                    .get_to_mem(MpbAddr::new(peer, 0), MemRange::new(0, lines * CACHE_LINE_BYTES))
                     .unwrap(),
                 P2pKind::PutMem => c
-                    .put_from_mem(
-                        MemRange::new(0, lines * CACHE_LINE_BYTES),
-                        MpbAddr::new(peer, 0),
-                    )
+                    .put_from_mem(MemRange::new(0, lines * CACHE_LINE_BYTES), MpbAddr::new(peer, 0))
                     .unwrap(),
             }
         }
@@ -126,7 +120,11 @@ pub fn measure_contention(
 /// Returns `(loaded_probe, idle_probe)` — the probe's per-op completion
 /// with and without background load. The paper found no measurable
 /// difference.
-pub fn measure_link_stress(cfg: &SimConfig, lines: usize, reps: u32) -> Result<(Time, Time), SimError> {
+pub fn measure_link_stress(
+    cfg: &SimConfig,
+    lines: usize,
+    reps: u32,
+) -> Result<(Time, Time), SimError> {
     let probe_core = probe_on_tile(2, 2);
     let target_core = probe_on_tile(3, 2);
 
@@ -195,7 +193,12 @@ mod tests {
     use crate::params::SimParams;
 
     fn cfg() -> SimConfig {
-        SimConfig { num_cores: 48, mem_bytes: 64 * 1024, params: SimParams::default(), ..SimConfig::default() }
+        SimConfig {
+            num_cores: 48,
+            mem_bytes: 64 * 1024,
+            params: SimParams::default(),
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -255,7 +258,12 @@ mod tests {
 
     #[test]
     fn star_broadcast_delivers_payload_everywhere() {
-        let cfg = SimConfig { num_cores: 8, mem_bytes: 16 * 1024, params: SimParams::default(), ..SimConfig::default() };
+        let cfg = SimConfig {
+            num_cores: 8,
+            mem_bytes: 16 * 1024,
+            params: SimParams::default(),
+            ..SimConfig::default()
+        };
         let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
         let results = naive_star_broadcast(&cfg, &payload).unwrap();
         assert_eq!(results.len(), 8);

@@ -12,7 +12,7 @@
 
 use crate::chip::Chip;
 use scc_hal::{
-    FlagValue, MemRange, MpbAddr, RmaError, RmaResult, Time, CoreId, CACHE_LINE_BYTES,
+    CoreId, FlagValue, MemRange, MpbAddr, RmaError, RmaResult, Time, CACHE_LINE_BYTES,
     MPB_LINES_PER_CORE,
 };
 
@@ -52,7 +52,6 @@ impl WrittenRegion {
 pub enum Effect {
     None,
     Wrote(WrittenRegion),
-    Bytes(Vec<u8>),
     Flag(FlagValue),
 }
 
@@ -84,11 +83,7 @@ fn check_mem(range: MemRange, mem_len: usize) -> RmaResult<()> {
         return Err(RmaError::EmptyTransfer);
     }
     if range.end() > mem_len {
-        return Err(RmaError::MemOutOfRange {
-            offset: range.offset,
-            len: range.len,
-            mem_len,
-        });
+        return Err(RmaError::MemOutOfRange { offset: range.offset, len: range.len, mem_len });
     }
     Ok(())
 }
@@ -265,11 +260,7 @@ pub fn apply(chip: &mut Chip, issuer: CoreId, op: &Op) -> Effect {
                 dst.byte_offset(),
                 lines * CACHE_LINE_BYTES,
             );
-            Effect::Wrote(WrittenRegion {
-                core: dst.core,
-                first_line: dst.line(),
-                lines: *lines,
-            })
+            Effect::Wrote(WrittenRegion { core: dst.core, first_line: dst.line(), lines: *lines })
         }
         Op::GetToMem { src, dst } => {
             chip.copy_mpb_to_private(src.core, src.byte_offset(), issuer, dst.offset, dst.len);
@@ -283,21 +274,13 @@ pub fn apply(chip: &mut Chip, issuer: CoreId, op: &Op) -> Effect {
                 dst_line * CACHE_LINE_BYTES,
                 lines * CACHE_LINE_BYTES,
             );
-            Effect::Wrote(WrittenRegion {
-                core: issuer,
-                first_line: *dst_line,
-                lines: *lines,
-            })
+            Effect::Wrote(WrittenRegion { core: issuer, first_line: *dst_line, lines: *lines })
         }
         Op::FlagPut { dst, value } => {
             let line = value.encode();
             chip.mpb_slice_mut(dst.core, dst.byte_offset(), CACHE_LINE_BYTES)
                 .copy_from_slice(&line);
-            Effect::Wrote(WrittenRegion {
-                core: dst.core,
-                first_line: dst.line(),
-                lines: 1,
-            })
+            Effect::Wrote(WrittenRegion { core: dst.core, first_line: dst.line(), lines: 1 })
         }
         Op::ReadLine { line } => {
             let bytes = chip.mpb_slice(issuer, line * CACHE_LINE_BYTES, CACHE_LINE_BYTES);
@@ -382,16 +365,19 @@ mod tests {
             ModelLike { p }
         }
         fn c_mpb_r(&self, d: u32) -> u64 {
-            (self.p.o_core_mpb_read + self.p.mpb_port_read).as_ps() + 2 * d as u64 * self.p.l_hop.as_ps()
+            (self.p.o_core_mpb_read + self.p.mpb_port_read).as_ps()
+                + 2 * d as u64 * self.p.l_hop.as_ps()
         }
         fn c_mpb_w(&self, d: u32) -> u64 {
-            (self.p.o_core_mpb_write + self.p.mpb_port_write).as_ps() + 2 * d as u64 * self.p.l_hop.as_ps()
+            (self.p.o_core_mpb_write + self.p.mpb_port_write).as_ps()
+                + 2 * d as u64 * self.p.l_hop.as_ps()
         }
         fn c_mem_r(&self, d: u32) -> u64 {
             (self.p.o_core_mem_read + self.p.mc_read).as_ps() + 2 * d as u64 * self.p.l_hop.as_ps()
         }
         fn c_mem_w(&self, d: u32) -> u64 {
-            (self.p.o_core_mem_write + self.p.mc_write).as_ps() + 2 * d as u64 * self.p.l_hop.as_ps()
+            (self.p.o_core_mem_write + self.p.mc_write).as_ps()
+                + 2 * d as u64 * self.p.l_hop.as_ps()
         }
         fn c_put_mpb(&self, m: usize, d: u32) -> u64 {
             self.p.o_put_mpb.as_ps() + m as u64 * (self.c_mpb_r(1) + self.c_mpb_w(d))
@@ -442,7 +428,11 @@ mod tests {
         let e = validate(
             &chip,
             CoreId(0),
-            &Op::PutFromMem { src: MemRange::new(0, 1 << 20), dst: MpbAddr::new(CoreId(1), 0), cached: false },
+            &Op::PutFromMem {
+                src: MemRange::new(0, 1 << 20),
+                dst: MpbAddr::new(CoreId(1), 0),
+                cached: false,
+            },
         );
         assert!(matches!(e, Err(RmaError::MemOutOfRange { .. })));
 
@@ -457,7 +447,11 @@ mod tests {
         assert!(validate(
             &chip,
             CoreId(0),
-            &Op::PutFromMem { src: MemRange::new(0, 33), dst: MpbAddr::new(CoreId(1), 0), cached: false },
+            &Op::PutFromMem {
+                src: MemRange::new(0, 33),
+                dst: MpbAddr::new(CoreId(1), 0),
+                cached: false
+            },
         )
         .is_ok());
     }
@@ -477,7 +471,11 @@ mod tests {
     fn apply_moves_the_payload() {
         let mut chip = fixture();
         chip.private_slice_mut(CoreId(0), 0, 5).copy_from_slice(b"hello");
-        let op = Op::PutFromMem { src: MemRange::new(0, 5), dst: MpbAddr::new(CoreId(2), 4), cached: false };
+        let op = Op::PutFromMem {
+            src: MemRange::new(0, 5),
+            dst: MpbAddr::new(CoreId(2), 4),
+            cached: false,
+        };
         match apply(&mut chip, CoreId(0), &op) {
             Effect::Wrote(w) => {
                 assert!(w.covers(CoreId(2), 4));

@@ -50,7 +50,7 @@ impl fmt::Display for OpKind {
 }
 
 /// One traced operation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OpTrace {
     pub core: CoreId,
     pub kind: OpKind,
@@ -158,10 +158,7 @@ mod tests {
 
     #[test]
     fn gantt_renders_rows_and_glyphs() {
-        let trace = vec![
-            t(0, OpKind::PutFromMem, 0, 500),
-            t(1, OpKind::GetToMpb, 500, 1000),
-        ];
+        let trace = vec![t(0, OpKind::PutFromMem, 0, 500), t(1, OpKind::GetToMpb, 500, 1000)];
         let g = render_gantt(&trace, 2, 20);
         assert!(g.contains('P'), "{g}");
         assert!(g.contains('g'), "{g}");

@@ -6,7 +6,12 @@ use scc_sim::{measure_contention, SimConfig, SimParams};
 
 #[test]
 fn closed_queueing_model_matches_simulator() {
-    let cfg = SimConfig { num_cores: 48, mem_bytes: 64 * 1024, params: SimParams::default(), ..SimConfig::default() };
+    let cfg = SimConfig {
+        num_cores: 48,
+        mem_bytes: 64 * 1024,
+        params: SimParams::default(),
+        ..SimConfig::default()
+    };
     let q = ClosedQueue::get_scenario(128, 9.0, 0.010, 0.126, 0.005);
     for n in [1usize, 8, 16, 24, 32, 40, 47] {
         let v = measure_contention(&cfg, n, 128, false, 2).expect("sim");
@@ -21,9 +26,6 @@ fn closed_queueing_model_matches_simulator() {
         );
         // The point estimate tracks the measurement within 20%.
         let est = q.cycle_estimate_us(n);
-        assert!(
-            (avg / est - 1.0).abs() < 0.20,
-            "n={n}: measured {avg:.1} vs estimate {est:.1}"
-        );
+        assert!((avg / est - 1.0).abs() < 0.20, "n={n}: measured {avg:.1} vs estimate {est:.1}");
     }
 }

@@ -129,9 +129,7 @@ fn main() {
     for (i, r) in report.results.iter().enumerate() {
         assert_eq!(*r.as_ref().expect("core"), (levels, reached), "core {i} diverged");
     }
-    println!(
-        "BFS over {N} vertices (degree {DEGREE}): {reached} reached in {levels} levels"
-    );
+    println!("BFS over {N} vertices (degree {DEGREE}): {reached} reached in {levels} levels");
     println!("virtual makespan: {}", report.makespan);
     assert!(reached > N / 2, "the random digraph's giant component should dominate");
 }

@@ -106,10 +106,8 @@ fn bc_scope<R: Rma>(
         //    class core).
         let mut raw = vec![0u8; centroid_bytes];
         c.mem_read(0, &mut raw)?;
-        let centroids: Vec<u64> = raw
-            .chunks_exact(8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
-            .collect();
+        let centroids: Vec<u64> =
+            raw.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8B"))).collect();
         let mut sums = vec![0u64; K * (D + 1)];
         inertia = 0;
         for p in &points {
@@ -177,10 +175,7 @@ fn main() {
 
     println!("OC-Bcast (k=7)      total virtual time: {t_oc}");
     println!("scatter-allgather   total virtual time: {t_sag}");
-    println!(
-        "speedup from the RMA broadcast alone: {:.2}x",
-        t_sag.as_ns_f64() / t_oc.as_ns_f64()
-    );
+    println!("speedup from the RMA broadcast alone: {:.2}x", t_sag.as_ns_f64() / t_oc.as_ns_f64());
     assert_eq!(inertia_oc, inertia_sag, "both variants must compute identical results");
     println!("final local inertia at root (identical for both): {inertia_oc}");
     assert!(t_oc < t_sag, "OC-Bcast must win the broadcast-heavy workload");

@@ -55,11 +55,9 @@ fn main() {
         let me = c.core().index();
         let mut alloc = MpbAllocator::new();
         let mut group = OnesidedGroup::new(&mut alloc, P, 80).expect("group ctx");
-        let mut bcast = OcBcast::new(
-            &mut alloc,
-            OcConfig { chunk_lines: 20, ..OcConfig::default() },
-        )
-        .expect("bcast ctx");
+        let mut bcast =
+            OcBcast::new(&mut alloc, OcConfig { chunk_lines: 20, ..OcConfig::default() })
+                .expect("bcast ctx");
 
         // 1. Local sort + samples.
         let mut keys = keys_for(me);
@@ -69,7 +67,10 @@ fn main() {
         let sample_area = MemRange::new(SAMPLES_OFF, P * SAMPLES_PER_CORE * 8);
         let mine = slice_range(sample_area, P, me);
         let samples: Vec<u8> = (0..SAMPLES_PER_CORE)
-            .flat_map(|i| keys[i * KEYS_PER_CORE / SAMPLES_PER_CORE + KEYS_PER_CORE / (2 * SAMPLES_PER_CORE)].to_le_bytes())
+            .flat_map(|i| {
+                keys[i * KEYS_PER_CORE / SAMPLES_PER_CORE + KEYS_PER_CORE / (2 * SAMPLES_PER_CORE)]
+                    .to_le_bytes()
+            })
             .collect();
         c.mem_write(mine.offset, &samples[..mine.len.min(samples.len())])?;
         group.gather(c, CoreId(0), sample_area)?;
@@ -83,9 +84,8 @@ fn main() {
                 .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
                 .collect();
             vals.sort_unstable();
-            let splitters: Vec<u8> = (1..P)
-                .flat_map(|j| vals[j * vals.len() / P].to_le_bytes())
-                .collect();
+            let splitters: Vec<u8> =
+                (1..P).flat_map(|j| vals[j * vals.len() / P].to_le_bytes()).collect();
             c.mem_write(SPLITTERS_OFF, &splitters)?;
             c.compute(Time::from_ns(vals.len() as u64 * 25));
         }
@@ -93,10 +93,8 @@ fn main() {
         bcast.bcast(c, CoreId(0), splitter_range)?;
         let mut raw = vec![0u8; (P - 1) * 8];
         c.mem_read(SPLITTERS_OFF, &mut raw)?;
-        let splitters: Vec<u64> = raw
-            .chunks_exact(8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
-            .collect();
+        let splitters: Vec<u64> =
+            raw.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8B"))).collect();
 
         // 3. Partition into buckets and pack send slices.
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); P];
@@ -128,7 +126,9 @@ fn main() {
             let count = u64::from_le_bytes(head) as usize;
             let mut body = vec![0u8; count * 8];
             c.mem_read(s.offset + 8, &mut body)?;
-            merged.extend(body.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8B"))));
+            merged.extend(
+                body.chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().expect("8B"))),
+            );
         }
         merged.sort_unstable();
         c.compute(Time::from_ns(30 * merged.len().max(1) as u64));
@@ -137,10 +137,8 @@ fn main() {
         // 5. Summary gather for global verification at core 0.
         let summary = MemRange::new(SUMMARY_OFF, P * 32);
         let s = slice_range(summary, P, me);
-        let (lo, hi) = (
-            merged.first().copied().unwrap_or(u64::MAX),
-            merged.last().copied().unwrap_or(0),
-        );
+        let (lo, hi) =
+            (merged.first().copied().unwrap_or(u64::MAX), merged.last().copied().unwrap_or(0));
         let mut blob = [0u8; 32];
         blob[..8].copy_from_slice(&lo.to_le_bytes());
         blob[8..16].copy_from_slice(&hi.to_le_bytes());

@@ -121,11 +121,8 @@ fn run(use_oc: bool) -> (Time, i64) {
         Ok(cells.iter().sum())
     })
     .expect("simulation");
-    let checksum: i64 = rep
-        .results
-        .iter()
-        .map(|r| *r.as_ref().expect("core"))
-        .fold(0i64, i64::wrapping_add);
+    let checksum: i64 =
+        rep.results.iter().map(|r| *r.as_ref().expect("core")).fold(0i64, i64::wrapping_add);
     (rep.makespan, checksum)
 }
 
@@ -138,10 +135,7 @@ fn main() {
 
     println!("OC-Bcast (k=7) total virtual time: {t_oc}");
     println!("binomial tree  total virtual time: {t_bin}");
-    println!(
-        "speedup from the RMA broadcast alone: {:.2}x",
-        t_bin.as_ns_f64() / t_oc.as_ns_f64()
-    );
+    println!("speedup from the RMA broadcast alone: {:.2}x", t_bin.as_ns_f64() / t_oc.as_ns_f64());
     assert_eq!(sum_oc, sum_bin, "both variants must compute the same field");
     println!("field checksum (identical for both): {sum_oc}");
     assert!(t_oc < t_bin, "OC-Bcast must win the latency-bound workload");

@@ -14,7 +14,7 @@
 pub use oc_bcast;
 pub use scc_hal;
 pub use scc_model;
+pub use scc_mpi;
 pub use scc_rcce;
 pub use scc_rt;
-pub use scc_mpi;
 pub use scc_sim;

@@ -123,8 +123,7 @@ fn rt_repeated_broadcasts_rotating_roots() {
     let cfg = scc_rt::RtConfig { num_cores: 4, mem_bytes: 1 << 16 };
     let rep = scc_rt::run_spmd(&cfg, |c| -> RmaResult<bool> {
         let mut alloc = MpbAllocator::new();
-        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 4)
-            .expect("ctx");
+        let mut b = Broadcaster::new(&mut alloc, Algorithm::oc_default(), 4).expect("ctx");
         let mut ok = true;
         for round in 0..16u8 {
             let root = CoreId(round % 4);

@@ -89,12 +89,10 @@ fn throughput_ratio_matches_table2_shape() {
 #[test]
 fn latency_improvement_headline_holds() {
     let cfg = paper_chip();
-    let oc = measure_bcast(&cfg, Algorithm::oc_with_k(7), CoreId(0), 32, 1, 2)
-        .expect("sim")
-        .latency_us;
-    let bin = measure_bcast(&cfg, Algorithm::Binomial, CoreId(0), 32, 1, 2)
-        .expect("sim")
-        .latency_us;
+    let oc =
+        measure_bcast(&cfg, Algorithm::oc_with_k(7), CoreId(0), 32, 1, 2).expect("sim").latency_us;
+    let bin =
+        measure_bcast(&cfg, Algorithm::Binomial, CoreId(0), 32, 1, 2).expect("sim").latency_us;
     assert!(
         oc < bin * 0.73,
         "OC-Bcast must improve 1-CL latency by at least 27%: {oc:.2} vs {bin:.2}"

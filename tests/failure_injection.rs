@@ -45,9 +45,7 @@ fn missing_sender_deadlocks_with_line_info() {
         Ok(())
     })
     .unwrap_err();
-    let SimError::Deadlock { parked } = err else {
-        panic!("expected deadlock")
-    };
+    let SimError::Deadlock { parked } = err else { panic!("expected deadlock") };
     assert_eq!(parked.len(), 1);
     assert_eq!(parked[0].0, CoreId(1));
 }
@@ -90,12 +88,7 @@ fn oversized_context_fails_at_allocation_not_at_runtime() {
 fn rma_bounds_errors_are_reported_not_fatal() {
     let rep = run_spmd(&cfg(2), |c| -> RmaResult<u32> {
         let mut hits = 0;
-        if c
-            .get_to_mem(
-                scc_hal::MpbAddr::new(CoreId(1), 200),
-                MemRange::new(0, 100 * 32),
-            )
-            .is_err()
+        if c.get_to_mem(scc_hal::MpbAddr::new(CoreId(1), 200), MemRange::new(0, 100 * 32)).is_err()
         {
             hits += 1;
         }
@@ -160,13 +153,8 @@ fn mismatched_message_sizes_detected_as_deadlock_or_error() {
 fn rt_backend_surfaces_bounds_errors_too() {
     let rep = scc_rt::run_spmd(&scc_rt::RtConfig { num_cores: 2, mem_bytes: 256 }, |c| {
         let a = c.mem_write(250, &[1u8; 10]).unwrap_err();
-        let b = c
-            .get_to_mpb(scc_hal::MpbAddr::new(CoreId(1), 250), 0, 10)
-            .unwrap_err();
-        (
-            matches!(a, RmaError::MemOutOfRange { .. }),
-            matches!(b, RmaError::MpbOutOfRange { .. }),
-        )
+        let b = c.get_to_mpb(scc_hal::MpbAddr::new(CoreId(1), 250), 0, 10).unwrap_err();
+        (matches!(a, RmaError::MemOutOfRange { .. }), matches!(b, RmaError::MpbOutOfRange { .. }))
     })
     .expect("rt");
     for r in rep.results {
