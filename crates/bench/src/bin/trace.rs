@@ -1,0 +1,210 @@
+//! Record one broadcast and emit every observability artifact at once:
+//!
+//! * a text Gantt + per-core op summary on stdout (the quick look that
+//!   used to be the `gantt` binary);
+//! * `results/trace_<label>.json` — Chrome trace_event JSON, loadable
+//!   in Perfetto (`ui.perfetto.dev`): one track per core with ops,
+//!   parked intervals and protocol-phase spans, plus one track per
+//!   contended resource;
+//! * `results/util_<label>.csv` — bucketed busy-fraction / queue-depth
+//!   time series per contended resource;
+//! * a critical-path report on stdout (latency attributed to op
+//!   service, port/router/MC queueing, compute and idle), with the
+//!   invariant `sum(segments) == makespan` asserted;
+//! * `BENCH_obs.json` — the machine-readable roll-up CI checks.
+//!
+//! Run: `cargo run --release -p scc-bench --bin trace -- \
+//!        --collective ocbcast --lines 96 [--cores 48] [--k 7] \
+//!        [--buckets 60] [--width 100] [--out results]`
+
+use oc_bcast::{Algorithm, Broadcaster, OcConfig};
+use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
+use scc_obs::{chrome_trace_json, critical_path, validate_json, Json, ObsEvent, UtilizationSeries};
+use scc_rcce::MpbAllocator;
+use scc_sim::{render_gantt, run_spmd, summarize, SimConfig};
+
+struct Opts {
+    collective: String,
+    lines: usize,
+    cores: usize,
+    k: usize,
+    buckets: usize,
+    width: usize,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        collective: "ocbcast".into(),
+        lines: 96,
+        cores: 48,
+        k: 7,
+        buckets: 60,
+        width: 100,
+        out: "results".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--collective" => o.collective = val(),
+            "--lines" => o.lines = parse_num(&flag, &val()),
+            "--cores" => o.cores = parse_num(&flag, &val()),
+            "--k" => o.k = parse_num(&flag, &val()),
+            "--buckets" => o.buckets = parse_num(&flag, &val()),
+            "--width" => o.width = parse_num(&flag, &val()),
+            "--out" => o.out = val(),
+            _ => die(&format!("unknown flag {flag} (see the doc comment for usage)")),
+        }
+    }
+    if !(1..=48).contains(&o.cores) {
+        die("--cores must be in 1..=48");
+    }
+    o
+}
+
+fn parse_num(flag: &str, s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| die(&format!("{flag}: bad number {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace: {msg}");
+    std::process::exit(2);
+}
+
+fn algorithm(o: &Opts) -> Algorithm {
+    match o.collective.as_str() {
+        "ocbcast" => Algorithm::OcBcast(OcConfig::with_k(o.k)),
+        "binomial" => Algorithm::Binomial,
+        "sag" => Algorithm::ScatterAllgather,
+        "rma-sag" => Algorithm::RmaScatterAllgather,
+        other => die(&format!("unknown collective {other:?} (ocbcast | binomial | sag | rma-sag)")),
+    }
+}
+
+fn main() {
+    let o = parse_opts();
+    let alg = algorithm(&o);
+    let p = o.cores;
+    let bytes = o.lines * 32;
+    let label = format!("{}_{}cl", o.collective, o.lines);
+
+    let cfg = SimConfig {
+        num_cores: p,
+        mem_bytes: (bytes.next_power_of_two()).max(1 << 20),
+        trace: true,
+        record: true,
+        ..SimConfig::default()
+    };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, alg, p).expect("MPB layout fits");
+        let r = MemRange::new(0, bytes);
+        if c.core().index() == 0 {
+            let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+            c.mem_write(0, &payload)?;
+        }
+        b.bcast(c, CoreId(0), r)
+    })
+    .expect("simulation");
+    for r in &rep.results {
+        r.as_ref().expect("core ok");
+    }
+    let events = rep.events.as_deref().expect("recording enabled");
+
+    // ---- quick look: Gantt + per-core summary --------------------------
+    println!("{} — {} cache lines, P={p}, one broadcast\n", alg.label(), o.lines);
+    let trace = rep.trace.as_deref().expect("trace enabled");
+    print!("{}", render_gantt(trace, p, o.width));
+    println!();
+    let summary = summarize(trace, p);
+    println!("{:>4} {:>6} {:>7} {:>12} {:>12}", "core", "ops", "lines", "busy", "polling");
+    for (i, s) in summary.per_core.iter().enumerate() {
+        println!(
+            "{:>4} {:>6} {:>7} {:>12} {:>12}",
+            format!("C{i}"),
+            s.ops,
+            s.lines,
+            s.busy.to_string(),
+            s.polling.to_string()
+        );
+    }
+    println!();
+    let span = rep.makespan.as_ns_f64();
+    println!("makespan: {}  ({} events recorded)", rep.makespan, events.len());
+    println!(
+        "utilization — MPB ports: {:.1}%  routers: {:.2}%  memory controllers: {:.1}%",
+        rep.stats.port_busy.as_ns_f64() / (span * 24.0) * 100.0,
+        rep.stats.router_busy.as_ns_f64() / (span * 24.0) * 100.0,
+        rep.stats.mc_busy.as_ns_f64() / (span * 4.0) * 100.0,
+    );
+
+    // ---- critical path -------------------------------------------------
+    let cp = critical_path(events).expect("non-empty event stream");
+    println!();
+    print!("{}", cp.render());
+    let b = cp.breakdown();
+    assert_eq!(b.total(), cp.total(), "critical-path segments must sum exactly to the path length");
+    assert_eq!(
+        cp.total(),
+        rep.makespan,
+        "critical path must cover the whole broadcast: {} vs {}",
+        cp.total(),
+        rep.makespan
+    );
+
+    // ---- artifacts -----------------------------------------------------
+    std::fs::create_dir_all(&o.out).expect("create output dir");
+    let chrome = chrome_trace_json(events);
+    validate_json(&chrome).expect("chrome trace JSON is valid");
+    let trace_path = format!("{}/trace_{label}.json", o.out);
+    std::fs::write(&trace_path, &chrome).expect("write chrome trace");
+
+    let series = UtilizationSeries::build(events, rep.makespan, o.buckets);
+    let csv_path = format!("{}/util_{label}.csv", o.out);
+    std::fs::write(&csv_path, series.to_csv()).expect("write utilization CSV");
+
+    let us = |t: Time| Json::Num(t.as_us_f64());
+    let mut peak = Json::obj();
+    for (class, frac) in series.peak_busy() {
+        peak = peak.set(class, Json::Num(frac));
+    }
+    let bench = Json::obj()
+        .set("bench", Json::Str("trace".into()))
+        .set("collective", Json::Str(o.collective.clone()))
+        .set("label", Json::Str(alg.label()))
+        .set("cores", Json::Int(p as i64))
+        .set("lines", Json::Int(o.lines as i64))
+        .set("makespan_us", us(rep.makespan))
+        .set("events", Json::Int(events.len() as i64))
+        .set("spans", Json::Int(count_spans(events) as i64))
+        .set(
+            "critical_path",
+            Json::obj()
+                .set("segments", Json::Int(cp.segments.len() as i64))
+                .set("total_us", us(cp.total()))
+                .set("op_service_us", us(b.op_service))
+                .set("port_wait_us", us(b.port_wait))
+                .set("router_wait_us", us(b.router_wait))
+                .set("mc_wait_us", us(b.mc_wait))
+                .set("compute_us", us(b.compute))
+                .set("idle_us", us(b.idle)),
+        )
+        .set("peak_busy", peak)
+        .set(
+            "artifacts",
+            Json::Arr(vec![Json::Str(trace_path.clone()), Json::Str(csv_path.clone())]),
+        );
+    let rendered = bench.render();
+    validate_json(&rendered).expect("BENCH_obs.json is valid");
+    std::fs::write("BENCH_obs.json", rendered + "\n").expect("write BENCH_obs.json");
+
+    println!();
+    println!("# wrote {trace_path} (open in ui.perfetto.dev)");
+    println!("# wrote {csv_path}");
+    println!("# wrote BENCH_obs.json");
+}
+
+fn count_spans(events: &[ObsEvent]) -> usize {
+    events.iter().filter(|e| matches!(e, ObsEvent::SpanBegin { .. })).count()
+}

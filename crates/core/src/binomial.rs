@@ -4,7 +4,7 @@
 //! moves the payload through off-chip memory.
 
 use crate::tree::{binomial_children, binomial_parent};
-use scc_hal::{CoreId, MemRange, Rma, RmaResult};
+use scc_hal::{spanned, CoreId, MemRange, Phase, Rma, RmaResult, Span};
 use scc_rcce::RcceComm;
 
 /// Collective binomial-tree broadcast. All cores must call with
@@ -25,18 +25,22 @@ pub fn binomial_bcast<R: Rma>(
     let abs = |rel: usize| CoreId(((root.index() + rel) % p) as u8);
 
     if rr != 0 {
-        comm.recv(c, abs(binomial_parent(rr, p)), msg)?;
+        spanned(c, Span::of(Phase::Dissemination), |c| {
+            comm.recv(c, abs(binomial_parent(rr, p)), msg)
+        })?;
     }
-    for child in binomial_children(rr, p) {
-        if rr == 0 {
-            // The root reads the application buffer from off-chip
-            // memory the first time; subsequent sends hit the cache.
-            comm.send(c, abs(child), msg)?;
-        } else {
-            // Forwarding a just-received message: hot in L1
-            // (Section 5.2.2's "reading from the L1 cache" assumption).
-            comm.send_cached(c, abs(child), msg)?;
-        }
+    for (round, child) in binomial_children(rr, p).into_iter().enumerate() {
+        spanned(c, Span::new(Phase::Round, round as u32), |c| {
+            if rr == 0 {
+                // The root reads the application buffer from off-chip
+                // memory the first time; subsequent sends hit the cache.
+                comm.send(c, abs(child), msg)
+            } else {
+                // Forwarding a just-received message: hot in L1
+                // (Section 5.2.2's "reading from the L1 cache" assumption).
+                comm.send_cached(c, abs(child), msg)
+            }
+        })?;
     }
     Ok(())
 }

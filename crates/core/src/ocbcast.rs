@@ -31,7 +31,8 @@
 use crate::topo::{TreeLayout, TreeStrategy};
 use crate::tree::NotifyGroup;
 use scc_hal::{
-    bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES,
+    bytes_to_lines, spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaResult, Span,
+    CACHE_LINE_BYTES,
 };
 use scc_rcce::{MpbAllocator, MpbExhausted, MpbRegion};
 
@@ -158,35 +159,60 @@ impl OcBcast {
             let lines = bytes_to_lines(len);
             let part = msg.slice(byte_off, len);
 
+            let ch = chunk as u32;
             if me == root {
                 // Double buffering: chunk `c` may overwrite its buffer
                 // once the children are done with chunk `c - lag`.
-                self.wait_children_done(c, &children, base, seq, chunk)?;
-                c.put_from_mem(part, MpbAddr::new(me, buf.first_line))?;
-                self.notify_forward(c, own_group.as_ref(), me, seq)?;
+                spanned(c, Span::new(Phase::BufferWait, ch), |c| {
+                    self.wait_children_done(c, &children, base, seq, chunk)
+                })?;
+                spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                    c.put_from_mem(part, MpbAddr::new(me, buf.first_line))
+                })?;
+                spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                    self.notify_forward(c, own_group.as_ref(), me, seq)
+                })?;
                 // The root's copy is already in place; nothing to get.
             } else {
                 // (0) learn that the chunk is in the parent's MPB.
-                c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq)?;
+                spanned(c, Span::new(Phase::NotifyWait, ch), |c| {
+                    c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq)
+                })?;
                 // (i) forward the notification inside the parent's group.
-                self.notify_forward(c, parent_group.as_ref(), me, seq)?;
+                spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                    self.notify_forward(c, parent_group.as_ref(), me, seq)
+                })?;
                 let par = parent.expect("non-root has a parent");
                 if leaf_direct {
                     // Section 5.4 optimization: straight to memory.
-                    c.get_to_mem(MpbAddr::new(par, buf.first_line), part)?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        c.get_to_mem(MpbAddr::new(par, buf.first_line), part)
+                    })?;
                     // (iii) tell the parent the buffer may be reused.
-                    self.signal_done(c, par, my_done_slot, seq)?;
+                    spanned(c, Span::new(Phase::Ack, ch), |c| {
+                        self.signal_done(c, par, my_done_slot, seq)
+                    })?;
                 } else {
                     // (ii) pull the chunk into our own MPB once our own
                     // children are done with this buffer.
-                    self.wait_children_done(c, &children, base, seq, chunk)?;
-                    c.get_to_mpb(MpbAddr::new(par, buf.first_line), buf.first_line, lines)?;
+                    spanned(c, Span::new(Phase::BufferWait, ch), |c| {
+                        self.wait_children_done(c, &children, base, seq, chunk)
+                    })?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        c.get_to_mpb(MpbAddr::new(par, buf.first_line), buf.first_line, lines)
+                    })?;
                     // (iii) release the parent's buffer.
-                    self.signal_done(c, par, my_done_slot, seq)?;
+                    spanned(c, Span::new(Phase::Ack, ch), |c| {
+                        self.signal_done(c, par, my_done_slot, seq)
+                    })?;
                     // (iv) notify our own children.
-                    self.notify_forward(c, own_group.as_ref(), me, seq)?;
+                    spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                        self.notify_forward(c, own_group.as_ref(), me, seq)
+                    })?;
                     // (v) copy to private off-chip memory.
-                    c.get_to_mem(MpbAddr::new(me, buf.first_line), part)?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        c.get_to_mem(MpbAddr::new(me, buf.first_line), part)
+                    })?;
                 }
             }
         }
@@ -197,9 +223,12 @@ impl OcBcast {
         // without a barrier.)
         if !children.is_empty() {
             let last_seq = base + n_chunks as u32;
-            for slot in 0..children.len() {
-                c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= last_seq)?;
-            }
+            spanned(c, Span::of(Phase::Drain), |c| {
+                for slot in 0..children.len() {
+                    c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= last_seq)?;
+                }
+                Ok(())
+            })?;
         }
         Ok(())
     }

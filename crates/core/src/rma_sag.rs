@@ -37,7 +37,8 @@
 
 use crate::scatter_allgather::slice_range;
 use scc_hal::{
-    bytes_to_lines, CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaResult, CACHE_LINE_BYTES,
+    bytes_to_lines, spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaResult, Span,
+    CACHE_LINE_BYTES,
 };
 use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
 
@@ -193,29 +194,32 @@ impl RmaSag {
         self.seq = ag_base + (p as u32 - 1) * slice_chunks;
 
         // ---- one-sided scatter (recursive halving) --------------------
-        let mut lo = 0usize;
-        let mut hi = p;
-        let mut step = 0u32;
-        let mut last_half_seq = [0u32; 2];
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo).div_ceil(2);
-            let group = slices(mid, hi);
-            let seq_base = base + step * max_group_chunks;
-            if group.len > 0 {
-                if rr == lo {
-                    // Changing receiver next step: drain.
-                    self.push(c, abs(mid), group, seq_base, true, &mut last_half_seq)?;
-                } else if rr == mid {
-                    self.pull(c, abs(lo), group, seq_base)?;
+        spanned(c, Span::of(Phase::Scatter), |c| {
+            let mut lo = 0usize;
+            let mut hi = p;
+            let mut step = 0u32;
+            let mut last_half_seq = [0u32; 2];
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo).div_ceil(2);
+                let group = slices(mid, hi);
+                let seq_base = base + step * max_group_chunks;
+                if group.len > 0 {
+                    if rr == lo {
+                        // Changing receiver next step: drain.
+                        self.push(c, abs(mid), group, seq_base, true, &mut last_half_seq)?;
+                    } else if rr == mid {
+                        self.pull(c, abs(lo), group, seq_base)?;
+                    }
                 }
+                if rr < mid {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+                step += 1;
             }
-            if rr < mid {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-            step += 1;
-        }
+            Ok(())
+        })?;
 
         // Phase boundary. One-sided writes are unsolicited: a core that
         // finished its (short) scatter role would otherwise start
@@ -223,27 +227,33 @@ impl RmaSag {
         // its scatter reception, clobbering the shared buffer halves.
         // The two-sided baseline is immune because its rendezvous
         // matching orders the phases per pair; here a barrier does it.
-        self.barrier.wait(c)?;
+        spanned(c, Span::new(Phase::Barrier, 0), |c| self.barrier.wait(c))?;
 
         // ---- one-sided ring allgather ---------------------------------
         let left = abs((rr + p - 1) % p);
         let right = abs((rr + 1) % p);
-        let mut half_seq = [0u32; 2];
-        for r in 0..p - 1 {
-            let out = slice_range(msg, p, (rr + r) % p);
-            let inc = slice_range(msg, p, (rr + r + 1) % p);
-            let seq_base = ag_base + r as u32 * slice_chunks;
-            if out.len > 0 {
-                self.push(c, left, out, seq_base, false, &mut half_seq)?;
+        spanned(c, Span::of(Phase::Allgather), |c| {
+            let mut half_seq = [0u32; 2];
+            for r in 0..p - 1 {
+                let out = slice_range(msg, p, (rr + r) % p);
+                let inc = slice_range(msg, p, (rr + r + 1) % p);
+                let seq_base = ag_base + r as u32 * slice_chunks;
+                spanned(c, Span::new(Phase::Round, r as u32), |c| {
+                    if out.len > 0 {
+                        self.push(c, left, out, seq_base, false, &mut half_seq)?;
+                    }
+                    if inc.len > 0 {
+                        self.pull(c, right, inc, seq_base)?;
+                    }
+                    Ok(())
+                })?;
             }
-            if inc.len > 0 {
-                self.pull(c, right, inc, seq_base)?;
-            }
-        }
+            Ok(())
+        })?;
 
         // Collective boundary: nobody may reuse buffers/flags until
         // every core has consumed its final chunks.
-        self.barrier.wait(c)?;
+        spanned(c, Span::new(Phase::Barrier, 1), |c| self.barrier.wait(c))?;
         Ok(())
     }
 }

@@ -7,7 +7,9 @@
 //! OC-Bcast beats it ~3× because every slice still crosses off-chip
 //! memory on both sides of every hop.
 
-use scc_hal::{bytes_to_lines, CoreId, MemRange, Rma, RmaResult, CACHE_LINE_BYTES};
+use scc_hal::{
+    bytes_to_lines, spanned, CoreId, MemRange, Phase, Rma, RmaResult, Span, CACHE_LINE_BYTES,
+};
 use scc_rcce::RcceComm;
 
 /// The byte sub-range of slice `j` when `msg` is split into `p`
@@ -55,27 +57,30 @@ pub fn scatter_allgather_bcast<R: Rma>(
     // The holder of a range [lo, hi) is rank `lo`; it hands the upper
     // half to rank `mid` and recurses into the lower half. Every core
     // tracks the range it belongs to until it is alone in it.
-    let mut lo = 0usize;
-    let mut hi = p;
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo).div_ceil(2);
-        if rr == lo {
-            // Root sends cold (reads the user buffer from memory);
-            // intermediate holders forward what they just received.
-            if rr == 0 {
-                comm.send(c, abs(mid), slices(mid, hi))?;
-            } else {
-                comm.send_cached(c, abs(mid), slices(mid, hi))?;
+    spanned(c, Span::of(Phase::Scatter), |c| {
+        let mut lo = 0usize;
+        let mut hi = p;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if rr == lo {
+                // Root sends cold (reads the user buffer from memory);
+                // intermediate holders forward what they just received.
+                if rr == 0 {
+                    comm.send(c, abs(mid), slices(mid, hi))?;
+                } else {
+                    comm.send_cached(c, abs(mid), slices(mid, hi))?;
+                }
+            } else if rr == mid {
+                comm.recv(c, abs(lo), slices(mid, hi))?;
             }
-        } else if rr == mid {
-            comm.recv(c, abs(lo), slices(mid, hi))?;
+            if rr < mid {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
         }
-        if rr < mid {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
+        Ok(())
+    })?;
 
     // ---- allgather phase: P − 1 ring rounds ---------------------------
     // In round r, core `rr` sends slice (rr + r) mod p to rr − 1 and
@@ -90,18 +95,22 @@ pub fn scatter_allgather_bcast<R: Rma>(
     // standard, benign artifact of parity scheduling.
     let left = abs((rr + p - 1) % p);
     let right = abs((rr + 1) % p);
-    for r in 0..p - 1 {
-        let out = slice_range(msg, p, (rr + r) % p);
-        let inc = slice_range(msg, p, (rr + r + 1) % p);
-        if rr.is_multiple_of(2) {
-            comm.recv(c, right, inc)?;
-            comm.send_cached(c, left, out)?;
-        } else {
-            comm.send_cached(c, left, out)?;
-            comm.recv(c, right, inc)?;
+    spanned(c, Span::of(Phase::Allgather), |c| {
+        for r in 0..p - 1 {
+            let out = slice_range(msg, p, (rr + r) % p);
+            let inc = slice_range(msg, p, (rr + r + 1) % p);
+            spanned(c, Span::new(Phase::Round, r as u32), |c| {
+                if rr.is_multiple_of(2) {
+                    comm.recv(c, right, inc)?;
+                    comm.send_cached(c, left, out)
+                } else {
+                    comm.send_cached(c, left, out)?;
+                    comm.recv(c, right, inc)
+                }
+            })?;
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 #[cfg(test)]

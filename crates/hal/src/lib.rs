@@ -22,12 +22,14 @@
 pub mod addr;
 pub mod flags;
 pub mod rma;
+pub mod span;
 pub mod topology;
 pub mod units;
 
 pub use addr::{MemRange, MpbAddr};
 pub use flags::FlagValue;
 pub use rma::{Rma, RmaError, RmaExt, RmaResult};
+pub use span::{spanned, Phase, Span};
 pub use topology::{
     core_at_mpb_distance, core_with_mem_distance, CoreId, MemController, Tile, CORES_PER_TILE,
     NUM_CORES, TILE_COLS, TILE_ROWS,

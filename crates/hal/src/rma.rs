@@ -19,6 +19,7 @@
 
 use crate::addr::{MemRange, MpbAddr};
 use crate::flags::FlagValue;
+use crate::span::Span;
 use crate::topology::CoreId;
 use crate::units::Time;
 use std::fmt;
@@ -156,6 +157,17 @@ pub trait Rma {
     /// Spend `t` of pure local computation (no communication). The
     /// simulator advances the core's clock; the thread backend spins.
     fn compute(&mut self, t: Time);
+
+    // ---- observability (untimed; default no-op) ----------------------
+
+    /// Mark the beginning of a protocol phase. Costs no virtual time;
+    /// engines without an event recorder ignore it entirely.
+    fn span_begin(&mut self, _span: Span) {}
+
+    /// Mark the end of the innermost open protocol phase. Spans must
+    /// nest properly per core (LIFO); `span` repeats the phase for
+    /// readability and sanity checks, it is not used for matching.
+    fn span_end(&mut self, _span: Span) {}
 }
 
 /// Convenience helpers shared by every `Rma` implementation.

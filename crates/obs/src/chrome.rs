@@ -1,0 +1,338 @@
+//! Chrome `trace_event` JSON export (the format Perfetto and
+//! `chrome://tracing` load natively).
+//!
+//! Layout: process 0 holds one track (tid) per simulated core, carrying
+//! its timed ops, computes, protocol-phase spans and parked intervals;
+//! process 1 holds one track per **contended** resource — an MPB port,
+//! router or memory controller on which at least one packet queued —
+//! carrying every service booking on that resource. Uncontended
+//! resources are omitted to keep traces lean; the utilization CSV (see
+//! [`crate::series`]) still covers them.
+//!
+//! Timestamps: the format's `ts`/`dur` are microseconds; we print six
+//! decimal places, which is exactly the engine's picosecond resolution.
+
+use crate::event::{ObsEvent, OpKind, ResourceId};
+use scc_hal::Time;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Track (tid) layout inside the resource process: stable, readable
+/// ordering — ports first, then routers, then memory controllers.
+fn resource_tid(r: ResourceId) -> usize {
+    match r {
+        ResourceId::Port(i) => i as usize,
+        ResourceId::Router(i) => 100 + i as usize,
+        ResourceId::Mc(i) => 200 + i as usize,
+    }
+}
+
+fn us(t: Time) -> String {
+    format!("{:.6}", t.as_us_f64())
+}
+
+struct Emitter {
+    out: String,
+    first: bool,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter { out: String::from("{\"traceEvents\":["), first: true }
+    }
+
+    fn raw(&mut self, obj: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(obj);
+    }
+
+    /// A complete ("X") event. `args` is pre-rendered JSON object body
+    /// (without braces), or empty.
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &mut self,
+        pid: u32,
+        tid: usize,
+        cat: &str,
+        name: &str,
+        start: Time,
+        end: Time,
+        args: &str,
+    ) {
+        let mut o = format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"{cat}\",\"name\":\"{name}\",\"ts\":{},\"dur\":{}",
+            us(start),
+            us(end.saturating_sub(start)),
+        );
+        if !args.is_empty() {
+            let _ = write!(o, ",\"args\":{{{args}}}");
+        }
+        o.push('}');
+        self.raw(&o);
+    }
+
+    /// An instant ("i") thread-scoped event.
+    fn instant(&mut self, pid: u32, tid: usize, cat: &str, name: &str, at: Time, args: &str) {
+        let mut o = format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"{cat}\",\"name\":\"{name}\",\"ts\":{}",
+            us(at)
+        );
+        if !args.is_empty() {
+            let _ = write!(o, ",\"args\":{{{args}}}");
+        }
+        o.push('}');
+        self.raw(&o);
+    }
+
+    fn metadata(&mut self, pid: u32, tid: Option<usize>, what: &str, name: &str) {
+        let tid_part = tid.map(|t| format!(",\"tid\":{t}")).unwrap_or_default();
+        self.raw(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid}{tid_part},\"name\":\"{what}\",\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        self.out
+    }
+}
+
+/// Render a recorded event stream as Chrome `trace_event` JSON.
+pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
+    let mut cores: BTreeSet<usize> = BTreeSet::new();
+    let mut contended: BTreeSet<ResourceId> = BTreeSet::new();
+    let mut seen_resources: BTreeSet<ResourceId> = BTreeSet::new();
+    let mut horizon = Time::ZERO;
+    for ev in events {
+        horizon = horizon.max(ev.at());
+        match *ev {
+            ObsEvent::Op { core, .. }
+            | ObsEvent::Compute { core, .. }
+            | ObsEvent::Park { core, .. }
+            | ObsEvent::Wake { core, .. }
+            | ObsEvent::SpanBegin { core, .. }
+            | ObsEvent::SpanEnd { core, .. }
+            | ObsEvent::Finish { core, .. } => {
+                cores.insert(core.index());
+            }
+            ObsEvent::Handoff { from, to, .. } => {
+                cores.insert(from.index());
+                cores.insert(to.index());
+            }
+            ObsEvent::Wait { resource, arrival, start, .. } => {
+                seen_resources.insert(resource);
+                if start > arrival {
+                    contended.insert(resource);
+                }
+            }
+        }
+    }
+
+    let mut em = Emitter::new();
+    em.metadata(0, None, "process_name", "cores");
+    em.metadata(1, None, "process_name", "resources");
+    for &c in &cores {
+        em.metadata(0, Some(c), "thread_name", &format!("core {c}"));
+    }
+    for &r in &contended {
+        em.metadata(1, Some(resource_tid(r)), "thread_name", &format!("{r}"));
+    }
+
+    // Per-core open state for park intervals and phase spans.
+    let mut parked_at: BTreeMap<usize, Time> = BTreeMap::new();
+    let mut span_stack: BTreeMap<usize, Vec<(scc_hal::Span, Time)>> = BTreeMap::new();
+
+    for ev in events {
+        match *ev {
+            ObsEvent::Op { core, kind, lines, start, end } => {
+                let args = format!("\"lines\":{lines}");
+                em.complete(0, core.index(), "op", kind.short(), start, end, &args);
+            }
+            ObsEvent::Compute { core, start, end } => {
+                em.complete(0, core.index(), "op", "compute", start, end, "");
+            }
+            ObsEvent::Park { core, at, .. } => {
+                parked_at.insert(core.index(), at);
+            }
+            ObsEvent::Wake { core, at, writer, line } => {
+                if let Some(p) = parked_at.remove(&core.index()) {
+                    let args = format!("\"line\":{line},\"writer\":{}", writer.index());
+                    em.complete(0, core.index(), "sched", "parked", p, at, &args);
+                }
+            }
+            ObsEvent::Handoff { from, to, at } => {
+                let args = format!("\"from\":{}", from.index());
+                em.instant(0, to.index(), "sched", "handoff", at, &args);
+            }
+            ObsEvent::SpanBegin { core, span, at } => {
+                span_stack.entry(core.index()).or_default().push((span, at));
+            }
+            ObsEvent::SpanEnd { core, at, .. } => {
+                if let Some((span, begin)) = span_stack.entry(core.index()).or_default().pop() {
+                    let name = format!("{} {}", span.phase.name(), span.arg);
+                    em.complete(0, core.index(), "phase", &name, begin, at, "");
+                }
+            }
+            ObsEvent::Wait { core, resource, arrival, start, end } => {
+                if contended.contains(&resource) {
+                    let args = format!(
+                        "\"core\":{},\"wait_us\":{}",
+                        core.index(),
+                        us(start.saturating_sub(arrival))
+                    );
+                    em.complete(
+                        1,
+                        resource_tid(resource),
+                        "svc",
+                        resource.class(),
+                        start,
+                        end,
+                        &args,
+                    );
+                }
+            }
+            ObsEvent::Finish { core, at } => {
+                em.instant(0, core.index(), "sched", "finish", at, "");
+            }
+        }
+    }
+
+    // Close anything left open (deadlocked parks, unbalanced spans) at
+    // the horizon so the trace stays well-formed.
+    for (core, p) in parked_at {
+        em.complete(0, core, "sched", "parked", p, horizon, "");
+    }
+    for (core, stack) in span_stack {
+        for (span, begin) in stack.into_iter().rev() {
+            let name = format!("{} {}", span.phase.name(), span.arg);
+            em.complete(0, core, "phase", &name, begin, horizon, "");
+        }
+    }
+
+    em.finish()
+}
+
+/// Which op kinds appear in a stream — exporters and text renderers use
+/// this to build legends that cannot drift from the data.
+pub fn kinds_present(events: &[ObsEvent]) -> Vec<OpKind> {
+    let mut present: Vec<OpKind> = Vec::new();
+    for k in OpKind::ALL {
+        if events.iter().any(|e| matches!(*e, ObsEvent::Op { kind, .. } if kind == k)) {
+            present.push(k);
+        }
+    }
+    present
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_json;
+    use scc_hal::{CoreId, Phase, Span};
+
+    fn ns(v: u64) -> Time {
+        Time::from_ns(v)
+    }
+
+    #[test]
+    fn exports_valid_json_with_tracks() {
+        let events = vec![
+            ObsEvent::SpanBegin {
+                core: CoreId(0),
+                span: Span::new(Phase::Dissemination, 0),
+                at: ns(0),
+            },
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::PutFromMem,
+                lines: 4,
+                start: ns(0),
+                end: ns(400),
+            },
+            ObsEvent::Wait {
+                core: CoreId(0),
+                resource: ResourceId::Port(5),
+                arrival: ns(50),
+                start: ns(70),
+                end: ns(80),
+            },
+            ObsEvent::SpanEnd {
+                core: CoreId(0),
+                span: Span::new(Phase::Dissemination, 0),
+                at: ns(400),
+            },
+            ObsEvent::Park { core: CoreId(1), line: 0, at: ns(10) },
+            ObsEvent::Wake { core: CoreId(1), line: 0, at: ns(400), writer: CoreId(0) },
+            ObsEvent::Handoff { from: CoreId(0), to: CoreId(1), at: ns(400) },
+            ObsEvent::Finish { core: CoreId(1), at: ns(450) },
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("core 0"), "core track metadata missing");
+        assert!(json.contains("port[5]"), "contended resource track missing");
+        assert!(json.contains("disseminate 0"), "phase span missing");
+        assert!(json.contains("\"parked\""), "park interval missing");
+        assert!(json.contains("\"handoff\""));
+    }
+
+    #[test]
+    fn uncontended_resources_are_omitted() {
+        let events = vec![
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::FlagPut,
+                lines: 1,
+                start: ns(0),
+                end: ns(30),
+            },
+            ObsEvent::Wait {
+                core: CoreId(0),
+                resource: ResourceId::Router(2),
+                arrival: ns(5),
+                start: ns(5), // no queueing
+                end: ns(6),
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert!(!json.contains("router[2]"), "{json}");
+    }
+
+    #[test]
+    fn unclosed_spans_and_parks_are_closed_at_horizon() {
+        let events = vec![
+            ObsEvent::SpanBegin { core: CoreId(0), span: Span::of(Phase::Drain), at: ns(10) },
+            ObsEvent::Park { core: CoreId(0), line: 3, at: ns(20) },
+            ObsEvent::Finish { core: CoreId(1), at: ns(100) },
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert!(json.contains("drain 0"));
+        assert!(json.contains("parked"));
+    }
+
+    #[test]
+    fn kinds_present_orders_by_all() {
+        let events = vec![
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::FlagPut,
+                lines: 1,
+                start: ns(0),
+                end: ns(1),
+            },
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::PutFromMem,
+                lines: 1,
+                start: ns(1),
+                end: ns(2),
+            },
+        ];
+        assert_eq!(kinds_present(&events), vec![OpKind::PutFromMem, OpKind::FlagPut]);
+    }
+}

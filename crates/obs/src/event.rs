@@ -1,0 +1,226 @@
+//! The typed event model: everything the simulator knows about a run,
+//! as a flat stream of timestamped facts.
+//!
+//! Events are recorded through the [`Recorder`] trait so the engine's
+//! hot path pays exactly one `Option` branch when recording is off (see
+//! the `obs_equivalence` test in `scc-sim`). Timestamps are virtual
+//! picoseconds ([`Time`]); the stream is ordered by the engine's event
+//! clock, which is nondecreasing, so consumers may rely on sortedness
+//! of completion times per core but not on global total order of
+//! `start` fields.
+
+use scc_hal::{CoreId, Span, Time};
+use std::fmt;
+
+/// Coarse classification of a timed RMA operation.
+///
+/// This lives here (rather than in `scc-sim`) so exporters and the
+/// critical-path extractor can name operations without depending on
+/// the simulator; `scc-sim` re-exports it from its `trace` module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    PutFromMem,
+    PutFromMpb,
+    GetToMem,
+    GetToMpb,
+    FlagPut,
+    FlagRead,
+}
+
+impl OpKind {
+    /// Every kind, in rendering order. Keep glyph legends and exporter
+    /// track palettes driven by this list so new kinds cannot fall out
+    /// of sync silently.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::PutFromMem,
+        OpKind::PutFromMpb,
+        OpKind::GetToMem,
+        OpKind::GetToMpb,
+        OpKind::FlagPut,
+        OpKind::FlagRead,
+    ];
+
+    pub fn short(&self) -> &'static str {
+        match self {
+            OpKind::PutFromMem => "PUTm",
+            OpKind::PutFromMpb => "PUTb",
+            OpKind::GetToMem => "GETm",
+            OpKind::GetToMpb => "GETb",
+            OpKind::FlagPut => "FLAG",
+            OpKind::FlagRead => "POLL",
+        }
+    }
+
+    /// One-character glyph for text timelines. `FlagRead` maps to the
+    /// idle glyph: polls are waiting, not work.
+    pub fn glyph(&self) -> u8 {
+        match self {
+            OpKind::PutFromMem => b'P',
+            OpKind::PutFromMpb => b'p',
+            OpKind::GetToMem => b'G',
+            OpKind::GetToMpb => b'g',
+            OpKind::FlagPut => b'f',
+            OpKind::FlagRead => b'.',
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+/// Identity of one contended hardware resource instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceId {
+    /// The MPB port of a tile (two cores share it), by tile index 0..24.
+    Port(u8),
+    /// A mesh router, by tile index 0..24.
+    Router(u8),
+    /// An off-chip memory controller, by controller index 0..4.
+    Mc(u8),
+}
+
+impl ResourceId {
+    pub fn class(&self) -> &'static str {
+        match self {
+            ResourceId::Port(_) => "port",
+            ResourceId::Router(_) => "router",
+            ResourceId::Mc(_) => "mc",
+        }
+    }
+
+    pub fn instance(&self) -> usize {
+        match self {
+            ResourceId::Port(i) | ResourceId::Router(i) | ResourceId::Mc(i) => *i as usize,
+        }
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.class(), self.instance())
+    }
+}
+
+/// One structured simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A timed RMA operation ran on `core` over `[start, end]`.
+    Op { core: CoreId, kind: OpKind, lines: usize, start: Time, end: Time },
+    /// One booking on a contended resource: issued by `core`, arrived
+    /// at `arrival`, served over `[start, end]`. `start - arrival` is
+    /// the queueing wait attributed to this packet.
+    Wait { core: CoreId, resource: ResourceId, arrival: Time, start: Time, end: Time },
+    /// `core` parked on its MPB flag `line` at `at` (poll found the
+    /// flag unchanged and the core left the run queue).
+    Park { core: CoreId, line: usize, at: Time },
+    /// `core`, parked on `line`, was woken at `at` by an op issued by
+    /// `writer` completing a write into the watched line.
+    Wake { core: CoreId, line: usize, at: Time, writer: CoreId },
+    /// The engine handed the baton from `from` to `to` — a real thread
+    /// switch in the baton-passing engine.
+    Handoff { from: CoreId, to: CoreId, at: Time },
+    /// Pure local computation on `core` over `[start, end]`.
+    Compute { core: CoreId, start: Time, end: Time },
+    /// A protocol phase opened on `core` (see [`scc_hal::Phase`]).
+    SpanBegin { core: CoreId, span: Span, at: Time },
+    /// The matching close. Spans nest per core (LIFO).
+    SpanEnd { core: CoreId, span: Span, at: Time },
+    /// `core`'s SPMD closure returned at virtual time `at`.
+    Finish { core: CoreId, at: Time },
+}
+
+impl ObsEvent {
+    /// The instant this event is ordered by in the engine's stream.
+    pub fn at(&self) -> Time {
+        match *self {
+            ObsEvent::Op { end, .. } => end,
+            ObsEvent::Wait { arrival, .. } => arrival,
+            ObsEvent::Park { at, .. }
+            | ObsEvent::Wake { at, .. }
+            | ObsEvent::Handoff { at, .. }
+            | ObsEvent::SpanBegin { at, .. }
+            | ObsEvent::SpanEnd { at, .. }
+            | ObsEvent::Finish { at, .. } => at,
+            ObsEvent::Compute { end, .. } => end,
+        }
+    }
+}
+
+/// The sink the engine feeds. `Send` because the recorder lives inside
+/// the engine state, which migrates across pooled core threads.
+pub trait Recorder: Send {
+    fn record(&mut self, ev: ObsEvent);
+
+    /// Take all recorded events out of the sink (called once, at the
+    /// end of a run, to move the log into the report).
+    fn drain(&mut self) -> Vec<ObsEvent>;
+}
+
+/// The standard in-memory recorder: an append-only event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<ObsEvent>,
+}
+
+impl EventLog {
+    pub fn new() -> EventLog {
+        EventLog { events: Vec::new() }
+    }
+
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+}
+
+impl Recorder for EventLog {
+    #[inline]
+    fn record(&mut self, ev: ObsEvent) {
+        self.events.push(ev);
+    }
+
+    fn drain(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_display() {
+        assert_eq!(format!("{}", ResourceId::Port(11)), "port[11]");
+        assert_eq!(format!("{}", ResourceId::Router(0)), "router[0]");
+        assert_eq!(format!("{}", ResourceId::Mc(3)), "mc[3]");
+    }
+
+    #[test]
+    fn glyphs_cover_all_kinds() {
+        for k in OpKind::ALL {
+            let g = k.glyph();
+            assert!(g.is_ascii(), "{k}");
+            assert!(!k.short().is_empty());
+        }
+        // Work glyphs are distinct; only FlagRead shares the idle dot.
+        let work: Vec<u8> =
+            OpKind::ALL.iter().filter(|k| **k != OpKind::FlagRead).map(|k| k.glyph()).collect();
+        let mut dedup = work.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), work.len());
+    }
+
+    #[test]
+    fn event_log_records_and_drains() {
+        let mut log = EventLog::new();
+        log.record(ObsEvent::Finish { core: CoreId(0), at: Time::from_ns(5) });
+        assert_eq!(log.events().len(), 1);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(log.events().is_empty());
+        assert_eq!(drained[0].at(), Time::from_ns(5));
+    }
+}

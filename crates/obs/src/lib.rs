@@ -1,0 +1,40 @@
+//! # scc-obs — structured tracing & metrics for the OC-Bcast suite
+//!
+//! The paper's whole argument (Sections 3, 5–6 of *"High-Performance
+//! RMA-Based Broadcast on the Intel SCC"*) is about *where time goes*:
+//! core overhead `o`, mesh hop latency `L_hop`, and MPB-port
+//! contention. This crate turns every simulated run into an inspectable
+//! record of exactly that:
+//!
+//! * [`event`] — the typed event model: every timed op, every resource
+//!   booking (with the resource id and the queueing wait), park/wake
+//!   pairs, baton handoffs, protocol-phase spans, all at picosecond
+//!   resolution, behind the cheap-when-disabled [`Recorder`] trait;
+//! * [`chrome`] — Chrome `trace_event` JSON export (loads in Perfetto):
+//!   one track per core, one per contended resource, phase spans and
+//!   parked intervals on the core tracks;
+//! * [`series`] — bucketed per-resource utilization / queue-depth time
+//!   series (CSV), the measurement behind the paper's Figure 6;
+//! * [`critpath`] — a critical-path extractor that walks the event
+//!   dependency graph backwards from the last receiver and attributes
+//!   the end-to-end latency to op service vs. port/router/MC queueing
+//!   vs. compute vs. idle;
+//! * [`report`] — a tiny JSON builder + validating parser for the
+//!   machine-readable `BENCH_obs.json` artifacts (this workspace has no
+//!   serde).
+//!
+//! The simulator (`scc-sim`) records into this crate's [`Recorder`];
+//! collectives annotate phases through `scc_hal::Rma::span_begin`; the
+//! `trace` binary in `scc-bench` drives all exporters.
+
+pub mod chrome;
+pub mod critpath;
+pub mod event;
+pub mod report;
+pub mod series;
+
+pub use chrome::{chrome_trace_json, kinds_present};
+pub use critpath::{critical_path, Breakdown, CriticalPath, PathSegment, SegmentKind};
+pub use event::{EventLog, ObsEvent, OpKind, Recorder, ResourceId};
+pub use report::{validate_json, Json};
+pub use series::{UtilBucket, UtilizationSeries};

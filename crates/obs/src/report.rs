@@ -1,0 +1,327 @@
+//! Minimal JSON support for machine-readable reports: a value builder
+//! (this workspace has no serde — no network access to crates.io) and a
+//! strict validating parser used by tests and the `trace` binary to
+//! check emitted artifacts before CI does.
+
+use std::fmt::Write as _;
+
+/// A JSON value, built programmatically and rendered with `render`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite numbers only; NaN/inf render as `null`.
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert/overwrite a key (builder style).
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        if let Json::Obj(ref mut fields) = self {
+            if let Some(f) = fields.iter_mut().find(|(k, _)| k == key) {
+                f.1 = value;
+            } else {
+                fields.push((key.to_string(), value));
+            }
+        }
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Strict JSON syntax check (no value materialization). Returns the
+/// first error with a byte offset. Accepts exactly one top-level value.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.i))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while matches!(p.b.get(p.i), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return self.err("expected digits");
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return self.err("expected exponent digits");
+            }
+        }
+        debug_assert!(self.i > start);
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.i += 1; // opening quote
+        loop {
+            match self.b.get(self.i) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.b.get(self.i) {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if *c < 0x20 => return self.err("control char in string"),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b'"') {
+                return self.err("expected object key");
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return self.err("expected ':'");
+            }
+            self.i += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_through_validator() {
+        let j = Json::obj()
+            .set("name", Json::Str("oc\"bcast\n".into()))
+            .set("lines", Json::Int(96))
+            .set("latency_us", Json::Num(123.456789))
+            .set("ok", Json::Bool(true))
+            .set("buckets", Json::Arr(vec![Json::Num(0.5), Json::Null, Json::Int(-3)]));
+        let s = j.render();
+        validate_json(&s).unwrap();
+        assert!(s.contains("\"lines\":96"));
+        assert!(s.contains("\\\"bcast\\n"));
+    }
+
+    #[test]
+    fn set_overwrites_existing_key() {
+        let j = Json::obj().set("a", Json::Int(1)).set("a", Json::Int(2));
+        assert_eq!(j.render(), "{\"a\":2}");
+    }
+
+    #[test]
+    fn validator_accepts_valid() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            "{\"a\":[1,2,{\"b\":\"x\\u00e9\"}],\"c\":false}",
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid() {
+        for s in ["", "{", "[1,]", "{\"a\":}", "{'a':1}", "01x", "\"abc", "{} {}", "nulll"] {
+            assert!(validate_json(s).is_err(), "{s} should be rejected");
+        }
+    }
+}

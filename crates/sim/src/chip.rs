@@ -12,6 +12,7 @@
 
 use crate::params::SimParams;
 use scc_hal::{CoreId, MemController, Tile, Time, MPB_BYTES_PER_CORE};
+use scc_obs::{ObsEvent, Recorder, ResourceId};
 
 /// Reservation calendar of a single-server resource.
 ///
@@ -137,6 +138,36 @@ pub struct SimStats {
     /// — each one is a real thread switch. Grants returned inline to
     /// the requesting core are free and not counted.
     pub handoffs: u64,
+    /// Per-tile breakdown of [`port_wait`](SimStats::port_wait)
+    /// (24 entries; `sum == port_wait` on every run).
+    pub port_wait_by_tile: Vec<Time>,
+    /// Per-tile breakdown of [`port_busy`](SimStats::port_busy).
+    pub port_busy_by_tile: Vec<Time>,
+    /// Per-tile breakdown of [`router_wait`](SimStats::router_wait).
+    pub router_wait_by_tile: Vec<Time>,
+    /// Per-tile breakdown of [`router_busy`](SimStats::router_busy).
+    pub router_busy_by_tile: Vec<Time>,
+    /// Per-controller breakdown of [`mc_wait`](SimStats::mc_wait)
+    /// (4 entries).
+    pub mc_wait_by_ctrl: Vec<Time>,
+    /// Per-controller breakdown of [`mc_busy`](SimStats::mc_busy).
+    pub mc_busy_by_ctrl: Vec<Time>,
+}
+
+impl SimStats {
+    /// Stats with the per-resource vectors sized for the chip (24 tile
+    /// ports, 24 routers, 4 memory controllers).
+    pub fn sized() -> SimStats {
+        SimStats {
+            port_wait_by_tile: vec![Time::ZERO; 24],
+            port_busy_by_tile: vec![Time::ZERO; 24],
+            router_wait_by_tile: vec![Time::ZERO; 24],
+            router_busy_by_tile: vec![Time::ZERO; 24],
+            mc_wait_by_ctrl: vec![Time::ZERO; 4],
+            mc_busy_by_ctrl: vec![Time::ZERO; 4],
+            ..SimStats::default()
+        }
+    }
 }
 
 /// Mutable chip state owned by the scheduler thread.
@@ -162,6 +193,10 @@ pub struct Chip {
     /// lets the calendars prune expired reservations.
     prune_before: Time,
     pub stats: SimStats,
+    /// Structured event sink. `None` (the default) keeps the hot path
+    /// at a single never-taken branch per booking — see the
+    /// `obs_equivalence` test for the zero-cost guarantee.
+    pub recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Chip {
@@ -177,7 +212,8 @@ impl Chip {
             ports: vec![Calendar::default(); 24],
             mcs: vec![Calendar::default(); 4],
             prune_before: Time::ZERO,
-            stats: SimStats::default(),
+            stats: SimStats::sized(),
+            recorder: None,
         }
     }
 
@@ -273,53 +309,85 @@ impl Chip {
 
     // ---- timed resources ----------------------------------------------
 
-    /// Send one packet from tile `from` to tile `to` starting at `t`;
-    /// returns the arrival time at the destination router. Charges
-    /// `L_hop` per router traversed and reserves each router for
-    /// `router_occupancy` (virtual cut-through pipelining).
-    pub fn traverse(&mut self, t: Time, from: Tile, to: Tile) -> Time {
+    /// Send one packet of `issuer` from tile `from` to tile `to`
+    /// starting at `t`; returns the arrival time at the destination
+    /// router. Charges `L_hop` per router traversed and reserves each
+    /// router for `router_occupancy` (virtual cut-through pipelining).
+    pub fn traverse(&mut self, issuer: CoreId, t: Time, from: Tile, to: Tile) -> Time {
         let occupancy = self.params.router_occupancy;
         let l_hop = self.params.l_hop;
         let mut t = t;
-        let mut waited = Time::ZERO;
-        let mut hops = 0u64;
         for tile in from.xy_route(to) {
             let start = self.routers[tile.index()].reserve(t, occupancy, self.prune_before);
-            waited += start - t;
-            hops += 1;
+            let wait = start - t;
+            self.stats.router_wait += wait;
+            self.stats.router_busy += occupancy;
+            self.stats.router_wait_by_tile[tile.index()] += wait;
+            self.stats.router_busy_by_tile[tile.index()] += occupancy;
+            if let Some(r) = self.recorder.as_mut() {
+                r.record(ObsEvent::Wait {
+                    core: issuer,
+                    resource: ResourceId::Router(tile.index() as u8),
+                    arrival: t,
+                    start,
+                    end: start + occupancy,
+                });
+            }
             t = start + l_hop;
         }
-        self.stats.router_wait += waited;
-        self.stats.router_busy += Time::from_ps(occupancy.as_ps() * hops);
         t
     }
 
-    /// Occupy the MPB port of `tile` for a read; returns the service
-    /// completion time.
-    pub fn port_read(&mut self, t: Time, tile: Tile) -> Time {
+    /// Occupy the MPB port of `tile` for a read on behalf of `issuer`;
+    /// returns the service completion time.
+    pub fn port_read(&mut self, issuer: CoreId, t: Time, tile: Tile) -> Time {
         let service = self.params.mpb_port_read;
-        self.use_port(t, tile, service)
+        self.use_port(issuer, t, tile, service)
     }
 
     /// Occupy the MPB port of `tile` for a write.
-    pub fn port_write(&mut self, t: Time, tile: Tile) -> Time {
+    pub fn port_write(&mut self, issuer: CoreId, t: Time, tile: Tile) -> Time {
         let service = self.params.mpb_port_write;
-        self.use_port(t, tile, service)
+        self.use_port(issuer, t, tile, service)
     }
 
-    fn use_port(&mut self, t: Time, tile: Tile, service: Time) -> Time {
+    fn use_port(&mut self, issuer: CoreId, t: Time, tile: Tile, service: Time) -> Time {
         let start = self.ports[tile.index()].reserve(t, service, self.prune_before);
-        self.stats.port_wait += start - t;
+        let wait = start - t;
+        self.stats.port_wait += wait;
         self.stats.port_busy += service;
+        self.stats.port_wait_by_tile[tile.index()] += wait;
+        self.stats.port_busy_by_tile[tile.index()] += service;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(ObsEvent::Wait {
+                core: issuer,
+                resource: ResourceId::Port(tile.index() as u8),
+                arrival: t,
+                start,
+                end: start + service,
+            });
+        }
         start + service
     }
 
     /// Occupy a memory controller for one line read/write.
-    pub fn mc_service(&mut self, t: Time, mc: MemController, write: bool) -> Time {
+    pub fn mc_service(&mut self, issuer: CoreId, t: Time, mc: MemController, write: bool) -> Time {
         let service = if write { self.params.mc_write } else { self.params.mc_read };
         let start = self.mcs[mc.index()].reserve(t, service, self.prune_before);
-        self.stats.mc_wait += start - t;
+        let wait = start - t;
+        self.stats.mc_wait += wait;
         self.stats.mc_busy += service;
+        self.stats.mc_wait_by_ctrl[mc.index()] += wait;
+        self.stats.mc_busy_by_ctrl[mc.index()] += service;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(ObsEvent::Wait {
+                core: issuer,
+                resource: ResourceId::Mc(mc.index() as u8),
+                arrival: t,
+                start,
+                end: start + service,
+            });
+        }
         start + service
     }
 }
@@ -366,7 +434,7 @@ mod tests {
         let from = Tile::new(0, 0);
         let to = Tile::new(3, 2);
         let d = from.routing_distance(to) as u64;
-        let t1 = c.traverse(Time::ZERO, from, to);
+        let t1 = c.traverse(CoreId(0), Time::ZERO, from, to);
         assert_eq!(t1, c.params.l_hop * d);
         assert_eq!(c.stats.router_wait, Time::ZERO);
     }
@@ -374,7 +442,7 @@ mod tests {
     #[test]
     fn traverse_same_tile_is_one_router() {
         let mut c = chip();
-        let t = c.traverse(Time::ZERO, Tile::new(2, 2), Tile::new(2, 2));
+        let t = c.traverse(CoreId(0), Time::ZERO, Tile::new(2, 2), Tile::new(2, 2));
         assert_eq!(t, c.params.l_hop);
     }
 
@@ -382,10 +450,10 @@ mod tests {
     fn back_to_back_packets_queue_on_router() {
         let mut c = chip();
         let tile = Tile::new(1, 1);
-        let a = c.traverse(Time::ZERO, tile, tile);
+        let a = c.traverse(CoreId(0), Time::ZERO, tile, tile);
         assert_eq!(a, c.params.l_hop);
         // Second packet issued at the same instant waits occupancy.
-        let b = c.traverse(Time::ZERO, tile, tile);
+        let b = c.traverse(CoreId(0), Time::ZERO, tile, tile);
         assert_eq!(b, c.params.router_occupancy + c.params.l_hop);
         assert_eq!(c.stats.router_wait, c.params.router_occupancy);
     }
@@ -394,8 +462,8 @@ mod tests {
     fn port_serializes_concurrent_accesses() {
         let mut c = chip();
         let tile = Tile::new(0, 0);
-        let a = c.port_read(Time::ZERO, tile);
-        let b = c.port_read(Time::ZERO, tile);
+        let a = c.port_read(CoreId(0), Time::ZERO, tile);
+        let b = c.port_read(CoreId(0), Time::ZERO, tile);
         let s = c.params.mpb_port_read;
         assert_eq!(a, s);
         assert_eq!(b, s * 2);
@@ -406,12 +474,12 @@ mod tests {
     fn mc_serializes_and_distinguishes_read_write() {
         let mut c = chip();
         let mc = MemController::SouthWest;
-        let a = c.mc_service(Time::ZERO, mc, false);
-        let b = c.mc_service(Time::ZERO, mc, true);
+        let a = c.mc_service(CoreId(0), Time::ZERO, mc, false);
+        let b = c.mc_service(CoreId(0), Time::ZERO, mc, true);
         assert_eq!(a, c.params.mc_read);
         assert_eq!(b, c.params.mc_read + c.params.mc_write);
         // Other controllers are independent.
-        let x = c.mc_service(Time::ZERO, MemController::NorthEast, false);
+        let x = c.mc_service(CoreId(0), Time::ZERO, MemController::NorthEast, false);
         assert_eq!(x, c.params.mc_read);
     }
 

@@ -47,8 +47,11 @@ use crate::chip::{Chip, SimStats};
 use crate::handoff::{self, ParkCell, Slot};
 use crate::ops::{self, Effect, Op};
 use crate::params::SimParams;
-use crate::trace::{OpKind, OpTrace};
-use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaError, RmaResult, Time, NUM_CORES};
+use crate::trace::OpTrace;
+use scc_hal::{
+    CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaError, RmaResult, Span, Time, NUM_CORES,
+};
+use scc_obs::{EventLog, ObsEvent};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -73,6 +76,12 @@ pub struct SimConfig {
     /// either way; the knob exists so tests can regress-check that
     /// claim and to help bisect engine bugs.
     pub coalesce: bool,
+    /// Record the full structured event stream (ops, queue waits with
+    /// resource ids, park/wake, handoffs, protocol-phase spans) into
+    /// [`SimReport::events`] for the `scc-obs` exporters. Off by
+    /// default; virtual times and [`SimStats`] are identical either
+    /// way (see the `obs_equivalence` test).
+    pub record: bool,
 }
 
 impl Default for SimConfig {
@@ -83,6 +92,7 @@ impl Default for SimConfig {
             params: SimParams::default(),
             trace: false,
             coalesce: true,
+            record: false,
         }
     }
 }
@@ -132,6 +142,8 @@ pub struct SimReport<R> {
     pub stats: SimStats,
     /// Op-level trace, when enabled in the config.
     pub trace: Option<Vec<OpTrace>>,
+    /// Structured event stream, when [`SimConfig::record`] was set.
+    pub events: Option<Vec<ObsEvent>>,
 }
 
 // ---- messages ----------------------------------------------------------
@@ -261,8 +273,12 @@ struct Engine {
 impl Engine {
     fn new(cfg: &SimConfig) -> Engine {
         let n = cfg.num_cores;
+        let mut chip = Chip::new(cfg.params, n, cfg.mem_bytes);
+        if cfg.record {
+            chip.recorder = Some(Box::new(EventLog::new()));
+        }
         let mut e = Engine {
-            chip: Chip::new(cfg.params, n, cfg.mem_bytes),
+            chip,
             coalesce: cfg.coalesce,
             queue: BinaryHeap::with_capacity(2 * n + 8),
             seq: 0,
@@ -291,6 +307,15 @@ impl Engine {
         self.seq += 1;
     }
 
+    /// Record one structured event; a single never-taken branch when
+    /// recording is off.
+    #[inline]
+    fn record(&mut self, ev: ObsEvent) {
+        if let Some(r) = self.chip.recorder.as_mut() {
+            r.record(ev);
+        }
+    }
+
     fn granted(&mut self, core: usize, grant: Grant) -> Advanced {
         Advanced::Granted(core, grant)
     }
@@ -309,6 +334,11 @@ impl Engine {
         match req {
             Request::Compute(t) => {
                 let at = self.now + t;
+                self.record(ObsEvent::Compute {
+                    core: CoreId(core as u8),
+                    start: self.now,
+                    end: at,
+                });
                 self.push(at, EventKind::Resume(core));
                 Ok(Submitted::Blocked)
             }
@@ -323,6 +353,7 @@ impl Engine {
                     });
                 }
                 self.chip.stats.parks += 1;
+                self.record(ObsEvent::Park { core: CoreId(core as u8), line, at: self.now });
                 self.parked[core] = Some(line);
                 Ok(Submitted::Blocked)
             }
@@ -381,6 +412,7 @@ impl Engine {
     fn submit_finish(&mut self, core: usize) {
         self.finished[core] = true;
         self.end_times[core] = self.now;
+        self.record(ObsEvent::Finish { core: CoreId(core as u8), at: self.now });
         self.done += 1;
     }
 
@@ -439,12 +471,19 @@ impl Engine {
                 if let Some(tr) = self.trace.as_mut() {
                     tr.push(OpTrace {
                         core: CoreId(i as u8),
-                        kind: OpKind::of(&done.op),
+                        kind: ops::op_kind(&done.op),
                         lines: ops::total_lines(&done.op),
                         start: done.issued,
                         end: self.now,
                     });
                 }
+                self.record(ObsEvent::Op {
+                    core: CoreId(i as u8),
+                    kind: ops::op_kind(&done.op),
+                    lines: ops::total_lines(&done.op),
+                    start: done.issued,
+                    end: self.now,
+                });
                 return Some(self.apply_op(i, &done.op));
             }
             p.remaining -= 1;
@@ -476,6 +515,12 @@ impl Engine {
                     if let Some(line) = self.parked[w] {
                         if region.covers(CoreId(w as u8), line) {
                             self.parked[w] = None;
+                            self.record(ObsEvent::Wake {
+                                core: CoreId(w as u8),
+                                line,
+                                at: self.now,
+                                writer: CoreId(core as u8),
+                            });
                             self.push(self.now, EventKind::Resume(w));
                         }
                     }
@@ -514,6 +559,7 @@ impl Engine {
             Ok(RunOutput {
                 end_times: std::mem::take(&mut self.end_times),
                 trace: self.trace.take(),
+                events: self.chip.recorder.as_mut().map(|r| r.drain()),
                 stats: self.chip.stats.clone(),
             })
         } else {
@@ -525,6 +571,7 @@ impl Engine {
 struct RunOutput {
     end_times: Vec<Time>,
     trace: Option<Vec<OpTrace>>,
+    events: Option<Vec<ObsEvent>>,
     stats: SimStats,
 }
 
@@ -573,6 +620,9 @@ pub struct SimCore {
     id: CoreId,
     num_cores: usize,
     mem_bytes: usize,
+    /// Cached `SimConfig::record`, so span annotations cost one local
+    /// branch (no engine lock) when recording is off.
+    recording: bool,
     now: Cell<Time>,
     parked_line: Cell<usize>,
     /// Reusable payload buffer for untimed memory requests; it rides
@@ -595,6 +645,8 @@ impl SimCore {
                 Advanced::Granted(core, g) if core == me => g,
                 Advanced::Granted(core, g) => {
                     eng.chip.stats.handoffs += 1;
+                    let at = eng.now;
+                    eng.record(ObsEvent::Handoff { from: self.id, to: CoreId(core as u8), at });
                     drop(eng);
                     self.shared.deposit(core, g);
                     self.shared.grants[me]
@@ -668,6 +720,8 @@ impl SimCore {
             }
             Advanced::Granted(core, g) => {
                 eng.chip.stats.handoffs += 1;
+                let at = eng.now;
+                eng.record(ObsEvent::Handoff { from: self.id, to: CoreId(core as u8), at });
                 drop(eng);
                 self.shared.deposit(core, g);
             }
@@ -676,6 +730,22 @@ impl SimCore {
                 self.shared.abort(SimError::Engine(msg));
             }
         }
+    }
+
+    /// Deposit a span event into the recorder. Spans carry no virtual
+    /// time of their own — they are stamped with this core's current
+    /// clock — so annotating a collective cannot perturb the run. Only
+    /// reached when recording: the calling core holds the logical baton
+    /// (it is the single runnable core), so the engine lock is
+    /// uncontended.
+    fn record_span(&self, begin: bool, span: Span) {
+        let at = self.now.get();
+        let ev = if begin {
+            ObsEvent::SpanBegin { core: self.id, span, at }
+        } else {
+            ObsEvent::SpanEnd { core: self.id, span, at }
+        };
+        self.shared.lock_engine().record(ev);
     }
 }
 
@@ -772,6 +842,18 @@ impl Rma for SimCore {
         // where the error will surface on the next fallible call.
         let _ = self.rpc(Request::Compute(t));
     }
+
+    fn span_begin(&mut self, span: Span) {
+        if self.recording {
+            self.record_span(true, span);
+        }
+    }
+
+    fn span_end(&mut self, span: Span) {
+        if self.recording {
+            self.record_span(false, span);
+        }
+    }
 }
 
 /// Tears the whole run down if the SPMD closure panics, so the other
@@ -812,6 +894,7 @@ where
     });
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let mem_bytes = cfg.mem_bytes;
+    let recording = cfg.record;
     let f = &f;
 
     let workers = handoff::checkout(n);
@@ -824,6 +907,7 @@ where
                 id: CoreId(i as u8),
                 num_cores: n,
                 mem_bytes,
+                recording,
                 now: Cell::new(Time::ZERO),
                 parked_line: Cell::new(0),
                 scratch: RefCell::new(Vec::new()),
@@ -852,6 +936,14 @@ where
         match eng.advance() {
             Advanced::Granted(core, g) => {
                 eng.chip.stats.handoffs += 1;
+                // The kick has no issuing core; record it as the baton
+                // appearing at its first holder.
+                let at = eng.now;
+                eng.record(ObsEvent::Handoff {
+                    from: CoreId(core as u8),
+                    to: CoreId(core as u8),
+                    at,
+                });
                 drop(eng);
                 shared.deposit(core, g);
             }
@@ -893,6 +985,7 @@ where
         makespan,
         stats: out.stats,
         trace: out.trace,
+        events: out.events,
     })
 }
 

@@ -15,6 +15,7 @@ use scc_hal::{
     CoreId, FlagValue, MemRange, MpbAddr, RmaError, RmaResult, Time, CACHE_LINE_BYTES,
     MPB_LINES_PER_CORE,
 };
+use scc_obs::OpKind;
 
 /// A timed operation issued by a core.
 #[derive(Clone, Debug)]
@@ -134,36 +135,48 @@ fn check_core(chip: &Chip, core: CoreId) -> RmaResult<()> {
 /// One cache-line read of `owner`'s MPB by `issuer`, starting at `t`.
 fn mpb_read_line(chip: &mut Chip, t: Time, issuer: CoreId, owner: CoreId) -> Time {
     let t = t + chip.params.o_core_mpb_read;
-    let t = chip.traverse(t, issuer.tile(), owner.tile());
-    let t = chip.port_read(t, owner.tile());
-    chip.traverse(t, owner.tile(), issuer.tile())
+    let t = chip.traverse(issuer, t, issuer.tile(), owner.tile());
+    let t = chip.port_read(issuer, t, owner.tile());
+    chip.traverse(issuer, t, owner.tile(), issuer.tile())
 }
 
 /// One cache-line write into `owner`'s MPB by `issuer` (completion
 /// includes the acknowledgment's way back).
 fn mpb_write_line(chip: &mut Chip, t: Time, issuer: CoreId, owner: CoreId) -> Time {
     let t = t + chip.params.o_core_mpb_write;
-    let t = chip.traverse(t, issuer.tile(), owner.tile());
-    let t = chip.port_write(t, owner.tile());
-    chip.traverse(t, owner.tile(), issuer.tile())
+    let t = chip.traverse(issuer, t, issuer.tile(), owner.tile());
+    let t = chip.port_write(issuer, t, owner.tile());
+    chip.traverse(issuer, t, owner.tile(), issuer.tile())
 }
 
 /// One cache-line read from the issuer's private off-chip memory.
 fn mem_read_line(chip: &mut Chip, t: Time, issuer: CoreId) -> Time {
     let mc = issuer.memory_controller();
     let t = t + chip.params.o_core_mem_read;
-    let t = chip.traverse(t, issuer.tile(), mc.attach_tile());
-    let t = chip.mc_service(t, mc, false);
-    chip.traverse(t, mc.attach_tile(), issuer.tile())
+    let t = chip.traverse(issuer, t, issuer.tile(), mc.attach_tile());
+    let t = chip.mc_service(issuer, t, mc, false);
+    chip.traverse(issuer, t, mc.attach_tile(), issuer.tile())
 }
 
 /// One cache-line write into the issuer's private off-chip memory.
 fn mem_write_line(chip: &mut Chip, t: Time, issuer: CoreId) -> Time {
     let mc = issuer.memory_controller();
     let t = t + chip.params.o_core_mem_write;
-    let t = chip.traverse(t, issuer.tile(), mc.attach_tile());
-    let t = chip.mc_service(t, mc, true);
-    chip.traverse(t, mc.attach_tile(), issuer.tile())
+    let t = chip.traverse(issuer, t, issuer.tile(), mc.attach_tile());
+    let t = chip.mc_service(issuer, t, mc, true);
+    chip.traverse(issuer, t, mc.attach_tile(), issuer.tile())
+}
+
+/// Coarse classification of an op for traces and event streams.
+pub fn op_kind(op: &Op) -> OpKind {
+    match op {
+        Op::PutFromMem { .. } => OpKind::PutFromMem,
+        Op::PutFromMpb { .. } => OpKind::PutFromMpb,
+        Op::GetToMem { .. } => OpKind::GetToMem,
+        Op::GetToMpb { .. } => OpKind::GetToMpb,
+        Op::FlagPut { .. } => OpKind::FlagPut,
+        Op::ReadLine { .. } => OpKind::FlagRead,
+    }
 }
 
 /// Number of cache lines the op transfers.

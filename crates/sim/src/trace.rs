@@ -1,53 +1,13 @@
 //! Optional op-level tracing: when enabled in [`crate::SimConfig`],
 //! every timed RMA operation is recorded with its issue and completion
-//! times, giving a per-core timeline of the collective — the tool used
-//! to debug the protocols in this repository and to illustrate the
-//! pipeline in the `gantt` binary.
+//! times, giving a per-core timeline of the collective — the quick-look
+//! tool behind the `trace` binary's text Gantt. The full structured
+//! event stream (queue waits, park/wake, phase spans) lives in
+//! `scc-obs`; this module keeps the lightweight per-op view.
 
-use crate::ops::Op;
 use scc_hal::{CoreId, Time};
-use std::fmt;
 
-/// Coarse classification of a traced operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum OpKind {
-    PutFromMem,
-    PutFromMpb,
-    GetToMem,
-    GetToMpb,
-    FlagPut,
-    FlagRead,
-}
-
-impl OpKind {
-    pub fn of(op: &Op) -> OpKind {
-        match op {
-            Op::PutFromMem { .. } => OpKind::PutFromMem,
-            Op::PutFromMpb { .. } => OpKind::PutFromMpb,
-            Op::GetToMem { .. } => OpKind::GetToMem,
-            Op::GetToMpb { .. } => OpKind::GetToMpb,
-            Op::FlagPut { .. } => OpKind::FlagPut,
-            Op::ReadLine { .. } => OpKind::FlagRead,
-        }
-    }
-
-    pub fn short(&self) -> &'static str {
-        match self {
-            OpKind::PutFromMem => "PUTm",
-            OpKind::PutFromMpb => "PUTb",
-            OpKind::GetToMem => "GETm",
-            OpKind::GetToMpb => "GETb",
-            OpKind::FlagPut => "FLAG",
-            OpKind::FlagRead => "POLL",
-        }
-    }
-}
-
-impl fmt::Display for OpKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.short())
-    }
-}
+pub use scc_obs::OpKind;
 
 /// One traced operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,38 +49,52 @@ pub fn summarize(trace: &[OpTrace], num_cores: usize) -> TraceSummary {
     TraceSummary { per_core }
 }
 
+/// The glyph legend, generated from [`OpKind::ALL`] so it cannot drift
+/// from the renderer when op kinds are added (`FlagRead` renders as
+/// idle and is left out).
+fn legend() -> String {
+    let mut parts = Vec::new();
+    for k in OpKind::ALL {
+        if k.glyph() != b'.' {
+            parts.push(format!("{}={}", k.glyph() as char, k.short()));
+        }
+    }
+    parts.join(", ")
+}
+
 /// Render a fixed-width text Gantt chart of the trace: one row per
 /// core, `width` character cells spanning `[0, horizon]`, each cell
 /// showing the op that was active (last-writer-wins within a cell).
+///
+/// A trace containing only polls (or only zero-length ops) renders as
+/// all-idle rows, not as "(empty trace)": the run *did* something — it
+/// waited — and the timeline should say so.
 pub fn render_gantt(trace: &[OpTrace], num_cores: usize, width: usize) -> String {
     assert!(width >= 10);
-    let horizon = trace.iter().map(|t| t.end).fold(Time::ZERO, Time::max);
-    if horizon == Time::ZERO {
+    if trace.is_empty() {
         return String::from("(empty trace)\n");
     }
+    let horizon = trace.iter().map(|t| t.end).fold(Time::ZERO, Time::max);
     let mut rows = vec![vec![b'.'; width]; num_cores];
     for t in trace {
-        let a = (t.start.as_ps() as u128 * width as u128 / horizon.as_ps() as u128) as usize;
-        let b = (t.end.as_ps() as u128 * width as u128 / horizon.as_ps() as u128) as usize;
-        let glyph = match t.kind {
-            OpKind::PutFromMem => b'P',
-            OpKind::PutFromMpb => b'p',
-            OpKind::GetToMem => b'G',
-            OpKind::GetToMpb => b'g',
-            OpKind::FlagPut => b'f',
-            OpKind::FlagRead => b'.', // polls are idle time, keep quiet
-        };
-        if glyph == b'.' {
+        let glyph = t.kind.glyph();
+        if glyph == b'.' || horizon == Time::ZERO {
             continue;
         }
-        for cell in rows[t.core.index()].iter_mut().take(b.max(a + 1).min(width)).skip(a) {
-            *cell = glyph;
+        // Cell index of an instant: floor(t * width / horizon), so an
+        // op ending exactly at the horizon maps to cell `width` — an
+        // exclusive bound that must be clamped before indexing. The
+        // start is clamped too (`a <= width - 1`), and every op paints
+        // at least the cell it starts in.
+        let cell = |x: Time| (x.as_ps() as u128 * width as u128 / horizon.as_ps() as u128) as usize;
+        let a = cell(t.start).min(width - 1);
+        let b = cell(t.end).max(a + 1).min(width);
+        for c in &mut rows[t.core.index()][a..b] {
+            *c = glyph;
         }
     }
     let mut out = String::new();
-    out.push_str(&format!(
-        "time 0 .. {horizon}  (P=put mem→MPB, p=put MPB→MPB, G=get→mem, g=get→MPB, f=flag)\n"
-    ));
+    out.push_str(&format!("time 0 .. {horizon}  ({})\n", legend()));
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!("C{i:<2} |{}|\n", String::from_utf8_lossy(row)));
     }
@@ -172,5 +146,53 @@ mod tests {
     #[test]
     fn empty_trace() {
         assert_eq!(render_gantt(&[], 4, 20), "(empty trace)\n");
+    }
+
+    /// An op ending exactly at the horizon maps to the exclusive cell
+    /// bound `width`; the renderer must clamp, not index out of range,
+    /// and the final cell must be painted.
+    #[test]
+    fn op_ending_at_horizon_paints_last_cell() {
+        let trace = vec![
+            t(0, OpKind::PutFromMem, 0, 1000),
+            t(1, OpKind::FlagPut, 900, 1000), // starts in the last cell
+        ];
+        let g = render_gantt(&trace, 2, 10);
+        let c0 = g.lines().find(|l| l.starts_with("C0")).unwrap();
+        assert_eq!(&c0[c0.find('|').unwrap() + 1..c0.rfind('|').unwrap()], "PPPPPPPPPP", "{g}");
+        let c1 = g.lines().find(|l| l.starts_with("C1")).unwrap();
+        assert!(c1.ends_with("f|"), "{g}");
+    }
+
+    /// A poll-only trace is a real (if idle) timeline, not an empty one.
+    #[test]
+    fn flag_read_only_trace_renders_idle_rows() {
+        let trace = vec![t(0, OpKind::FlagRead, 0, 700), t(1, OpKind::FlagRead, 0, 400)];
+        let g = render_gantt(&trace, 2, 12);
+        assert!(!g.contains("(empty trace)"), "{g}");
+        assert!(g.contains("C0  |............|"), "{g}");
+        assert!(g.contains("C1  |............|"), "{g}");
+    }
+
+    /// Degenerate but legal: every op instantaneous at t=0. No division
+    /// by zero, all rows idle.
+    #[test]
+    fn zero_horizon_nonempty_trace() {
+        let trace = vec![t(0, OpKind::FlagPut, 0, 0)];
+        let g = render_gantt(&trace, 1, 10);
+        assert!(g.contains("C0  |..........|"), "{g}");
+    }
+
+    /// The legend is generated from `OpKind::ALL`: every kind with a
+    /// non-idle glyph appears.
+    #[test]
+    fn legend_tracks_op_kinds() {
+        let g = render_gantt(&[t(0, OpKind::PutFromMem, 0, 10)], 1, 10);
+        for k in OpKind::ALL {
+            if k.glyph() != b'.' {
+                let entry = format!("{}={}", k.glyph() as char, k.short());
+                assert!(g.contains(&entry), "legend missing {entry}: {g}");
+            }
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! Cross-crate checks of the observability layer (DESIGN.md
+//! "Observability"): the critical-path extractor against the paper's
+//! analytical model, the per-resource stats breakdowns against their
+//! aggregates, and the Chrome-trace exporter on a real broadcast.
+
+use oc_bcast::{Algorithm, Broadcaster, OcConfig};
+use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaExt, RmaResult, Time};
+use scc_model::{ModelParams, P2p};
+use scc_obs::{
+    chrome_trace_json, critical_path, kinds_present, validate_json, ObsEvent, OpKind, SegmentKind,
+};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, SimConfig, SimReport};
+
+fn record_bcast(p: usize, alg: Algorithm, lines: usize) -> SimReport<RmaResult<()>> {
+    let bytes = lines * 32;
+    let cfg = SimConfig {
+        num_cores: p,
+        mem_bytes: 1 << 20,
+        trace: true,
+        record: true,
+        ..SimConfig::default()
+    };
+    run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, alg, p).expect("MPB layout");
+        let r = MemRange::new(0, bytes);
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0xA5u8; bytes])?;
+        }
+        b.bcast(c, CoreId(0), r)
+    })
+    .expect("simulation")
+}
+
+/// Satellite: the critical path of an uncontended two-core exchange
+/// equals the hand-computed model time. Core 0 `put`s `m` lines into
+/// core 1's MPB and raises a flag; core 1 polls, parks, and re-polls on
+/// the wake. The extracted path must be exactly
+/// `C^mem_put(m, d_mem, d) + C^mpb_put(1, d) + C^mpb_r(1)` with
+/// Table-1 parameters, and must cover the makespan with contiguous,
+/// non-overlapping segments.
+#[test]
+fn critical_path_matches_logp_model_on_uncontended_exchange() {
+    let m = 8usize;
+    let flag_line = m;
+    let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, record: true, ..SimConfig::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0x3Cu8; m * 32])?;
+            c.put_from_mem(MemRange::new(0, m * 32), MpbAddr::new(CoreId(1), 0))?;
+            c.flag_put(MpbAddr::new(CoreId(1), flag_line), FlagValue(1))?;
+        } else {
+            c.flag_wait_eq(flag_line, FlagValue(1))?;
+        }
+        Ok(())
+    })
+    .expect("simulation");
+    let events = rep.events.as_deref().expect("recording enabled");
+    let cp = critical_path(events).expect("non-empty stream");
+
+    // Coverage: contiguous, non-overlapping, the whole run.
+    assert_eq!(cp.start, Time::ZERO);
+    assert_eq!(cp.end, rep.makespan);
+    let mut cursor = cp.start;
+    for s in &cp.segments {
+        assert_eq!(s.start, cursor, "segments must be contiguous: {cp:?}");
+        assert!(s.end > s.start, "segments must have positive length");
+        cursor = s.end;
+    }
+    assert_eq!(cursor, cp.end);
+    assert_eq!(cp.breakdown().total(), cp.total(), "breakdown must sum to the path");
+
+    // The path is: C0's bulk put, C0's flag put, C1's wake re-poll.
+    let kinds: Vec<(u8, SegmentKind)> = cp.segments.iter().map(|s| (s.core.0, s.kind)).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (0, SegmentKind::Op(OpKind::PutFromMem)),
+            (0, SegmentKind::Op(OpKind::FlagPut)),
+            (1, SegmentKind::Op(OpKind::FlagRead)),
+        ],
+        "{cp:?}"
+    );
+
+    // Hand-computed LogP time from the paper's formulas (Table 1).
+    let model = P2p::new(ModelParams::paper());
+    let d = CoreId(0).mpb_distance(CoreId(1));
+    let d_mem = CoreId(0).mem_distance();
+    let expect = model.c_put_mem(m, d_mem, d) + model.c_put_mpb(1, d) + model.c_mpb_r(1);
+    assert!(
+        (cp.total().as_us_f64() - expect).abs() < 1e-6,
+        "critical path {} must equal the model's {expect:.6} us",
+        cp.total()
+    );
+    // Per-segment agreement, too: each leg is the corresponding formula.
+    let legs = [model.c_put_mem(m, d_mem, d), model.c_put_mpb(1, d), model.c_mpb_r(1)];
+    for (s, leg) in cp.segments.iter().zip(legs) {
+        assert!(
+            (s.duration().as_us_f64() - leg).abs() < 1e-6,
+            "segment {s:?} must take {leg:.6} us"
+        );
+    }
+    // Uncontended: no queueing anywhere on the path.
+    let b = cp.breakdown();
+    assert_eq!(b.port_wait + b.router_wait + b.mc_wait, Time::ZERO);
+    assert_eq!(b.idle, Time::ZERO);
+}
+
+/// Satellite: the per-tile / per-controller SimStats vectors partition
+/// their aggregates exactly, on a contended full-chip broadcast.
+#[test]
+fn per_resource_stats_sum_to_aggregates() {
+    let rep = record_bcast(48, Algorithm::OcBcast(OcConfig::with_k(7)), 96);
+    for r in &rep.results {
+        r.as_ref().unwrap();
+    }
+    let s = &rep.stats;
+    let sum = |v: &[Time]| v.iter().fold(Time::ZERO, |a, &b| a + b);
+    assert_eq!(s.port_wait_by_tile.len(), 24);
+    assert_eq!(s.router_wait_by_tile.len(), 24);
+    assert_eq!(s.mc_wait_by_ctrl.len(), 4);
+    assert_eq!(sum(&s.port_wait_by_tile), s.port_wait, "port wait must partition");
+    assert_eq!(sum(&s.port_busy_by_tile), s.port_busy, "port busy must partition");
+    assert_eq!(sum(&s.router_wait_by_tile), s.router_wait, "router wait must partition");
+    assert_eq!(sum(&s.router_busy_by_tile), s.router_busy, "router busy must partition");
+    assert_eq!(sum(&s.mc_wait_by_ctrl), s.mc_wait, "mc wait must partition");
+    assert_eq!(sum(&s.mc_busy_by_ctrl), s.mc_busy, "mc busy must partition");
+    // The guard is only meaningful if the run actually contended.
+    assert!(s.port_wait > Time::ZERO, "48-core k=7 broadcast must queue at ports");
+    // And the recorded Wait events agree with the aggregate wait, class
+    // by class (the chip books both from the same reservation).
+    let events = rep.events.as_deref().unwrap();
+    let mut by_class = [Time::ZERO; 3];
+    for ev in events {
+        if let ObsEvent::Wait { resource, arrival, start, .. } = *ev {
+            let i = match resource.class() {
+                "port" => 0,
+                "router" => 1,
+                _ => 2,
+            };
+            by_class[i] += start - arrival;
+        }
+    }
+    assert_eq!(by_class[0], s.port_wait);
+    assert_eq!(by_class[1], s.router_wait);
+    assert_eq!(by_class[2], s.mc_wait);
+}
+
+/// The Chrome exporter produces valid JSON with per-core tracks, phase
+/// spans from the collective, and tracks for the contended resources.
+#[test]
+fn chrome_trace_is_valid_and_carries_phases() {
+    let rep = record_bcast(12, Algorithm::OcBcast(OcConfig::with_k(3)), 96);
+    let events = rep.events.as_deref().unwrap();
+    let json = chrome_trace_json(events);
+    validate_json(&json).expect("exporter must emit valid JSON");
+    assert!(!kinds_present(events).is_empty());
+    for needle in [
+        "\"traceEvents\"",
+        "\"disseminate", // phase spans from OcBcast
+        "\"notify-wait",
+        "\"cat\":\"op\"",
+        "\"cat\":\"phase\"",
+    ] {
+        assert!(json.contains(needle), "chrome trace missing {needle}");
+    }
+    // Spans recorded by the collective made it into the stream.
+    assert!(events.iter().any(|e| matches!(e, ObsEvent::SpanBegin { .. })));
+}
