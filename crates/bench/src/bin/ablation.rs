@@ -1,109 +1,13 @@
 //! Ablation study of OC-Bcast's design choices (DESIGN.md §4):
+//! notification fan-out, double buffering, the Section 5.4
+//! `leaf_direct` optimization, chunk size, tree layout, and the
+//! one-sided scatter-allgather alternative.
 //!
-//! * notification fan-out — binary tree (paper) vs ternary vs the
-//!   parent notifying all children sequentially;
-//! * double buffering on/off, with the standard and the `leaf_direct`
-//!   consumption patterns;
-//! * the Section 5.4 `leaf_direct` optimization itself;
-//! * chunk size (M_oc) sweep;
-//! * tree layout — the paper's id-based k-ary heap vs the
-//!   topology-aware extension;
-//! * the Section 5.4 alternative design: scatter-allgather over
-//!   one-sided RMA, vs the two-sided baseline and vs OC-Bcast.
+//! Thin wrapper over the `ablation` registry entry; see
+//! `scc_bench::experiments`.
 //!
 //! Run: `cargo run --release -p scc-bench --bin ablation`
 
-use oc_bcast::{Algorithm, OcConfig, TreeLayout, TreeStrategy};
-use scc_bench::{measure_bcast, paper_chip, quick};
-use scc_hal::CoreId;
-
-fn run(cfg_oc: OcConfig, bytes: usize) -> (f64, f64) {
-    let cfg = paper_chip();
-    let t = measure_bcast(&cfg, Algorithm::OcBcast(cfg_oc), CoreId(0), bytes, 1, 2).expect("sim");
-    (t.latency_us, t.throughput_mb_s)
-}
-
 fn main() {
-    let small = 32; // 1 CL
-    let large = if quick() { 96 * 32 * 8 } else { 96 * 32 * 40 };
-
-    println!("# --- notification fan-out (k = 7, 1 CL latency / large-msg throughput) ---");
-    for (name, fanout) in [("binary (paper)", 2usize), ("ternary", 3), ("sequential", 64)] {
-        let c = OcConfig { notify_fanout: fanout, ..OcConfig::default() };
-        let (l, _) = run(c, small);
-        let (_, t) = run(c, large);
-        println!("{name:<16} latency {l:>8.2} µs   throughput {t:>7.2} MB/s");
-    }
-    println!();
-
-    println!("# --- notification fan-out at k = 47 (polling-heavy regime) ---");
-    for (name, fanout) in [("binary (paper)", 2usize), ("sequential", 64)] {
-        let c = OcConfig { k: 47, notify_fanout: fanout, chunk_lines: 96, ..OcConfig::default() };
-        let (l, _) = run(c, small);
-        println!("{name:<16} 1-CL latency {l:>8.2} µs");
-    }
-    println!();
-
-    println!("# --- double buffering (large-message throughput, MB/s) ---");
-    for (name, leaf_direct) in [("standard steps", false), ("leaf_direct", true)] {
-        let on = run(OcConfig { leaf_direct, ..OcConfig::default() }, large).1;
-        let off =
-            run(OcConfig { leaf_direct, double_buffer: false, ..OcConfig::default() }, large).1;
-        println!("{name:<16} double {on:>7.2}   single {off:>7.2}   gain {:>5.2}x", on / off);
-    }
-    println!("# (with the paper's early done-release the single buffer keeps up;");
-    println!("#  with monolithic consumption the ping-pong penalty appears — see EXPERIMENTS.md)");
-    println!();
-
-    println!("# --- leaf_direct (Section 5.4 optimization the paper omits) ---");
-    for bytes in [small, 96 * 32, large] {
-        let base = run(OcConfig::default(), bytes).0;
-        let opt = run(OcConfig { leaf_direct: true, ..OcConfig::default() }, bytes).0;
-        println!(
-            "{:>8} B: standard {base:>9.2} µs   leaf_direct {opt:>9.2} µs   gain {:>5.1}%",
-            bytes,
-            (1.0 - opt / base) * 100.0
-        );
-    }
-    println!();
-
-    println!("# --- chunk size M_oc (large-message throughput, MB/s) ---");
-    for chunk in [24usize, 48, 96, 120] {
-        let c = OcConfig { chunk_lines: chunk, ..OcConfig::default() };
-        let (_, t) = run(c, large);
-        println!(
-            "M_oc = {chunk:>3} CL: {t:>7.2} MB/s{}",
-            if chunk == 96 { "  (paper)" } else { "" }
-        );
-    }
-    println!();
-
-    println!("# --- tree layout: id-based (paper) vs topology-aware (extension) ---");
-    for k in [2usize, 7] {
-        for (name, strategy) in
-            [("by-id (paper)", TreeStrategy::ById), ("topology-aware", TreeStrategy::TopologyAware)]
-        {
-            let c = OcConfig { k, strategy, ..OcConfig::default() };
-            let (l1, _) = run(c, small);
-            let (l96, _) = run(c, 96 * 32);
-            let dist = TreeLayout::build(strategy, 48, k, CoreId(0)).total_parent_distance();
-            println!(
-                "k={k} {name:<16} 1CL {l1:>7.2} µs   96CL {l96:>8.2} µs   Σ parent-dist {dist}"
-            );
-        }
-    }
-    println!();
-
-    println!("# --- Section 5.4 alternative: one-sided scatter-allgather ---");
-    let chip = paper_chip();
-    for (label, alg) in [
-        ("s-ag two-sided", Algorithm::ScatterAllgather),
-        ("s-ag one-sided", Algorithm::RmaScatterAllgather),
-        ("OC-Bcast k=7", Algorithm::oc_default()),
-    ] {
-        let t = measure_bcast(&chip, alg, CoreId(0), large, 0, 1).expect("sim");
-        println!("{label:<16} peak {:>7.2} MB/s", t.throughput_mb_s);
-    }
-    println!("# one-sided RMA roughly doubles scatter-allgather, but the algorithm");
-    println!("# shape (no off-chip round trip per hop) is what OC-Bcast adds on top.");
+    scc_bench::run_standalone("ablation");
 }

@@ -2,58 +2,12 @@
 //! for 1/4/8/16 cache lines — measurement dots (simulator) vs model
 //! lines (Formulas 7–12 with Table-1 parameters), four panels.
 //!
+//! Thin wrapper over the `fig3` entry of the experiment registry
+//! (`scc_bench::experiments`); the `observatory` binary runs the same
+//! code with structured conformance output.
+//!
 //! Run: `cargo run --release -p scc-bench --bin fig3`
 
-use scc_bench::{paper_chip, print_series};
-use scc_model::{ModelParams, P2p};
-use scc_sim::{measure_p2p, P2pKind};
-
 fn main() {
-    let cfg = paper_chip();
-    let model = P2p::new(ModelParams::paper());
-    let sizes = [1usize, 4, 8, 16];
-    let reps = 3;
-
-    let panels: [(&str, P2pKind, u32); 4] = [
-        ("MPB to MPB Get Completion Time", P2pKind::GetMpb, 9),
-        ("MPB to MPB Put Completion Time", P2pKind::PutMpb, 9),
-        ("MPB to Memory Get Completion Time", P2pKind::GetMem, 4),
-        ("Memory to MPB Put Completion Time", P2pKind::PutMem, 4),
-    ];
-
-    for (title, kind, dmax) in panels {
-        let labels: Vec<String> =
-            sizes.iter().flat_map(|m| [format!("exp:{m}CL"), format!("model:{m}CL")]).collect();
-        let mut rows = Vec::new();
-        for d in 1..=dmax {
-            let mut cols = Vec::new();
-            for &m in &sizes {
-                let exp = measure_p2p(&cfg, kind, m, d, reps).expect("sim").as_us_f64();
-                let mdl = match kind {
-                    P2pKind::GetMpb => model.c_get_mpb(m, d),
-                    P2pKind::PutMpb => model.c_put_mpb(m, d),
-                    P2pKind::GetMem => model.c_get_mem(m, 1, d),
-                    P2pKind::PutMem => model.c_put_mem(m, d, 1),
-                };
-                cols.push(exp);
-                cols.push(mdl);
-            }
-            rows.push((d as usize, cols));
-        }
-        print_series(title, "hops", &labels, &rows);
-
-        // The paper's validation claim: model and measurement agree.
-        for (d, cols) in &rows {
-            for pair in cols.chunks_exact(2) {
-                let rel = (pair[0] - pair[1]).abs() / pair[1];
-                assert!(
-                    rel < 0.02,
-                    "model mismatch at d={d}: exp {} vs model {}",
-                    pair[0],
-                    pair[1]
-                );
-            }
-        }
-    }
-    println!("# all panels: simulator within 2% of the analytical model");
+    scc_bench::run_standalone("fig3");
 }

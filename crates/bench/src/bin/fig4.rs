@@ -3,58 +3,11 @@
 //! MPB, (b) the same for concurrent 1-cache-line puts, as the number
 //! of concurrent accessors grows.
 //!
+//! Thin wrapper over the `fig4` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run --release -p scc-bench --bin fig4`
 
-use scc_bench::{paper_chip, print_series, quick};
-use scc_model::ClosedQueue;
-use scc_sim::measure_contention;
-
 fn main() {
-    let cfg = paper_chip();
-    // The paper sweeps 1..48 accessors of core 0's MPB; with core 0 as
-    // the victim, up to 47 other cores can access it concurrently.
-    let counts: &[usize] =
-        if quick() { &[1, 8, 24, 47] } else { &[1, 2, 4, 6, 8, 12, 16, 24, 32, 40, 47] };
-
-    // The closed-queueing bound model of scc-model (an extension: the
-    // paper declares contention hard to model) overlays each panel.
-    let get_model = ClosedQueue::get_scenario(128, 9.0, 0.010, 0.126, 0.005);
-    let put_model = ClosedQueue {
-        think_us: 0.069 + 0.136 + (0.126 + 2.0 * 9.0 * 0.005) - 0.018,
-        service_us: 0.018,
-    };
-    for (title, lines, puts, reps, model) in [
-        ("Concurrent MPB get completion time (128 cache lines)", 128usize, false, 2u32, &get_model),
-        ("Concurrent MPB put completion time (1 cache line)", 1, true, 50, &put_model),
-    ] {
-        let labels = vec![
-            "avg_us".to_string(),
-            "min_us".to_string(),
-            "max_us".to_string(),
-            "model_us".to_string(),
-        ];
-        let mut rows = Vec::new();
-        for &n in counts {
-            let v = measure_contention(&cfg, n, lines, puts, reps).expect("sim");
-            let us: Vec<f64> = v.iter().map(|t| t.as_us_f64()).collect();
-            let avg = us.iter().sum::<f64>() / us.len() as f64;
-            let min = us.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = us.iter().copied().fold(0.0f64, f64::max);
-            rows.push((n, vec![avg, min, max, model.cycle_estimate_us(n)]));
-        }
-        print_series(title, "accessors", &labels, &rows);
-
-        // Shape checks mirroring Section 3.3's findings.
-        let at = |n: usize| rows.iter().find(|r| r.0 == n).map(|r| r.1[0]);
-        let single = at(1).expect("n=1 measured");
-        if let Some(a24) = at(24) {
-            assert!(
-                a24 < single * 1.12,
-                "up to 24 accessors must show no measurable contention: {single} vs {a24}"
-            );
-        }
-        let a47 = at(47).expect("n=47 measured");
-        assert!(a47 > single * 1.3, "47 accessors must contend visibly: {single} vs {a47}");
-    }
-    println!("# knee past 24 accessors, clear contention at 47 — as in Figure 4");
+    scc_bench::run_standalone("fig4");
 }

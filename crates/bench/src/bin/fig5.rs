@@ -2,46 +2,11 @@
 //! notification trees, printed for the paper's example (s = 0, P = 12,
 //! k = 7) and for the full 48-core chip.
 //!
+//! Thin wrapper over the `fig5` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run -p scc-bench --bin fig5`
 
-use oc_bcast::{KaryTree, NotifyGroup};
-use scc_hal::CoreId;
-
-fn print_tree(p: usize, k: usize, root: u8) {
-    let tree = KaryTree::new(p, k, CoreId(root));
-    println!("# message propagation tree: P = {p}, k = {k}, source C{root}");
-    let mut level: Vec<CoreId> = vec![tree.root()];
-    let mut depth = 0;
-    while !level.is_empty() {
-        let mut next = Vec::new();
-        print!("level {depth}:");
-        for c in &level {
-            print!(" {c}");
-            next.extend(tree.children(*c));
-        }
-        println!();
-        level = next;
-        depth += 1;
-    }
-    println!("# binary notification trees (parent → forwarded-to):");
-    for c in (0..p).map(|i| CoreId(i as u8)) {
-        if let Some(group) = NotifyGroup::of_parent(&tree, c, 2) {
-            println!("  group of {c}:");
-            for m in group.members() {
-                let f = group.forwards(*m);
-                if !f.is_empty() {
-                    let list: Vec<String> = f.iter().map(|x| x.to_string()).collect();
-                    println!("    {m} -> {}", list.join(", "));
-                }
-            }
-        }
-    }
-    println!();
-}
-
 fn main() {
-    // The paper's figure.
-    print_tree(12, 7, 0);
-    // The experimental configuration.
-    print_tree(48, 7, 0);
+    scc_bench::run_standalone("fig5");
 }

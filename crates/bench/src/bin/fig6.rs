@@ -2,40 +2,11 @@
 //! for OC-Bcast (k = 2, 7, 47) and the binomial tree at P = 48 —
 //! panel (a) up to 180 cache lines, panel (b) the ≤ 30-line zoom.
 //!
+//! Thin wrapper over the `fig6` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run -p scc-bench --bin fig6`
 
-use scc_bench::print_series;
-use scc_model::bcast::FullModelCfg;
-use scc_model::series::fig6_curves;
-use scc_model::ModelParams;
-
 fn main() {
-    let params = ModelParams::paper();
-    let cfg = FullModelCfg::default();
-    let ks = [2usize, 7, 47];
-
-    for (title, sizes) in [
-        (
-            "Figure 6a — modeled broadcast latency (µs), P = 48",
-            (1..=180).step_by(4).collect::<Vec<usize>>(),
-        ),
-        ("Figure 6b — zoom on small messages", (1..=30).collect::<Vec<usize>>()),
-    ] {
-        let curves = fig6_curves(&params, &cfg, 48, &ks, &sizes);
-        let labels: Vec<String> = curves.iter().map(|c| c.label.clone()).collect();
-        let rows: Vec<(usize, Vec<f64>)> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| (m, curves.iter().map(|c| c.points[i].1).collect()))
-            .collect();
-        print_series(title, "cache_lines", &labels, &rows);
-    }
-
-    // The qualitative claims of Section 5.2.
-    let l = |m: usize, k: usize| scc_model::oc_latency_full(&params, &cfg, 48, m, k);
-    let binom = |m: usize| scc_model::binomial_latency_full(&params, &cfg, 48, m);
-    assert!(l(1, 7) < binom(1), "OC-Bcast must beat binomial at 1 CL");
-    assert!(l(1, 47) > l(1, 7), "k = 47 pays the polling cost at 1 CL");
-    assert!(binom(180) - l(180, 7) > binom(1) - l(1, 7), "the gap grows with message size");
-    println!("# Section 5.2 ordering claims hold for the modeled curves");
+    scc_bench::run_standalone("fig6");
 }

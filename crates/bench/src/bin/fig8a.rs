@@ -2,60 +2,11 @@
 //! 48-core chip — OC-Bcast (k = 2, 7, 47) against the RCCE_comm
 //! binomial tree, sizes up to 2·M_oc = 192 cache lines.
 //!
+//! Thin wrapper over the `fig8a` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run --release -p scc-bench --bin fig8a`
 
-use oc_bcast::Algorithm;
-use scc_bench::{paper_algorithms, paper_chip, print_series, quick, sweep_sizes};
-
 fn main() {
-    let cfg = paper_chip();
-    let sizes: Vec<usize> = if quick() {
-        vec![1, 32, 96, 192]
-    } else {
-        vec![1, 8, 16, 32, 48, 64, 80, 96, 97, 112, 128, 144, 160, 176, 192]
-    };
-    let algs = paper_algorithms(Algorithm::Binomial);
-    let (warmup, reps) = (1, 3);
-
-    let labels: Vec<String> = algs.iter().map(|a| a.label()).collect();
-    let mut columns = Vec::new();
-    for &alg in &algs {
-        let series = sweep_sizes(&cfg, alg, &sizes, warmup, reps).expect("sim");
-        columns.push(series);
-    }
-    let rows: Vec<(usize, Vec<f64>)> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| (m, columns.iter().map(|c| c[i].1.latency_us).collect()))
-        .collect();
-    print_series(
-        "Figure 8a — measured broadcast latency (µs), P = 48",
-        "cache_lines",
-        &labels,
-        &rows,
-    );
-
-    // Section 6.2.1 claims.
-    let col = |label: &str| labels.iter().position(|l| l == label).expect("column");
-    let at = |m: usize, label: &str| rows.iter().find(|r| r.0 == m).expect("row").1[col(label)];
-    let improvement = 1.0 - at(1, "k=7") / at(1, "binomial");
-    println!(
-        "# 1-CL latency: k=7 {:.2} µs vs binomial {:.2} µs — {:.0}% improvement (paper: ≥27%)",
-        at(1, "k=7"),
-        at(1, "binomial"),
-        improvement * 100.0
-    );
-    assert!(improvement >= 0.27, "headline latency improvement must hold");
-    if !quick() {
-        let k7_gain_over_k2 = 1.0 - at(144, "k=7") / at(144, "k=2");
-        println!(
-            "# 96–192 CL: k=7 is {:.0}% better than k=2 (paper: ~25%)",
-            k7_gain_over_k2 * 100.0
-        );
-        assert!(k7_gain_over_k2 > 0.10);
-        // The gap to binomial grows with size.
-        let gap1 = at(1, "binomial") - at(1, "k=7");
-        let gap192 = at(192, "binomial") - at(192, "k=7");
-        assert!(gap192 > gap1, "gap must grow with message size");
-    }
+    scc_bench::run_standalone("fig8a");
 }

@@ -2,69 +2,12 @@
 //! (logarithmic x, 1 … 32768 cache lines = 1 MiB) — OC-Bcast
 //! (k = 2, 7, 47) against the RCCE_comm scatter-allgather.
 //!
+//! Thin wrapper over the `fig8b` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run --release -p scc-bench --bin fig8b`
 //! (Set SCC_BENCH_QUICK=1 for a fast, shrunken sweep.)
 
-use oc_bcast::Algorithm;
-use scc_bench::{paper_algorithms, paper_chip, print_series, quick, sweep_sizes};
-
 fn main() {
-    let cfg = paper_chip();
-    let sizes: Vec<usize> = if quick() {
-        vec![1, 96, 97, 1024, 4608]
-    } else {
-        vec![1, 4, 16, 64, 96, 97, 192, 384, 768, 1536, 3072, 4608, 8192, 16384, 32768]
-    };
-    let algs = paper_algorithms(Algorithm::ScatterAllgather);
-    let (warmup, reps) = (0, 1); // deterministic simulator: one shot is exact
-
-    let labels: Vec<String> = algs.iter().map(|a| a.label()).collect();
-    let mut columns = Vec::new();
-    for &alg in &algs {
-        columns.push(sweep_sizes(&cfg, alg, &sizes, warmup, reps).expect("sim"));
-    }
-    let rows: Vec<(usize, Vec<f64>)> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| (m, columns.iter().map(|c| c[i].1.throughput_mb_s).collect()))
-        .collect();
-    print_series(
-        "Figure 8b — measured broadcast throughput (MB/s), P = 48, log-x",
-        "cache_lines",
-        &labels,
-        &rows,
-    );
-
-    let col = |label: &str| labels.iter().position(|l| l == label).expect("column");
-    let at = |m: usize, label: &str| rows.iter().find(|r| r.0 == m).expect("row").1[col(label)];
-
-    // Section 6.2.2 claims.
-    let big = *sizes.last().expect("sizes");
-    let ratio = at(big, "k=7") / at(big, "s-ag");
-    println!(
-        "# peak: k=7 {:.2} MB/s vs s-ag {:.2} MB/s — {ratio:.2}x (paper: almost 3x)",
-        at(big, "k=7"),
-        at(big, "s-ag")
-    );
-    assert!(ratio > 2.0, "OC-Bcast must clearly dominate scatter-allgather");
-
-    // The 97-cache-line dip: the second, 1-line chunk adds a pipeline
-    // traversal without adding payload. On the real SCC the per-chunk
-    // software overhead made this a ~25% drop; the simulator's chunk
-    // overhead is the (much smaller) modeled flag traffic, so the dip
-    // is visible but shallow — strongest for k = 47, where the extra
-    // chunk costs the root another 47-flag polling round.
-    for k in ["k=7", "k=47"] {
-        let dip = at(97, k) / at(96, k);
-        println!(
-            "# 97-CL dip ({k}): {:.2} MB/s vs {:.2} MB/s at 96 CL (ratio {dip:.3})",
-            at(97, k),
-            at(96, k)
-        );
-        assert!(dip <= 1.0, "97 CL can never beat 96 CL per byte");
-    }
-    assert!(
-        at(97, "k=47") / at(96, "k=47") < 0.99,
-        "the chunk-boundary dip must be visible at k = 47"
-    );
+    scc_bench::run_standalone("fig8b");
 }

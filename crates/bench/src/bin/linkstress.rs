@@ -4,22 +4,11 @@
 //! "at the current scale, the network cannot be a source of
 //! contention."
 //!
+//! Thin wrapper over the `linkstress` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run --release -p scc-bench --bin linkstress`
 
-use scc_bench::paper_chip;
-use scc_sim::measure_link_stress;
-
 fn main() {
-    let cfg = paper_chip();
-    for lines in [16usize, 128] {
-        let (loaded, idle) = measure_link_stress(&cfg, lines, 3).expect("sim");
-        let ratio = loaded.as_us_f64() / idle.as_us_f64();
-        println!(
-            "{lines:>4} CL probe: idle {:>8.3} µs, loaded {:>8.3} µs, ratio {ratio:.4}",
-            idle.as_us_f64(),
-            loaded.as_us_f64()
-        );
-        assert!(ratio < 1.05, "mesh must not contend under core-driven load (got {ratio:.3})");
-    }
-    println!("# no measurable mesh contention — matches Section 3.3");
+    scc_bench::run_standalone("linkstress");
 }

@@ -1,0 +1,187 @@
+//! The conformance observatory: run every registered experiment (all
+//! paper figures/tables plus the mesh heatmaps), emit the structured
+//! `BENCH_figures.json` artifact and the human drift report
+//! `results/CONFORMANCE.md`, and — when a baseline is supplied — gate
+//! on drift: per-row tolerance bands plus shape-regression detection.
+//!
+//! ```text
+//! cargo run --release -p scc-bench --bin observatory [--quick]
+//!     [--only fig3,fig8a]      run a subset of the registry
+//!     [--json PATH]            where to write BENCH_figures.json
+//!     [--md PATH]              where to write CONFORMANCE.md
+//!     [--heatmaps PATH]        where to write the heatmap text
+//!     [--baseline PATH]        drift-gate against this baseline
+//!     [--write-baseline PATH]  also write the fresh report here
+//!     [--list]                 print registry ids and exit
+//! ```
+//!
+//! Exit status: `1` if any shape check failed or the drift gate
+//! tripped, `0` otherwise.
+
+use scc_bench::{quick, registry, run_experiment};
+use scc_obs::report::validate_json;
+use scc_obs::{drift_gate, ConformanceReport};
+use std::process::ExitCode;
+
+struct Args {
+    quick: bool,
+    only: Option<Vec<String>>,
+    json: String,
+    md: String,
+    heatmaps: String,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: quick(),
+        only: None,
+        json: "BENCH_figures.json".to_string(),
+        md: "results/CONFORMANCE.md".to_string(),
+        heatmaps: "results/heatmaps.txt".to_string(),
+        baseline: None,
+        write_baseline: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--only" => {
+                args.only =
+                    Some(value("--only")?.split(',').map(|s| s.trim().to_string()).collect())
+            }
+            "--json" => args.json = value("--json")?,
+            "--md" => args.md = value("--md")?,
+            "--heatmaps" => args.heatmaps = value("--heatmaps")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            other => return Err(format!("unknown flag `{other}` (see --help in the doc comment)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Write `content`, creating parent directories as needed.
+fn write_file(path: &str, content: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("observatory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let reg = registry();
+    if args.list {
+        for e in &reg {
+            println!("{:<12} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(only) = &args.only {
+        for id in only {
+            if !reg.iter().any(|e| e.id == id) {
+                eprintln!("observatory: unknown experiment `{id}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut report = ConformanceReport::new(args.quick);
+    let mut heatmap_text = None;
+    for exp in &reg {
+        if args.only.as_ref().is_some_and(|only| !only.iter().any(|id| id == exp.id)) {
+            continue;
+        }
+        eprint!("observatory: running {:<12}", exp.id);
+        let (exp_report, text) = run_experiment(exp, args.quick);
+        eprintln!(
+            " {} ({:.1}s, {} sim runs, {} rows, {} shapes)",
+            if exp_report.shapes_pass() { "ok" } else { "SHAPE FAILURE" },
+            exp_report.metrics.wall_s,
+            exp_report.metrics.sim_runs,
+            exp_report.rows.len(),
+            exp_report.shapes.len(),
+        );
+        if exp.id == "heatmap" {
+            heatmap_text = Some(text);
+        }
+        report.experiments.push(exp_report);
+    }
+
+    // Serialize, self-validate, and write the artifacts.
+    let json = report.to_json().render();
+    if let Err(e) = validate_json(&json) {
+        eprintln!("observatory: BUG: emitted JSON does not validate: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_file(&args.json, &json) {
+        eprintln!("observatory: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("observatory: wrote {}", args.json);
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = write_file(path, &json) {
+            eprintln!("observatory: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("observatory: wrote baseline {path}");
+    }
+    if let Some(text) = &heatmap_text {
+        if let Err(e) = write_file(&args.heatmaps, text) {
+            eprintln!("observatory: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("observatory: wrote {}", args.heatmaps);
+    }
+
+    // The markdown drift report, with the gate verdict appended when a
+    // baseline is available.
+    let mut md = report.render_markdown();
+    let mut failed = !report.shapes_pass();
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|s| {
+            ConformanceReport::from_json(&s).map_err(|e| format!("unparseable baseline: {e}"))
+        }) {
+            Ok(baseline) => {
+                let gate = drift_gate(&report, &baseline);
+                md.push_str("\n## Drift gate\n\n");
+                md.push_str(&format!("Baseline: `{path}`\n\n"));
+                md.push_str(&gate.render());
+                eprint!("{}", gate.render());
+                failed |= !gate.ok();
+            }
+            Err(e) => {
+                eprintln!("observatory: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Err(e) = write_file(&args.md, &md) {
+        eprintln!("observatory: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("observatory: wrote {}", args.md);
+
+    if failed {
+        eprintln!("observatory: FAILED (shape check or drift gate)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("observatory: all experiments conform");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,42 +2,11 @@
 //! (k = 2, 7, 47) vs the two-sided scatter-allgather, both from the
 //! simplified Formulas (15)/(16) and from the complete model.
 //!
+//! Thin wrapper over the `table2` registry entry; see
+//! `scc_bench::experiments`.
+//!
 //! Run: `cargo run -p scc-bench --bin table2`
 
-use scc_model::bcast::FullModelCfg;
-use scc_model::series::table2_rows;
-use scc_model::{oc_throughput_simplified, sag_throughput_simplified, ModelParams};
-
 fn main() {
-    let params = ModelParams::paper();
-    let cfg = FullModelCfg::default();
-    let rows = table2_rows(&params, &cfg, 48, &[2, 7, 47]);
-
-    // The numbers printed in the paper's Table 2.
-    let paper: [(&str, f64); 4] = [
-        ("OC-Bcast, k=2", 35.22),
-        ("OC-Bcast, k=7", 34.30),
-        ("OC-Bcast, k=47", 35.88),
-        ("scatter-allgather", 13.38),
-    ];
-
-    println!("# Table 2 — analytical peak throughput (MB/s), P = 48, M_oc = 96 CL");
-    println!("{:<20} {:>10} {:>10}", "algorithm", "model", "paper");
-    for ((label, ours), (plabel, theirs)) in rows.iter().zip(paper) {
-        assert_eq!(label, plabel);
-        println!("{label:<20} {ours:>10.2} {theirs:>10.2}");
-    }
-    println!();
-    println!(
-        "# simplified Formula (15): {:.2} MB/s (k-independent)",
-        oc_throughput_simplified(&params, 96)
-    );
-    println!("# simplified Formula (16): {:.2} MB/s", sag_throughput_simplified(&params, 48, 96));
-
-    let sag = rows.last().expect("rows").1;
-    let ratio = rows[1].1 / sag;
-    println!(
-        "# OC-Bcast (k=7) / scatter-allgather = {ratio:.2}x (paper: ~2.6x, \"almost 3 times\")"
-    );
-    assert!(ratio > 2.3, "the almost-3x headline must hold, got {ratio:.2}");
+    scc_bench::run_standalone("table2");
 }

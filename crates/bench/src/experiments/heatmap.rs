@@ -1,0 +1,114 @@
+//! Per-link mesh occupancy heatmaps: one contended 48-core broadcast
+//! per collective, rendered as the 6×4 tile grid with the five
+//! directed-output-link counters (E/W/N/S/eject) of every router —
+//! the instrument behind the paper's Section 5 X-Y-routing contention
+//! argument. The per-link counters must *partition* the per-tile
+//! router aggregates exactly, and that invariant is re-checked here on
+//! every run.
+
+use super::{outln, ExpCtx};
+use oc_bcast::{Algorithm, Broadcaster};
+use scc_hal::{CoreId, LinkDir, MemRange, Rma, RmaResult, Tile, Time, NUM_LINK_DIRS};
+use scc_obs::LinkHeatmap;
+use scc_rcce::{Barrier, MpbAllocator};
+use scc_sim::{run_spmd, SimConfig, SimStats};
+
+/// One contended 48-core broadcast (two rounds, barrier-separated).
+fn contended_bcast(alg: Algorithm, bytes: usize) -> SimStats {
+    let cfg = SimConfig { num_cores: 48, mem_bytes: 1 << 20, ..SimConfig::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut bar = Barrier::new(&mut alloc, c.num_cores()).expect("barrier lines");
+        let mut b = Broadcaster::new(&mut alloc, alg, c.num_cores()).expect("bcast lines");
+        let r = MemRange::new(0, bytes);
+        if c.core() == CoreId(0) {
+            let payload: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+            c.mem_write(0, &payload)?;
+        }
+        for _ in 0..2 {
+            bar.wait(c)?;
+            b.bcast(c, CoreId(0), r)?;
+        }
+        Ok(())
+    })
+    .expect("broadcast must complete");
+    for r in rep.results {
+        r.expect("no core may fail");
+    }
+    rep.stats
+}
+
+/// Does the per-link breakdown reconstruct the per-tile aggregates
+/// exactly? Returns the first discrepancy, if any.
+fn partition_violation(stats: &SimStats) -> Option<String> {
+    for tile in 0..24 {
+        let base = tile * NUM_LINK_DIRS;
+        let wait: Time =
+            (0..NUM_LINK_DIRS).fold(Time::ZERO, |acc, d| acc + stats.link_wait[base + d]);
+        let busy: Time =
+            (0..NUM_LINK_DIRS).fold(Time::ZERO, |acc, d| acc + stats.link_busy[base + d]);
+        if wait != stats.router_wait_by_tile[tile] || busy != stats.router_busy_by_tile[tile] {
+            return Some(format!(
+                "tile {tile}: links ({:.3}, {:.3}) µs vs router ({:.3}, {:.3}) µs",
+                wait.as_us_f64(),
+                busy.as_us_f64(),
+                stats.router_wait_by_tile[tile].as_us_f64(),
+                stats.router_busy_by_tile[tile].as_us_f64()
+            ));
+        }
+    }
+    None
+}
+
+pub(super) fn run(ctx: &mut ExpCtx) {
+    let bytes = if ctx.quick { 4 << 10 } else { 16 << 10 };
+    let collectives = [
+        ("OC-Bcast k=2", Algorithm::oc_with_k(2)),
+        ("OC-Bcast k=7", Algorithm::oc_with_k(7)),
+        ("OC-Bcast k=47", Algorithm::oc_with_k(47)),
+        ("binomial", Algorithm::Binomial),
+    ];
+
+    outln!(ctx, "# directed-link occupancy, contended 48-core broadcast ({bytes} B from C0)");
+    outln!(ctx);
+    for (label, alg) in collectives {
+        let stats = contended_bcast(alg, bytes);
+        let hm = LinkHeatmap::from_slices(&stats.link_busy, &stats.link_wait);
+        outln!(ctx, "{}", hm.render_ascii(&format!("{label} — busy µs per directed link")));
+
+        let (peak_tile, peak_dir, peak_busy) = hm.peak();
+        let total_busy: Time = stats.link_busy.iter().copied().fold(Time::ZERO, |a, b| a + b);
+        let eject: Time = (0..24)
+            .map(|t| stats.link_busy[t * NUM_LINK_DIRS + LinkDir::Eject.index()])
+            .fold(Time::ZERO, |a, b| a + b);
+        ctx.row(format!("{label} peak link busy"), None, None, peak_busy.as_us_f64(), 0.02, "us");
+        ctx.row(format!("{label} total link busy"), None, None, total_busy.as_us_f64(), 0.02, "us");
+        ctx.row(
+            format!("{label} eject share"),
+            None,
+            None,
+            eject.as_us_f64() / total_busy.as_us_f64(),
+            0.02,
+            "frac",
+        );
+
+        ctx.shape(
+            &format!("{label}: per-link counters partition the router aggregates"),
+            partition_violation(&stats).is_none(),
+            partition_violation(&stats)
+                .unwrap_or_else(|| "links sum exactly to per-tile router busy/wait".to_string()),
+        );
+        ctx.shape(
+            &format!("{label}: X-Y routing never leaves the mesh boundary"),
+            (0..4u8).all(|y| {
+                stats.link_busy[Tile::new(0, y).index() * NUM_LINK_DIRS + LinkDir::West.index()]
+                    == Time::ZERO
+                    && stats.link_busy
+                        [Tile::new(5, y).index() * NUM_LINK_DIRS + LinkDir::East.index()]
+                        == Time::ZERO
+            }),
+            format!("peak link: tile {peak_tile} {peak_dir:?} at {:.3} µs", peak_busy.as_us_f64()),
+        );
+    }
+    outln!(ctx, "# every collective: link counters partition per-tile router busy/wait exactly");
+}

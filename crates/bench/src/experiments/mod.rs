@@ -1,0 +1,218 @@
+//! The typed experiment registry behind the `observatory` harness.
+//!
+//! Every paper figure/table is one [`Experiment`]: a function that
+//! writes the classic human-readable text (byte-identical to what the
+//! standalone binary prints) into an [`ExpCtx`] *and* records the
+//! structured side — [`ExperimentRow`]s for the drift gate and
+//! [`ShapeCheck`]s for the paper's qualitative claims. The runner
+//! wraps each experiment with wall-clock and engine-telemetry
+//! deltas so `BENCH_figures.json` carries per-experiment self-metrics.
+
+use scc_obs::{ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck};
+
+mod ablation;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig8a;
+mod fig8b;
+mod heatmap;
+mod linkstress;
+mod table1;
+mod table2;
+
+/// Append a formatted line (or a bare newline) to the experiment's
+/// text buffer — the in-registry twin of `println!`.
+macro_rules! outln {
+    ($ctx:expr) => {
+        $ctx.out.push('\n')
+    };
+    ($ctx:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($ctx.out, $($arg)*);
+    }};
+}
+/// `print!` twin of [`outln!`].
+macro_rules! out {
+    ($ctx:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = write!($ctx.out, $($arg)*);
+    }};
+}
+pub(crate) use {out, outln};
+
+/// Mutable context an experiment fills in: the legacy text output plus
+/// the structured rows and shape checks.
+pub struct ExpCtx {
+    /// Reduced sweeps (`SCC_BENCH_QUICK=1` / `observatory --quick`).
+    pub quick: bool,
+    /// The text the standalone binary would print, verbatim.
+    pub out: String,
+    /// Structured measurement points for the drift gate.
+    pub rows: Vec<ExperimentRow>,
+    /// The paper's qualitative claims, evaluated on this run.
+    pub shapes: Vec<ShapeCheck>,
+}
+
+impl ExpCtx {
+    pub fn new(quick: bool) -> ExpCtx {
+        ExpCtx { quick, out: String::new(), rows: Vec::new(), shapes: Vec::new() }
+    }
+
+    /// Record one measured point.
+    pub fn row(
+        &mut self,
+        point: impl Into<String>,
+        paper_value: Option<f64>,
+        model_prediction: Option<f64>,
+        sim_measured: f64,
+        tolerance: f64,
+        unit: &str,
+    ) {
+        self.rows.push(ExperimentRow {
+            point: point.into(),
+            paper_value,
+            model_prediction,
+            sim_measured,
+            tolerance,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Evaluate and record one shape claim; returns `pass` so callers
+    /// can chain.
+    pub fn shape(&mut self, name: &str, pass: bool, detail: String) -> bool {
+        self.shapes.push(ShapeCheck::new(name, pass, detail));
+        pass
+    }
+
+    /// [`crate::write_series`] into this context's text buffer.
+    pub fn series(
+        &mut self,
+        title: &str,
+        x_label: &str,
+        col_labels: &[String],
+        rows: &[(usize, Vec<f64>)],
+    ) {
+        crate::write_series(&mut self.out, title, x_label, col_labels, rows);
+    }
+}
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Registry id — also the wrapper binary's name (`fig3`, …).
+    pub id: &'static str,
+    /// Human title used in `results/CONFORMANCE.md`.
+    pub title: &'static str,
+    pub run: fn(&mut ExpCtx),
+}
+
+/// Every experiment the observatory knows, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table1", title: "Table 1 — fitted model parameters", run: table1::run },
+        Experiment {
+            id: "fig3",
+            title: "Figure 3 — put/get completion time vs distance",
+            run: fig3::run,
+        },
+        Experiment { id: "fig4", title: "Figure 4 — MPB contention", run: fig4::run },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5 — propagation and notification trees",
+            run: fig5::run,
+        },
+        Experiment { id: "fig6", title: "Figure 6 — modeled broadcast latency", run: fig6::run },
+        Experiment { id: "table2", title: "Table 2 — modeled peak throughput", run: table2::run },
+        Experiment {
+            id: "fig8a",
+            title: "Figure 8a — measured broadcast latency",
+            run: fig8a::run,
+        },
+        Experiment {
+            id: "fig8b",
+            title: "Figure 8b — measured broadcast throughput",
+            run: fig8b::run,
+        },
+        Experiment {
+            id: "linkstress",
+            title: "Section 3.3 — mesh link stress",
+            run: linkstress::run,
+        },
+        Experiment { id: "ablation", title: "Design-choice ablations", run: ablation::run },
+        Experiment {
+            id: "heatmap",
+            title: "Section 5 — per-link mesh occupancy heatmaps",
+            run: heatmap::run,
+        },
+    ]
+}
+
+/// Run one experiment, wrapping it with wall-clock and engine
+/// telemetry. Returns the structured report and the legacy text.
+pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, String) {
+    let mut ctx = ExpCtx::new(quick);
+    let wall = std::time::Instant::now();
+    let before = scc_sim::telemetry::snapshot();
+    (exp.run)(&mut ctx);
+    let delta = scc_sim::telemetry::snapshot().since(&before);
+    let metrics = SelfMetrics {
+        wall_s: wall.elapsed().as_secs_f64(),
+        sim_runs: delta.runs,
+        sim_events: delta.events,
+        heap_pushes: delta.heap_pushes,
+        coalesced_steps: delta.coalesced_steps,
+    };
+    let report = ExperimentReport {
+        id: exp.id.to_string(),
+        title: exp.title.to_string(),
+        rows: ctx.rows,
+        shapes: ctx.shapes,
+        metrics,
+    };
+    (report, ctx.out)
+}
+
+/// Entry point of the thin wrapper binaries: run the experiment, print
+/// its classic text, and die (like the old inline `assert!`s did) if
+/// any paper shape claim failed.
+pub fn run_standalone(id: &str) {
+    let exp = registry()
+        .into_iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    let (report, out) = run_experiment(&exp, crate::quick());
+    print!("{out}");
+    for s in &report.shapes {
+        assert!(s.pass, "[{id}] shape check `{}` failed: {}", s.name, s.detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let reg = registry();
+        let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert!(!ids[..i].contains(id), "duplicate id {id}");
+        }
+        for id in ["fig3", "fig8b", "table1", "table2", "linkstress", "ablation", "heatmap"] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn run_experiment_attaches_metrics_and_text() {
+        let reg = registry();
+        let fig5 = reg.iter().find(|e| e.id == "fig5").unwrap();
+        let (report, out) = run_experiment(fig5, true);
+        assert_eq!(report.id, "fig5");
+        assert!(!out.is_empty());
+        assert!(report.shapes_pass(), "{:?}", report.shapes);
+        assert!(report.metrics.wall_s > 0.0);
+    }
+}

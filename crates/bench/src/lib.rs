@@ -1,9 +1,13 @@
 //! # scc-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index), all built on the measurement helpers in this library:
+//! Every table/figure of the paper lives in the typed
+//! [`experiments`] registry (see DESIGN.md §4 for the index); the
+//! `observatory` binary runs the whole registry and emits the
+//! machine-readable conformance artifacts, while one thin wrapper
+//! binary per experiment preserves the classic
+//! `cargo run --bin figN > results/figN.txt` workflow:
 //!
-//! | binary      | reproduces |
+//! | id / binary | reproduces |
 //! |-------------|-----------------------------------------------|
 //! | `table1`    | Table 1 — fitted model parameters             |
 //! | `fig3`      | Figure 3 — put/get completion vs distance     |
@@ -15,6 +19,7 @@
 //! | `fig8b`     | Figure 8b — measured broadcast throughput     |
 //! | `linkstress`| Section 3.3 — mesh link stress                |
 //! | `ablation`  | design-choice ablations (DESIGN.md)           |
+//! | `heatmap`   | Section 5 — per-link mesh occupancy (obs)     |
 //!
 //! Latency is defined exactly as in the paper (Sections 5.2/6.1): the
 //! time from the source's call of the broadcast until the last core
@@ -25,6 +30,9 @@ use oc_bcast::{Algorithm, Broadcaster};
 use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
 use scc_rcce::{Barrier, MpbAllocator};
 use scc_sim::{run_spmd, SimConfig, SimError};
+
+pub mod experiments;
+pub use experiments::{registry, run_experiment, run_standalone, ExpCtx, Experiment};
 
 /// Default simulator configuration for the paper's experiments: the
 /// full 48-core chip.
@@ -118,28 +126,43 @@ pub fn paper_algorithms(baseline: Algorithm) -> Vec<Algorithm> {
 }
 
 /// Render rows of `(x, columns…)` as an aligned table with a CSV twin
-/// (the CSV block is what EXPERIMENTS.md embeds).
-pub fn print_series(title: &str, x_label: &str, col_labels: &[String], rows: &[(usize, Vec<f64>)]) {
-    println!("# {title}");
-    print!("# {x_label:>8}");
+/// (the CSV block is what EXPERIMENTS.md embeds), appended to `out`.
+pub fn write_series(
+    out: &mut String,
+    title: &str,
+    x_label: &str,
+    col_labels: &[String],
+    rows: &[(usize, Vec<f64>)],
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "# {x_label:>8}");
     for l in col_labels {
-        print!(" {l:>12}");
+        let _ = write!(out, " {l:>12}");
     }
-    println!();
+    out.push('\n');
     for (x, cols) in rows {
-        print!("{x:>10}");
+        let _ = write!(out, "{x:>10}");
         for v in cols {
-            print!(" {v:>12.3}");
+            let _ = write!(out, " {v:>12.3}");
         }
-        println!();
+        out.push('\n');
     }
-    println!();
-    println!("csv,{x_label},{}", col_labels.join(","));
+    out.push('\n');
+    let _ = writeln!(out, "csv,{x_label},{}", col_labels.join(","));
     for (x, cols) in rows {
         let vals: Vec<String> = cols.iter().map(|v| format!("{v:.4}")).collect();
-        println!("csv,{x},{}", vals.join(","));
+        let _ = writeln!(out, "csv,{x},{}", vals.join(","));
     }
-    println!();
+    out.push('\n');
+}
+
+/// [`write_series`] straight to stdout — the form the standalone
+/// binaries use.
+pub fn print_series(title: &str, x_label: &str, col_labels: &[String], rows: &[(usize, Vec<f64>)]) {
+    let mut s = String::new();
+    write_series(&mut s, title, x_label, col_labels, rows);
+    print!("{s}");
 }
 
 #[cfg(test)]

@@ -1,0 +1,76 @@
+//! End-to-end conformance pipeline: run real registry experiments,
+//! serialize the report, and prove the drift gate (a) accepts an
+//! unperturbed re-run and (b) rejects deliberate perturbations —
+//! out-of-band rows, flipped shapes, vanished experiments.
+
+use scc_bench::{registry, run_experiment};
+use scc_obs::report::validate_json;
+use scc_obs::{drift_gate, ConformanceReport};
+
+/// Run a cheap subset of the registry (the pure-model and tree
+/// experiments — no 48-core sweeps) in quick mode.
+fn small_report() -> ConformanceReport {
+    let mut report = ConformanceReport::new(true);
+    for exp in registry() {
+        if ["fig5", "fig6", "table2", "linkstress"].contains(&exp.id) {
+            let (r, text) = run_experiment(&exp, true);
+            assert!(!text.is_empty(), "{} produced no text", exp.id);
+            report.experiments.push(r);
+        }
+    }
+    assert_eq!(report.experiments.len(), 4);
+    report
+}
+
+#[test]
+fn registry_report_round_trips_and_self_compares_clean() {
+    let report = small_report();
+    assert!(report.shapes_pass(), "registry experiments must pass on a healthy tree");
+
+    let json = report.to_json().render();
+    validate_json(&json).expect("emitted JSON must validate");
+    let back = ConformanceReport::from_json(&json).expect("emitted JSON must parse");
+    assert_eq!(back.experiments.len(), report.experiments.len());
+
+    // The simulator is deterministic: a fresh run gates clean against
+    // the round-tripped baseline.
+    let fresh = small_report();
+    let gate = drift_gate(&fresh, &back);
+    assert!(gate.ok(), "unperturbed re-run must pass the gate:\n{}", gate.render());
+    assert!(gate.rows_checked > 0 && gate.shapes_checked > 0);
+}
+
+#[test]
+fn gate_rejects_deliberate_perturbations() {
+    let baseline = small_report();
+    let json = baseline.to_json().render();
+    let baseline = ConformanceReport::from_json(&json).expect("parse");
+
+    // Perturbation 1: one measurement drifts far outside its band.
+    let mut drifted = baseline.clone();
+    {
+        let row = &mut drifted.experiments[1].rows[0];
+        row.sim_measured *= 1.0 + 10.0 * row.tolerance.max(0.01);
+    }
+    let gate = drift_gate(&drifted, &baseline);
+    assert!(!gate.ok(), "an out-of-band row must trip the gate");
+
+    // Perturbation 2: a paper shape claim regresses.
+    let mut broken = baseline.clone();
+    broken.experiments[0].shapes[0].pass = false;
+    let gate = drift_gate(&broken, &baseline);
+    assert!(!gate.ok(), "a shape regression must trip the gate");
+    assert!(gate.render().contains("shape regression"), "{}", gate.render());
+
+    // Perturbation 3: an experiment silently disappears.
+    let mut missing = baseline.clone();
+    missing.experiments.remove(0);
+    let gate = drift_gate(&missing, &baseline);
+    assert!(!gate.ok(), "a vanished experiment must trip the gate");
+
+    // Perturbation 4: quick run against a full baseline is refused.
+    let mut wrong_mode = baseline.clone();
+    wrong_mode.quick = !baseline.quick;
+    let gate = drift_gate(&wrong_mode, &baseline);
+    assert!(!gate.ok(), "mode mismatch must trip the gate");
+}

@@ -31,8 +31,8 @@ pub use flags::FlagValue;
 pub use rma::{Rma, RmaError, RmaExt, RmaResult};
 pub use span::{spanned, Phase, Span};
 pub use topology::{
-    core_at_mpb_distance, core_with_mem_distance, CoreId, MemController, Tile, CORES_PER_TILE,
-    NUM_CORES, TILE_COLS, TILE_ROWS,
+    core_at_mpb_distance, core_with_mem_distance, CoreId, LinkDir, MemController, Tile,
+    CORES_PER_TILE, NUM_CORES, NUM_LINK_DIRS, TILE_COLS, TILE_ROWS,
 };
 pub use units::{
     bytes_to_lines, lines_to_bytes, Time, CACHE_LINE_BYTES, MPB_BYTES_PER_CORE, MPB_LINES_PER_CORE,

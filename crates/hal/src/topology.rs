@@ -147,6 +147,82 @@ impl Tile {
     }
 }
 
+/// The output a router forwards a packet to: one of the four mesh
+/// neighbours, or local ejection into the tile itself (MPB port,
+/// cores, or an attached memory controller).
+///
+/// Together with the router's tile this names one *directed* mesh
+/// link; the 24 × 5 grid of them is the unit of the per-link
+/// occupancy accounting (`SimStats::link_busy` / `link_wait` in
+/// `scc-sim`) and of the mesh heatmaps in `scc-obs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkDir {
+    /// Towards `x + 1`.
+    East,
+    /// Towards `x - 1`.
+    West,
+    /// Towards `y + 1`.
+    North,
+    /// Towards `y - 1`.
+    South,
+    /// Into the tile (destination router: MPB port, core, or MC).
+    Eject,
+}
+
+/// Number of directed links per router ([`LinkDir`] variants).
+pub const NUM_LINK_DIRS: usize = 5;
+
+impl LinkDir {
+    /// Every direction, in [`LinkDir::index`] order.
+    pub const ALL: [LinkDir; NUM_LINK_DIRS] =
+        [LinkDir::East, LinkDir::West, LinkDir::North, LinkDir::South, LinkDir::Eject];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LinkDir::East => 0,
+            LinkDir::West => 1,
+            LinkDir::North => 2,
+            LinkDir::South => 3,
+            LinkDir::Eject => 4,
+        }
+    }
+
+    pub fn short(self) -> &'static str {
+        match self {
+            LinkDir::East => "E",
+            LinkDir::West => "W",
+            LinkDir::North => "N",
+            LinkDir::South => "S",
+            LinkDir::Eject => "·",
+        }
+    }
+}
+
+impl fmt::Display for LinkDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+impl Tile {
+    /// The link direction from this tile's router towards `next`, which
+    /// must be this tile itself ([`LinkDir::Eject`]) or one of its four
+    /// mesh neighbours — consecutive tiles of an [`XyRoute`] always
+    /// satisfy this.
+    #[inline]
+    pub fn dir_to(self, next: Tile) -> LinkDir {
+        match (next.x as i8 - self.x as i8, next.y as i8 - self.y as i8) {
+            (0, 0) => LinkDir::Eject,
+            (1, 0) => LinkDir::East,
+            (-1, 0) => LinkDir::West,
+            (0, 1) => LinkDir::North,
+            (0, -1) => LinkDir::South,
+            _ => panic!("{next} is not adjacent to {self}"),
+        }
+    }
+}
+
 /// Iterator over the tiles of an X-Y route; see [`Tile::xy_route`].
 #[derive(Clone, Debug)]
 pub struct XyRoute {

@@ -1,0 +1,50 @@
+//! Typed errors for the analytical model's fallible entry points.
+//!
+//! The model formulas themselves are total, but the series / fitting
+//! helpers have real preconditions (non-empty sweeps, enough distinct
+//! samples to determine a line). Those used to be `assert!`s; harness
+//! code — which assembles sweeps from CLI flags and quick-mode
+//! filtering — gets a recoverable error instead of a panic.
+
+use std::fmt;
+
+/// Why a model computation could not be carried out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A figure/table series was requested over an empty size sweep.
+    EmptySizeSweep,
+    /// A figure/table series was requested over an empty degree sweep.
+    EmptyDegreeSweep,
+    /// A broadcast needs at least two cores.
+    TooFewCores { p: usize },
+    /// A linear fit needs at least two samples.
+    TooFewSamples { have: usize },
+    /// All x values coincide: the slope is underdetermined.
+    ZeroXVariance,
+    /// An average over zero samples was requested (an op-overhead
+    /// sample category was empty).
+    NoSamples { what: &'static str },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySizeSweep => write!(f, "empty message-size sweep"),
+            ModelError::EmptyDegreeSweep => write!(f, "empty tree-degree sweep"),
+            ModelError::TooFewCores { p } => {
+                write!(f, "broadcast needs at least two cores, got {p}")
+            }
+            ModelError::TooFewSamples { have } => {
+                write!(f, "linear fit needs at least two samples, got {have}")
+            }
+            ModelError::ZeroXVariance => {
+                write!(f, "all x values identical; cannot fit a slope")
+            }
+            ModelError::NoSamples { what } => {
+                write!(f, "no {what} samples; cannot average")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -12,6 +12,7 @@
 //! * `C_put/get(m, d)` — once the primitives above are known, the op
 //!   overheads `o_put`/`o_get` are the mean residual.
 
+use crate::error::ModelError;
 use crate::params::ModelParams;
 
 /// Simple ordinary-least-squares fit of `y = intercept + slope·x`.
@@ -23,17 +24,27 @@ pub struct LinearFit {
     pub rms: f64,
 }
 
-/// Fit a straight line through `(x, y)` samples. Panics on fewer than
-/// two distinct x values (the fit would be underdetermined).
-pub fn linear_fit(samples: &[(f64, f64)]) -> LinearFit {
-    assert!(samples.len() >= 2, "need at least two samples");
+/// Fit a straight line through `(x, y)` samples.
+///
+/// Degenerate inputs — fewer than two samples, or zero x-variance (all
+/// x coincide, so the slope is underdetermined and naive division would
+/// produce NaN) — return a typed error instead.
+pub fn linear_fit(samples: &[(f64, f64)]) -> Result<LinearFit, ModelError> {
+    if samples.len() < 2 {
+        return Err(ModelError::TooFewSamples { have: samples.len() });
+    }
     let n = samples.len() as f64;
     let sx: f64 = samples.iter().map(|s| s.0).sum();
     let sy: f64 = samples.iter().map(|s| s.1).sum();
     let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
     let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
     let det = n * sxx - sx * sx;
-    assert!(det.abs() > 1e-12, "all x values identical; cannot fit a slope");
+    // Relative threshold: with identical x values the two products agree
+    // to within a few ulps but rarely cancel exactly, so compare against
+    // the magnitude of the terms rather than an absolute epsilon.
+    if det.abs() <= 1e-9 * n * sxx {
+        return Err(ModelError::ZeroXVariance);
+    }
     let slope = (n * sxy - sx * sy) / det;
     let intercept = (sy - slope * sx) / n;
     let rms = (samples
@@ -45,7 +56,7 @@ pub fn linear_fit(samples: &[(f64, f64)]) -> LinearFit {
         .sum::<f64>()
         / n)
         .sqrt();
-    LinearFit { intercept, slope, rms }
+    Ok(LinearFit { intercept, slope, rms })
 }
 
 /// Microbenchmark samples used to recover the model parameters.
@@ -74,17 +85,18 @@ pub struct FitSamples {
 /// Returns the fitted parameters plus the worst RMS residual across the
 /// primitive fits, so callers can report fit quality like the paper's
 /// "our model precisely estimates the communication performance".
-pub fn fit_params(s: &FitSamples) -> (ModelParams, f64) {
+/// Errors if any sample category is too small or degenerate to fit.
+pub fn fit_params(s: &FitSamples) -> Result<(ModelParams, f64), ModelError> {
     // C^mpb_r(d) = o_mpb + 2 Lhop d
-    let r = linear_fit(&to_f64(&s.mpb_read));
+    let r = linear_fit(&to_f64(&s.mpb_read))?;
     let l_hop = r.slope / 2.0;
     let o_mpb = r.intercept;
 
     // C^mem_r/w(d) = o_mem_{r,w} + 2 Lhop d — reuse the mesh slope; fit
     // only the intercept (mean of y - 2 Lhop d), like the paper which
     // uses a single Lhop for all operations.
-    let o_mem_r = mean_intercept(&to_f64(&s.mem_read), 2.0 * l_hop);
-    let o_mem_w = mean_intercept(&to_f64(&s.mem_write), 2.0 * l_hop);
+    let o_mem_r = mean_intercept(&to_f64(&s.mem_read), 2.0 * l_hop, "mem_read")?;
+    let o_mem_w = mean_intercept(&to_f64(&s.mem_write), 2.0 * l_hop, "mem_write")?;
 
     let c_mpb_r = |d: u32| o_mpb + 2.0 * l_hop * d as f64;
     let c_mpb_w = |d: u32| o_mpb + 2.0 * l_hop * d as f64;
@@ -92,37 +104,51 @@ pub fn fit_params(s: &FitSamples) -> (ModelParams, f64) {
     let c_mem_w = |d: u32| o_mem_w + 2.0 * l_hop * d as f64;
 
     // Op overheads: mean residual over the op samples.
-    let o_mpb_put =
-        mean(s.put_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(1) + c_mpb_w(d))));
-    let o_mpb_get =
-        mean(s.get_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(d) + c_mpb_w(1))));
-    let o_mem_put =
-        mean(s.put_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mem_r(ds) + c_mpb_w(dd))));
-    let o_mem_get =
-        mean(s.get_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mpb_r(ds) + c_mem_w(dd))));
+    let o_mpb_put = mean(
+        s.put_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(1) + c_mpb_w(d))),
+        "put_mpb",
+    )?;
+    let o_mpb_get = mean(
+        s.get_mpb.iter().map(|&(m, d, c)| c - m as f64 * (c_mpb_r(d) + c_mpb_w(1))),
+        "get_mpb",
+    )?;
+    let o_mem_put = mean(
+        s.put_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mem_r(ds) + c_mpb_w(dd))),
+        "put_mem",
+    )?;
+    let o_mem_get = mean(
+        s.get_mem.iter().map(|&(m, ds, dd, c)| c - m as f64 * (c_mpb_r(ds) + c_mem_w(dd))),
+        "get_mem",
+    )?;
 
     let params =
         ModelParams { l_hop, o_mpb, o_mem_w, o_mem_r, o_mpb_put, o_mpb_get, o_mem_put, o_mem_get };
-    (params, r.rms)
+    Ok((params, r.rms))
 }
 
 fn to_f64(v: &[(u32, f64)]) -> Vec<(f64, f64)> {
     v.iter().map(|&(d, c)| (d as f64, c)).collect()
 }
 
-fn mean_intercept(samples: &[(f64, f64)], slope: f64) -> f64 {
-    mean(samples.iter().map(|&(x, y)| y - slope * x))
+fn mean_intercept(
+    samples: &[(f64, f64)],
+    slope: f64,
+    what: &'static str,
+) -> Result<f64, ModelError> {
+    mean(samples.iter().map(|&(x, y)| y - slope * x), what)
 }
 
-fn mean(it: impl Iterator<Item = f64>) -> f64 {
+fn mean(it: impl Iterator<Item = f64>, what: &'static str) -> Result<f64, ModelError> {
     let mut n = 0usize;
     let mut sum = 0.0;
     for v in it {
         sum += v;
         n += 1;
     }
-    assert!(n > 0, "cannot average zero samples");
-    sum / n as f64
+    if n == 0 {
+        return Err(ModelError::NoSamples { what });
+    }
+    Ok(sum / n as f64)
 }
 
 #[cfg(test)]
@@ -132,7 +158,7 @@ mod tests {
 
     #[test]
     fn linear_fit_exact_line() {
-        let f = linear_fit(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+        let f = linear_fit(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]).unwrap();
         assert!((f.slope - 2.0).abs() < 1e-12);
         assert!((f.intercept - 1.0).abs() < 1e-12);
         assert!(f.rms < 1e-12);
@@ -140,15 +166,29 @@ mod tests {
 
     #[test]
     fn linear_fit_noisy_line() {
-        let f = linear_fit(&[(0.0, 0.1), (1.0, 0.9), (2.0, 2.1), (3.0, 2.9)]);
+        let f = linear_fit(&[(0.0, 0.1), (1.0, 0.9), (2.0, 2.1), (3.0, 2.9)]).unwrap();
         assert!((f.slope - 0.98).abs() < 0.1);
         assert!(f.rms < 0.2);
     }
 
     #[test]
-    #[should_panic(expected = "identical")]
-    fn degenerate_fit_rejected() {
-        let _ = linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    fn degenerate_fits_yield_typed_errors() {
+        // Identical x values: the slope divides by zero variance.
+        assert_eq!(linear_fit(&[(1.0, 1.0), (1.0, 2.0)]), Err(ModelError::ZeroXVariance));
+        // Too few samples.
+        assert_eq!(linear_fit(&[]), Err(ModelError::TooFewSamples { have: 0 }));
+        assert_eq!(linear_fit(&[(1.0, 1.0)]), Err(ModelError::TooFewSamples { have: 1 }));
+        // The whole-parameter fit propagates: empty sample sets error
+        // instead of asserting.
+        assert_eq!(fit_params(&FitSamples::default()), Err(ModelError::TooFewSamples { have: 0 }));
+        let mut s = FitSamples::default();
+        for d in 1..=9 {
+            s.mpb_read.push((d, P2p::new(ModelParams::paper()).c_mpb_r(d)));
+            s.mem_read.push((d.min(4), 0.3));
+            s.mem_write.push((d.min(4), 0.5));
+        }
+        // All primitive categories filled, op categories still empty.
+        assert_eq!(fit_params(&s), Err(ModelError::NoSamples { what: "put_mpb" }));
     }
 
     /// Generating samples from the paper parameters and fitting must
@@ -176,7 +216,7 @@ mod tests {
                 s.get_mem.push((m, d, d, t.c_get_mem(m, d, d)));
             }
         }
-        let (fitted, rms) = fit_params(&s);
+        let (fitted, rms) = fit_params(&s).unwrap();
         assert!(rms < 1e-9);
         for (a, b, name) in [
             (fitted.l_hop, truth.l_hop, "l_hop"),

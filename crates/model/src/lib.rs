@@ -14,16 +14,23 @@
 //!   (the effect Figure 4 measures and Section 3.3 calls hard to model);
 //! * [`fit`] — least-squares extraction of Table-1 parameters from
 //!   microbenchmark samples (used to close the model ↔ simulator loop);
-//! * [`series`] — data series for Figure 6 and Table 2.
+//! * [`series`] — data series for Figure 6 and Table 2;
+//! * [`predict`] — a unified [`Predictor`] facade the `observatory`
+//!   harness uses to pair every simulator measurement with the model's
+//!   prediction for the same point;
+//! * [`error`] — typed [`ModelError`]s for the fallible entry points
+//!   (degenerate fits, empty sweeps).
 //!
 //! All times are `f64` microseconds, matching the paper's presentation;
 //! conversion helpers to [`scc_hal::Time`] are provided.
 
 pub mod bcast;
 pub mod contention;
+pub mod error;
 pub mod fit;
 pub mod p2p;
 pub mod params;
+pub mod predict;
 pub mod series;
 
 pub use bcast::{
@@ -32,6 +39,8 @@ pub use bcast::{
     tree_depth, worst_notify_delay, NotifyCosts,
 };
 pub use contention::ClosedQueue;
+pub use error::ModelError;
 pub use fit::{fit_params, FitSamples, LinearFit};
 pub use p2p::P2p;
 pub use params::ModelParams;
+pub use predict::{Predictor, RmaOp};

@@ -6,10 +6,11 @@ use crate::bcast::{
     binomial_latency_full, oc_latency_full, oc_throughput_full, sag_throughput_full, tree_depth,
     FullModelCfg,
 };
+use crate::error::ModelError;
 use crate::params::ModelParams;
 
 /// One analytical latency curve: `(message size in cache lines, µs)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LatencyCurve {
     pub label: String,
     pub points: Vec<(usize, f64)>,
@@ -17,13 +18,22 @@ pub struct LatencyCurve {
 
 /// Figure 6: modeled broadcast latency vs message size for OC-Bcast with
 /// each `k` in `ks`, plus the binomial tree, at `P` cores.
+///
+/// Errors on an empty size sweep or fewer than two cores; an empty `ks`
+/// is allowed (the binomial curve alone remains).
 pub fn fig6_curves(
     params: &ModelParams,
     cfg: &FullModelCfg,
     p: usize,
     ks: &[usize],
     sizes: &[usize],
-) -> Vec<LatencyCurve> {
+) -> Result<Vec<LatencyCurve>, ModelError> {
+    if sizes.is_empty() {
+        return Err(ModelError::EmptySizeSweep);
+    }
+    if p < 2 {
+        return Err(ModelError::TooFewCores { p });
+    }
     let mut out = Vec::with_capacity(ks.len() + 1);
     for &k in ks {
         out.push(LatencyCurve {
@@ -35,31 +45,47 @@ pub fn fig6_curves(
         label: "binomial".to_string(),
         points: sizes.iter().map(|&m| (m, binomial_latency_full(params, cfg, p, m))).collect(),
     });
-    out
+    Ok(out)
 }
 
 /// Table 2: modeled peak throughput (MB/s) for OC-Bcast with each `k`
 /// plus scatter-allgather.
+///
+/// Errors on an empty degree sweep or fewer than two cores (the
+/// scatter-allgather row alone would silently misrepresent the table).
 pub fn table2_rows(
     params: &ModelParams,
     cfg: &FullModelCfg,
     p: usize,
     ks: &[usize],
-) -> Vec<(String, f64)> {
+) -> Result<Vec<(String, f64)>, ModelError> {
+    if ks.is_empty() {
+        return Err(ModelError::EmptyDegreeSweep);
+    }
+    if p < 2 {
+        return Err(ModelError::TooFewCores { p });
+    }
     let mut rows: Vec<(String, f64)> = ks
         .iter()
         .map(|&k| (format!("OC-Bcast, k={k}"), oc_throughput_full(params, cfg, p, k)))
         .collect();
     rows.push(("scatter-allgather".to_string(), sag_throughput_full(params, cfg, p)));
-    rows
+    Ok(rows)
 }
 
 /// Pick the tree degree `k` minimizing the modeled latency for a given
 /// core count and message size — the paper's "best trade-off" analysis
 /// (it selects k = 7 for P = 48), applicable to hypothetical larger
-/// chips (`tune_k` example).
-pub fn best_k(params: &ModelParams, cfg: &FullModelCfg, p: usize, m: usize) -> (usize, f64) {
-    assert!(p >= 2, "broadcast needs at least two cores");
+/// chips (`tune_k` example). Errors on fewer than two cores.
+pub fn best_k(
+    params: &ModelParams,
+    cfg: &FullModelCfg,
+    p: usize,
+    m: usize,
+) -> Result<(usize, f64), ModelError> {
+    if p < 2 {
+        return Err(ModelError::TooFewCores { p });
+    }
     let mut best = (2usize, f64::INFINITY);
     for k in 2..p {
         let l = oc_latency_full(params, cfg, p, m, k);
@@ -71,7 +97,7 @@ pub fn best_k(params: &ModelParams, cfg: &FullModelCfg, p: usize, m: usize) -> (
             break;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -82,7 +108,8 @@ mod tests {
     fn fig6_has_all_curves_and_sane_ordering() {
         let sizes: Vec<usize> = (1..=180).step_by(10).collect();
         let curves =
-            fig6_curves(&ModelParams::paper(), &FullModelCfg::default(), 48, &[2, 7, 47], &sizes);
+            fig6_curves(&ModelParams::paper(), &FullModelCfg::default(), 48, &[2, 7, 47], &sizes)
+                .unwrap();
         assert_eq!(curves.len(), 4);
         assert_eq!(curves[3].label, "binomial");
         // The binomial curve dominates OC k=7 everywhere (Figure 6a).
@@ -94,8 +121,24 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sweeps_yield_typed_errors() {
+        let p = ModelParams::paper();
+        let cfg = FullModelCfg::default();
+        // The empty size sweep used to panic on `rows.last().unwrap()`
+        // downstream; now it is a typed, recoverable error.
+        assert_eq!(fig6_curves(&p, &cfg, 48, &[2, 7], &[]), Err(ModelError::EmptySizeSweep));
+        assert_eq!(table2_rows(&p, &cfg, 48, &[]), Err(ModelError::EmptyDegreeSweep));
+        assert_eq!(fig6_curves(&p, &cfg, 1, &[2], &[4]), Err(ModelError::TooFewCores { p: 1 }));
+        assert_eq!(table2_rows(&p, &cfg, 0, &[2]), Err(ModelError::TooFewCores { p: 0 }));
+        assert_eq!(best_k(&p, &cfg, 1, 4), Err(ModelError::TooFewCores { p: 1 }));
+        // Errors render as readable messages.
+        assert_eq!(ModelError::EmptySizeSweep.to_string(), "empty message-size sweep");
+    }
+
+    #[test]
     fn table2_shape() {
-        let rows = table2_rows(&ModelParams::paper(), &FullModelCfg::default(), 48, &[2, 7, 47]);
+        let rows =
+            table2_rows(&ModelParams::paper(), &FullModelCfg::default(), 48, &[2, 7, 47]).unwrap();
         assert_eq!(rows.len(), 4);
         let sag = rows.last().unwrap().1;
         for (label, v) in &rows[..3] {
@@ -116,7 +159,7 @@ mod tests {
         // contention-free model favours large k (Figure 6a shows k = 47
         // lowest past ~30 CL) — the paper picks k = 7 as a trade-off
         // *including* the MPB-contention effects the model omits.
-        let (k, _) = best_k(&ModelParams::paper(), &FullModelCfg::default(), 48, 1);
+        let (k, _) = best_k(&ModelParams::paper(), &FullModelCfg::default(), 48, 1).unwrap();
         assert!((3..=24).contains(&k), "optimal k = {k} out of plausible band");
     }
 
@@ -124,8 +167,8 @@ mod tests {
     fn more_cores_never_reduce_best_latency() {
         let cfg = FullModelCfg::default();
         let p = ModelParams::paper();
-        let (_, l48) = best_k(&p, &cfg, 48, 12);
-        let (k1024, l1024) = best_k(&p, &cfg, 1024, 12);
+        let (_, l48) = best_k(&p, &cfg, 48, 12).unwrap();
+        let (k1024, l1024) = best_k(&p, &cfg, 1024, 12).unwrap();
         assert!(l1024 >= l48, "1024 cores cannot be faster than 48");
         // Even at 1024 cores a well-chosen k keeps the tree shallow.
         assert!(crate::bcast::tree_depth(1024, k1024) <= 5);

@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use scc_model::bcast::FullModelCfg;
+use scc_model::fit::linear_fit;
 use scc_model::{
     binomial_latency_full, fit_params, oc_latency_full, oc_throughput_full, sag_throughput_full,
-    FitSamples, ModelParams, P2p,
+    FitSamples, ModelError, ModelParams, P2p,
 };
 
 proptest! {
@@ -91,10 +92,50 @@ proptest! {
             s.put_mem.push((m, 2, 1, t.c_put_mem(m, 2, 1)));
             s.get_mem.push((m, 1, 2, t.c_get_mem(m, 1, 2)));
         }
-        let (fitted, rms) = fit_params(&s);
+        let (fitted, rms) = match fit_params(&s) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("fit failed: {e}"))),
+        };
         prop_assert!(rms < 1e-9);
         prop_assert!((fitted.l_hop - truth.l_hop).abs() < 1e-9);
         prop_assert!((fitted.o_mpb_get - truth.o_mpb_get).abs() < 1e-9);
         prop_assert!((fitted.o_mem_w - truth.o_mem_w).abs() < 1e-9);
+    }
+
+    /// Degenerate fit inputs produce typed errors, never NaN: any
+    /// number of samples sharing one x value has zero x-variance, and
+    /// fewer than two samples is underdetermined.
+    #[test]
+    fn degenerate_fits_error_instead_of_nan(
+        x in 0.0f64..100.0,
+        ys in proptest::collection::vec(0.0f64..1000.0, 2..20),
+    ) {
+        let samples: Vec<(f64, f64)> = ys.iter().map(|&y| (x, y)).collect();
+        prop_assert_eq!(linear_fit(&samples), Err(ModelError::ZeroXVariance));
+        prop_assert_eq!(linear_fit(&samples[..1]), Err(ModelError::TooFewSamples { have: 1 }));
+        prop_assert_eq!(linear_fit(&[]), Err(ModelError::TooFewSamples { have: 0 }));
+    }
+
+    /// Well-separated x values always fit, and the result is finite —
+    /// the NaN path is closed for good inputs too.
+    #[test]
+    fn nondegenerate_fits_are_finite(
+        x0 in 0.0f64..10.0,
+        dx in 0.5f64..10.0,
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+    ) {
+        let samples: Vec<(f64, f64)> =
+            (0..5).map(|i| {
+                let x = x0 + i as f64 * dx;
+                (x, intercept + slope * x)
+            }).collect();
+        let f = match linear_fit(&samples) {
+            Ok(f) => f,
+            Err(e) => return Err(TestCaseError::fail(format!("fit failed: {e}"))),
+        };
+        prop_assert!(f.slope.is_finite() && f.intercept.is_finite() && f.rms.is_finite());
+        prop_assert!((f.slope - slope).abs() < 1e-6, "slope {} != {slope}", f.slope);
+        prop_assert!((f.intercept - intercept).abs() < 1e-6);
     }
 }

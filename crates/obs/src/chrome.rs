@@ -176,7 +176,7 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
                     em.complete(0, core.index(), "phase", &name, begin, at, "");
                 }
             }
-            ObsEvent::Wait { core, resource, arrival, start, end } => {
+            ObsEvent::Wait { core, resource, arrival, start, end, .. } => {
                 if contended.contains(&resource) {
                     let args = format!(
                         "\"core\":{},\"wait_us\":{}",
@@ -258,6 +258,7 @@ mod tests {
                 arrival: ns(50),
                 start: ns(70),
                 end: ns(80),
+                link: None,
             },
             ObsEvent::SpanEnd {
                 core: CoreId(0),
@@ -295,6 +296,7 @@ mod tests {
                 arrival: ns(5),
                 start: ns(5), // no queueing
                 end: ns(6),
+                link: None,
             },
         ];
         let json = chrome_trace_json(&events);

@@ -1,0 +1,589 @@
+//! Conformance records: the structured side of every experiment the
+//! `observatory` harness runs.
+//!
+//! Each experiment (one paper figure or table) yields a set of
+//! [`ExperimentRow`]s — one per measured point, carrying the paper's
+//! published value (when the paper prints one), the analytical model's
+//! prediction, and the simulator's measurement — plus
+//! [`ShapeCheck`]s, the qualitative claims the paper makes about each
+//! figure (crossover positions, winners, knees, monotonicity) evaluated
+//! against the fresh measurements, and [`SelfMetrics`] describing the
+//! host-side cost of producing them.
+//!
+//! The whole bundle serializes to/from the `BENCH_figures.json`
+//! artifact via the in-house [`Json`] layer, and [`drift_gate`]
+//! compares a fresh report against a committed baseline: a CI run fails
+//! if any measurement leaves its tolerance band, any shape check
+//! regresses, or the run modes (quick vs. full) do not match.
+
+use crate::report::Json;
+use std::fmt::Write as _;
+
+/// Schema version stamped into `BENCH_figures.json`; bump on breaking
+/// layout changes so stale baselines fail loudly instead of weirdly.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One measured point of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentRow {
+    /// Unique key within the experiment, e.g. `"latency k=7 bytes=32"`.
+    /// The drift gate matches rows across runs by this string.
+    pub point: String,
+    /// The value printed in the paper for this point, if any.
+    pub paper_value: Option<f64>,
+    /// The analytical model's prediction, if the model covers the point.
+    pub model_prediction: Option<f64>,
+    /// What the simulator measured on this run.
+    pub sim_measured: f64,
+    /// Relative tolerance band for the drift gate: a later run violates
+    /// if `|new - old| > tolerance * max(|old|, 1e-9)`.
+    pub tolerance: f64,
+    /// Unit label for reports ("us", "MB/s", ...).
+    pub unit: String,
+}
+
+impl ExperimentRow {
+    /// Relative deviation of the simulator from the model, when the
+    /// model covers this point.
+    pub fn model_drift(&self) -> Option<f64> {
+        self.model_prediction
+            .map(|m| (self.sim_measured - m) / if m.abs() > 1e-9 { m.abs() } else { 1e-9 })
+    }
+}
+
+/// One qualitative claim about a figure, evaluated on this run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeCheck {
+    /// Stable name the drift gate matches across runs.
+    pub name: String,
+    /// Human-readable evidence (the numbers behind the verdict).
+    pub detail: String,
+    pub pass: bool,
+}
+
+impl ShapeCheck {
+    /// Record an evaluated claim.
+    pub fn new(name: &str, pass: bool, detail: String) -> ShapeCheck {
+        ShapeCheck { name: name.to_string(), detail, pass }
+    }
+}
+
+/// Host-side cost of producing one experiment's measurements.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SelfMetrics {
+    /// Wall-clock seconds spent inside the experiment.
+    pub wall_s: f64,
+    /// Simulator runs launched.
+    pub sim_runs: u64,
+    /// Events retired across those runs.
+    pub sim_events: u64,
+    /// Scheduler heap pushes across those runs.
+    pub heap_pushes: u64,
+    /// Heap round-trips elided by the coalescing fast path.
+    pub coalesced_steps: u64,
+}
+
+impl SelfMetrics {
+    /// Engine throughput while this experiment ran.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Everything one experiment produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentReport {
+    /// Registry id, e.g. `"fig6"`.
+    pub id: String,
+    /// Human title, e.g. `"Figure 6: OC-Bcast latency vs. message size"`.
+    pub title: String,
+    pub rows: Vec<ExperimentRow>,
+    pub shapes: Vec<ShapeCheck>,
+    pub metrics: SelfMetrics,
+}
+
+impl ExperimentReport {
+    /// All shape claims held on this run.
+    pub fn shapes_pass(&self) -> bool {
+        self.shapes.iter().all(|s| s.pass)
+    }
+}
+
+/// The full `BENCH_figures.json` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConformanceReport {
+    pub schema: i64,
+    /// Whether the run used reduced sweeps (`SCC_BENCH_QUICK=1`).
+    /// Quick and full runs measure different points, so the drift gate
+    /// refuses to compare across modes.
+    pub quick: bool,
+    pub experiments: Vec<ExperimentReport>,
+}
+
+impl ConformanceReport {
+    pub fn new(quick: bool) -> ConformanceReport {
+        ConformanceReport { schema: SCHEMA_VERSION, quick, experiments: Vec::new() }
+    }
+
+    pub fn experiment(&self, id: &str) -> Option<&ExperimentReport> {
+        self.experiments.iter().find(|e| e.id == id)
+    }
+
+    /// All shape claims of all experiments held.
+    pub fn shapes_pass(&self) -> bool {
+        self.experiments.iter().all(|e| e.shapes_pass())
+    }
+
+    pub fn to_json(&self) -> Json {
+        let experiments = self
+            .experiments
+            .iter()
+            .map(|e| {
+                let rows = e
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("point", Json::Str(r.point.clone()))
+                            .set("paper", opt_num(r.paper_value))
+                            .set("model", opt_num(r.model_prediction))
+                            .set("sim", Json::Num(r.sim_measured))
+                            .set("tol", Json::Num(r.tolerance))
+                            .set("unit", Json::Str(r.unit.clone()))
+                    })
+                    .collect();
+                let shapes = e
+                    .shapes
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .set("name", Json::Str(s.name.clone()))
+                            .set("detail", Json::Str(s.detail.clone()))
+                            .set("pass", Json::Bool(s.pass))
+                    })
+                    .collect();
+                let m = &e.metrics;
+                Json::obj()
+                    .set("id", Json::Str(e.id.clone()))
+                    .set("title", Json::Str(e.title.clone()))
+                    .set("rows", Json::Arr(rows))
+                    .set("shapes", Json::Arr(shapes))
+                    .set(
+                        "metrics",
+                        Json::obj()
+                            .set("wall_s", Json::Num(m.wall_s))
+                            .set("sim_runs", Json::Int(m.sim_runs as i64))
+                            .set("sim_events", Json::Int(m.sim_events as i64))
+                            .set("heap_pushes", Json::Int(m.heap_pushes as i64))
+                            .set("coalesced_steps", Json::Int(m.coalesced_steps as i64))
+                            .set("events_per_sec", Json::Num(m.events_per_sec())),
+                    )
+            })
+            .collect();
+        Json::obj()
+            .set("schema", Json::Int(self.schema))
+            .set("quick", Json::Bool(self.quick))
+            .set("experiments", Json::Arr(experiments))
+    }
+
+    /// Parse a rendered report back (e.g. the committed CI baseline).
+    pub fn from_json(s: &str) -> Result<ConformanceReport, String> {
+        let v = Json::parse(s)?;
+        let schema = v.get("schema").and_then(Json::as_i64).ok_or("missing integer 'schema'")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("schema {schema} != supported {SCHEMA_VERSION}"));
+        }
+        let quick = v.get("quick").and_then(Json::as_bool).ok_or("missing bool 'quick'")?;
+        let mut experiments = Vec::new();
+        for e in v.get("experiments").and_then(Json::as_arr).ok_or("missing 'experiments'")? {
+            let id = req_str(e, "id")?;
+            let title = req_str(e, "title")?;
+            let mut rows = Vec::new();
+            for r in e.get("rows").and_then(Json::as_arr).ok_or("missing 'rows'")? {
+                rows.push(ExperimentRow {
+                    point: req_str(r, "point")?,
+                    paper_value: r.get("paper").and_then(Json::as_f64),
+                    model_prediction: r.get("model").and_then(Json::as_f64),
+                    sim_measured: req_f64(r, "sim")?,
+                    tolerance: req_f64(r, "tol")?,
+                    unit: req_str(r, "unit")?,
+                });
+            }
+            let mut shapes = Vec::new();
+            for s in e.get("shapes").and_then(Json::as_arr).ok_or("missing 'shapes'")? {
+                shapes.push(ShapeCheck {
+                    name: req_str(s, "name")?,
+                    detail: req_str(s, "detail")?,
+                    pass: s.get("pass").and_then(Json::as_bool).ok_or("missing 'pass'")?,
+                });
+            }
+            let m = e.get("metrics").ok_or("missing 'metrics'")?;
+            let metrics = SelfMetrics {
+                wall_s: req_f64(m, "wall_s")?,
+                sim_runs: req_f64(m, "sim_runs")? as u64,
+                sim_events: req_f64(m, "sim_events")? as u64,
+                heap_pushes: req_f64(m, "heap_pushes")? as u64,
+                coalesced_steps: req_f64(m, "coalesced_steps")? as u64,
+            };
+            experiments.push(ExperimentReport { id, title, rows, shapes, metrics });
+        }
+        Ok(ConformanceReport { schema, quick, experiments })
+    }
+
+    /// The human-readable drift report (`results/CONFORMANCE.md`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let shapes_total: usize = self.experiments.iter().map(|e| e.shapes.len()).sum();
+        let shapes_fail: usize =
+            self.experiments.iter().flat_map(|e| &e.shapes).filter(|s| !s.pass).count();
+        let wall: f64 = self.experiments.iter().map(|e| e.metrics.wall_s).sum();
+        let events: u64 = self.experiments.iter().map(|e| e.metrics.sim_events).sum();
+        let _ = writeln!(out, "# Conformance report\n");
+        let _ = writeln!(
+            out,
+            "Mode: **{}** · {} experiments · {} shape checks ({} failing) · \
+             {:.1}s wall · {:.1}M engine events\n",
+            if self.quick { "quick" } else { "full" },
+            self.experiments.len(),
+            shapes_total,
+            shapes_fail,
+            wall,
+            events as f64 / 1e6,
+        );
+        for e in &self.experiments {
+            let _ = writeln!(out, "## {} — {}\n", e.id, e.title);
+            let m = &e.metrics;
+            let _ = writeln!(
+                out,
+                "{:.2}s wall · {} sim runs · {:.2}M events · {:.1}M events/s · \
+                 {:.2}M heap pushes · {:.2}M coalesced\n",
+                m.wall_s,
+                m.sim_runs,
+                m.sim_events as f64 / 1e6,
+                m.events_per_sec() / 1e6,
+                m.heap_pushes as f64 / 1e6,
+                m.coalesced_steps as f64 / 1e6,
+            );
+            if !e.rows.is_empty() {
+                let _ = writeln!(out, "| point | paper | model | sim | model drift | unit |");
+                let _ = writeln!(out, "|---|---:|---:|---:|---:|---|");
+                for r in &e.rows {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {} | {:.4} | {} | {} |",
+                        r.point,
+                        fmt_opt(r.paper_value),
+                        fmt_opt(r.model_prediction),
+                        r.sim_measured,
+                        r.model_drift()
+                            .map(|d| format!("{:+.1}%", d * 100.0))
+                            .unwrap_or_else(|| "—".into()),
+                        r.unit,
+                    );
+                }
+                let _ = writeln!(out);
+            }
+            for s in &e.shapes {
+                let _ = writeln!(
+                    out,
+                    "- {} **{}** — {}",
+                    if s.pass { "✓" } else { "✗" },
+                    s.name,
+                    s.detail
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(n) => Json::Num(n),
+        None => Json::Null,
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|n| format!("{n:.4}")).unwrap_or_else(|| "—".into())
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{key}'"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing number '{key}'"))
+}
+
+/// One reason the drift gate failed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftViolation {
+    /// Experiment id the violation belongs to ("" for report-level).
+    pub experiment: String,
+    pub what: String,
+}
+
+/// Outcome of comparing a fresh run against a committed baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DriftReport {
+    pub violations: Vec<DriftViolation>,
+    pub rows_checked: usize,
+    pub shapes_checked: usize,
+}
+
+impl DriftReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "drift gate: {} rows, {} shape checks compared — {}",
+            self.rows_checked,
+            self.shapes_checked,
+            if self.ok() {
+                "PASS".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        );
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "  [{}] {}",
+                if v.experiment.is_empty() { "report" } else { &v.experiment },
+                v.what
+            );
+        }
+        out
+    }
+}
+
+/// Compare a fresh conformance report against the committed baseline.
+///
+/// Fails (collects violations) when:
+/// * the run modes differ (quick vs. full measure different points);
+/// * a baseline experiment, row, or shape check disappeared;
+/// * a measurement left its tolerance band
+///   (`|new - old| > tol * max(|old|, 1e-9)`, `tol` from the baseline
+///   row, so tolerances are versioned with the baseline);
+/// * a shape check that passed in the baseline fails now (crossover
+///   moved, winner flipped, knee shifted), or any current shape check
+///   fails outright.
+pub fn drift_gate(current: &ConformanceReport, baseline: &ConformanceReport) -> DriftReport {
+    let mut rep = DriftReport::default();
+    let mut fail = |exp: &str, what: String| {
+        rep.violations.push(DriftViolation { experiment: exp.to_string(), what });
+    };
+
+    if current.quick != baseline.quick {
+        fail(
+            "",
+            format!(
+                "mode mismatch: baseline is {}, run is {}",
+                if baseline.quick { "quick" } else { "full" },
+                if current.quick { "quick" } else { "full" }
+            ),
+        );
+        return rep;
+    }
+
+    for base in &baseline.experiments {
+        let Some(cur) = current.experiment(&base.id) else {
+            fail(&base.id, "experiment missing from this run".into());
+            continue;
+        };
+        for brow in &base.rows {
+            rep.rows_checked += 1;
+            let Some(crow) = cur.rows.iter().find(|r| r.point == brow.point) else {
+                fail(&base.id, format!("row '{}' missing from this run", brow.point));
+                continue;
+            };
+            let scale = brow.sim_measured.abs().max(1e-9);
+            let drift = (crow.sim_measured - brow.sim_measured).abs() / scale;
+            if drift > brow.tolerance {
+                fail(
+                    &base.id,
+                    format!(
+                        "'{}' drifted {:.2}% (> {:.2}% band): {:.6} -> {:.6} {}",
+                        brow.point,
+                        drift * 100.0,
+                        brow.tolerance * 100.0,
+                        brow.sim_measured,
+                        crow.sim_measured,
+                        brow.unit,
+                    ),
+                );
+            }
+        }
+        for bshape in &base.shapes {
+            rep.shapes_checked += 1;
+            match cur.shapes.iter().find(|s| s.name == bshape.name) {
+                None => fail(&base.id, format!("shape check '{}' disappeared", bshape.name)),
+                Some(cs) if bshape.pass && !cs.pass => fail(
+                    &base.id,
+                    format!("shape regression: '{}' now fails — {}", cs.name, cs.detail),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Shape checks are correctness claims: a fresh failure is a gate
+    // failure even if the baseline never saw that check (or saw it
+    // failing — a red baseline must not launder a red run).
+    for cur in &current.experiments {
+        for s in cur.shapes.iter().filter(|s| !s.pass) {
+            let regressed = baseline
+                .experiment(&cur.id)
+                .is_some_and(|b| b.shapes.iter().any(|bs| bs.name == s.name && bs.pass));
+            if !regressed {
+                fail(&cur.id, format!("shape check '{}' fails — {}", s.name, s.detail));
+            }
+        }
+    }
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_json;
+
+    fn sample() -> ConformanceReport {
+        let mut r = ConformanceReport::new(false);
+        r.experiments.push(ExperimentReport {
+            id: "fig6".into(),
+            title: "latency vs size".into(),
+            rows: vec![
+                ExperimentRow {
+                    point: "k=7 bytes=32".into(),
+                    paper_value: Some(12.0),
+                    model_prediction: Some(11.5),
+                    sim_measured: 11.8,
+                    tolerance: 0.05,
+                    unit: "us".into(),
+                },
+                ExperimentRow {
+                    point: "k=7 bytes=8192".into(),
+                    paper_value: None,
+                    model_prediction: None,
+                    sim_measured: 260.0,
+                    tolerance: 0.05,
+                    unit: "us".into(),
+                },
+            ],
+            shapes: vec![ShapeCheck::new("monotone in size", true, "11.8 < 260.0".into())],
+            metrics: SelfMetrics {
+                wall_s: 2.0,
+                sim_runs: 10,
+                sim_events: 4_000_000,
+                heap_pushes: 3_000_000,
+                coalesced_steps: 1_000_000,
+            },
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample();
+        let text = r.to_json().render();
+        validate_json(&text).unwrap();
+        let back = ConformanceReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_schema_mismatch_and_junk() {
+        assert!(ConformanceReport::from_json("{\"schema\":99}").is_err());
+        assert!(ConformanceReport::from_json("not json").is_err());
+        assert!(ConformanceReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_on_identical_reports() {
+        let r = sample();
+        let d = drift_gate(&r, &r);
+        assert!(d.ok(), "{}", d.render());
+        assert_eq!(d.rows_checked, 2);
+        assert_eq!(d.shapes_checked, 1);
+    }
+
+    #[test]
+    fn gate_catches_out_of_band_drift() {
+        let base = sample();
+        let mut cur = sample();
+        cur.experiments[0].rows[0].sim_measured *= 1.10; // 10% > 5% band
+        let d = drift_gate(&cur, &base);
+        assert_eq!(d.violations.len(), 1, "{}", d.render());
+        assert!(d.violations[0].what.contains("drifted"));
+
+        // In-band movement passes.
+        let mut cur = sample();
+        cur.experiments[0].rows[0].sim_measured *= 1.02;
+        assert!(drift_gate(&cur, &base).ok());
+    }
+
+    #[test]
+    fn gate_catches_shape_regression_and_fresh_failures() {
+        let base = sample();
+        let mut cur = sample();
+        cur.experiments[0].shapes[0].pass = false;
+        let d = drift_gate(&cur, &base);
+        assert_eq!(d.violations.len(), 1, "{}", d.render());
+        assert!(d.violations[0].what.contains("shape regression"));
+
+        // A brand-new failing shape also fails the gate.
+        let mut cur = sample();
+        cur.experiments[0].shapes.push(ShapeCheck::new("new claim", false, "broke".into()));
+        let d = drift_gate(&cur, &base);
+        assert_eq!(d.violations.len(), 1, "{}", d.render());
+        assert!(d.violations[0].what.contains("'new claim' fails"));
+    }
+
+    #[test]
+    fn gate_catches_missing_pieces_and_mode_mismatch() {
+        let base = sample();
+        let d = drift_gate(&ConformanceReport::new(false), &base);
+        assert!(d.violations.iter().any(|v| v.what.contains("experiment missing")));
+
+        let mut cur = sample();
+        cur.experiments[0].rows.remove(1);
+        cur.experiments[0].shapes.clear();
+        let d = drift_gate(&cur, &base);
+        assert!(d.violations.iter().any(|v| v.what.contains("row 'k=7 bytes=8192' missing")));
+        assert!(d.violations.iter().any(|v| v.what.contains("disappeared")));
+
+        let mut cur = sample();
+        cur.quick = true;
+        let d = drift_gate(&cur, &base);
+        assert_eq!(d.violations.len(), 1);
+        assert!(d.violations[0].what.contains("mode mismatch"));
+    }
+
+    #[test]
+    fn markdown_lists_rows_and_verdicts() {
+        let mut r = sample();
+        r.experiments[0].shapes.push(ShapeCheck::new("failing claim", false, "nope".into()));
+        let md = r.render_markdown();
+        assert!(md.contains("# Conformance report"));
+        assert!(md.contains("## fig6 — latency vs size"));
+        assert!(md.contains("| k=7 bytes=32 | 12.0000 | 11.5000 | 11.8000 |"));
+        assert!(md.contains("✓ **monotone in size**"));
+        assert!(md.contains("✗ **failing claim**"));
+        assert!(md.contains("1 failing"));
+    }
+}

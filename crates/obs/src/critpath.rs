@@ -434,6 +434,7 @@ mod tests {
                 arrival: ns(20),
                 start: ns(45),
                 end: ns(55),
+                link: None,
             },
             ObsEvent::Wait {
                 core: CoreId(0),
@@ -441,6 +442,7 @@ mod tests {
                 arrival: ns(60),
                 start: ns(62),
                 end: ns(63),
+                link: None,
             },
             ObsEvent::Finish { core: CoreId(0), at: ns(100) },
         ];

@@ -9,7 +9,7 @@
 //! of completion times per core but not on global total order of
 //! `start` fields.
 
-use scc_hal::{CoreId, Span, Time};
+use scc_hal::{CoreId, LinkDir, Span, Time};
 use std::fmt;
 
 /// Coarse classification of a timed RMA operation.
@@ -111,8 +111,18 @@ pub enum ObsEvent {
     Op { core: CoreId, kind: OpKind, lines: usize, start: Time, end: Time },
     /// One booking on a contended resource: issued by `core`, arrived
     /// at `arrival`, served over `[start, end]`. `start - arrival` is
-    /// the queueing wait attributed to this packet.
-    Wait { core: CoreId, resource: ResourceId, arrival: Time, start: Time, end: Time },
+    /// the queueing wait attributed to this packet. For router bookings
+    /// `link` names the directed output link the packet leaves the
+    /// router on ([`scc_hal::LinkDir::Eject`] at the destination tile);
+    /// `None` for port and memory-controller bookings.
+    Wait {
+        core: CoreId,
+        resource: ResourceId,
+        arrival: Time,
+        start: Time,
+        end: Time,
+        link: Option<LinkDir>,
+    },
     /// `core` parked on its MPB flag `line` at `at` (poll found the
     /// flag unchanged and the core left the run queue).
     Park { core: CoreId, line: usize, at: Time },

@@ -19,22 +19,35 @@
 //!   dependency graph backwards from the last receiver and attributes
 //!   the end-to-end latency to op service vs. port/router/MC queueing
 //!   vs. compute vs. idle;
-//! * [`report`] — a tiny JSON builder + validating parser for the
-//!   machine-readable `BENCH_obs.json` artifacts (this workspace has no
-//!   serde).
+//! * [`report`] — a tiny JSON builder + strict parser for the
+//!   machine-readable `BENCH_obs.json` / `BENCH_figures.json` artifacts
+//!   (this workspace has no serde);
+//! * [`conformance`] — the structured experiment record behind the
+//!   `observatory` harness: per-point paper/model/sim rows, shape
+//!   checks, host self-metrics, and the CI drift gate that compares a
+//!   run against a committed baseline;
+//! * [`heatmap`] — per-directed-link mesh occupancy maps whose per-tile
+//!   sums exactly partition the simulator's per-tile router aggregates.
 //!
 //! The simulator (`scc-sim`) records into this crate's [`Recorder`];
 //! collectives annotate phases through `scc_hal::Rma::span_begin`; the
 //! `trace` binary in `scc-bench` drives all exporters.
 
 pub mod chrome;
+pub mod conformance;
 pub mod critpath;
 pub mod event;
+pub mod heatmap;
 pub mod report;
 pub mod series;
 
 pub use chrome::{chrome_trace_json, kinds_present};
+pub use conformance::{
+    drift_gate, ConformanceReport, DriftReport, DriftViolation, ExperimentReport, ExperimentRow,
+    SelfMetrics, ShapeCheck,
+};
 pub use critpath::{critical_path, Breakdown, CriticalPath, PathSegment, SegmentKind};
 pub use event::{EventLog, ObsEvent, OpKind, Recorder, ResourceId};
+pub use heatmap::LinkHeatmap;
 pub use report::{validate_json, Json};
 pub use series::{UtilBucket, UtilizationSeries};

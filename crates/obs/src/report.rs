@@ -1,7 +1,9 @@
 //! Minimal JSON support for machine-readable reports: a value builder
 //! (this workspace has no serde — no network access to crates.io) and a
-//! strict validating parser used by tests and the `trace` binary to
-//! check emitted artifacts before CI does.
+//! strict parser. [`validate_json`] checks syntax (used by tests and
+//! the `trace` binary before CI does); [`Json::parse`] materializes the
+//! value tree, which the conformance harness uses to read committed
+//! `BENCH_figures.json` baselines back for the drift gate.
 
 use std::fmt::Write as _;
 
@@ -22,6 +24,70 @@ pub enum Json {
 impl Json {
     pub fn obj() -> Json {
         Json::Obj(Vec::new())
+    }
+
+    /// Parse one strict JSON document into a value tree.
+    ///
+    /// The grammar is exactly what [`validate_json`] accepts (in fact
+    /// the validator is this parser with the value thrown away).
+    /// Numeric literals without fraction or exponent that fit an `i64`
+    /// become [`Json::Int`]; everything else numeric becomes
+    /// [`Json::Num`].
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut p = Parser { b, i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Num`, `Int`, or `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            Json::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Insert/overwrite a key (builder style).
@@ -106,18 +172,10 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Strict JSON syntax check (no value materialization). Returns the
-/// first error with a byte offset. Accepts exactly one top-level value.
+/// Strict JSON syntax check. Returns the first error with a byte
+/// offset. Accepts exactly one top-level value.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut p = Parser { b, i: 0 };
-    p.skip_ws();
-    p.value()?;
-    p.skip_ws();
-    if p.i != b.len() {
-        return Err(format!("trailing garbage at byte {}", p.i));
-    }
-    Ok(())
+    Json::parse(s).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -136,14 +194,14 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Json, String> {
         match self.b.get(self.i) {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.lit("true"),
-            Some(b'f') => self.lit("false"),
-            Some(b'n') => self.lit("null"),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.lit("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.lit("null").map(|()| Json::Null),
             Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
             _ => self.err("expected a JSON value"),
         }
@@ -158,7 +216,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<Json, String> {
         let start = self.i;
         if self.b.get(self.i) == Some(&b'-') {
             self.i += 1;
@@ -173,14 +231,17 @@ impl Parser<'_> {
         if !digits(self) {
             return self.err("expected digits");
         }
+        let mut integral = true;
         if self.b.get(self.i) == Some(&b'.') {
             self.i += 1;
+            integral = false;
             if !digits(self) {
                 return self.err("expected fraction digits");
             }
         }
         if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
             self.i += 1;
+            integral = false;
             if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
                 self.i += 1;
             }
@@ -189,90 +250,179 @@ impl Parser<'_> {
             }
         }
         debug_assert!(self.i > start);
-        Ok(())
+        // Safety of from_utf8: the matched range is ASCII by construction.
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => self.err("unrepresentable number"),
+        }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.i += 1; // opening quote
+        let mut out = String::new();
         loop {
             match self.b.get(self.i) {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
                     self.i += 1;
                     match self.b.get(self.i) {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.i += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.i += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.i += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.i += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.i += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.i += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.i += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.i += 1;
                         }
                         Some(b'u') => {
                             self.i += 1;
-                            for _ in 0..4 {
-                                match self.b.get(self.i) {
-                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
-                                    _ => return self.err("bad \\u escape"),
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require the low half.
+                                if self.b.get(self.i) != Some(&b'\\')
+                                    || self.b.get(self.i + 1) != Some(&b'u')
+                                {
+                                    return self.err("lone high surrogate");
                                 }
-                            }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("bad low surrogate");
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| "bad surrogate pair".to_string())?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| format!("lone surrogate at byte {}", self.i))?
+                            };
+                            out.push(c);
                         }
                         _ => return self.err("bad escape"),
                     }
                 }
                 Some(c) if *c < 0x20 => return self.err("control char in string"),
-                Some(_) => self.i += 1,
+                Some(_) => {
+                    // Copy the whole run of plain characters at once.
+                    // `"`, `\` and control bytes are ASCII, so they can
+                    // never appear inside a multi-byte scalar and the
+                    // span below always ends on a UTF-8 boundary (the
+                    // input came from a &str).
+                    let start = self.i;
+                    while let Some(&c) = self.b.get(self.i) {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "invalid utf-8".to_string())?,
+                    );
+                }
             }
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.b.get(self.i) {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    v = v * 16 + (*c as char).to_digit(16).unwrap();
+                    self.i += 1;
+                }
+                _ => return self.err("bad \\u escape"),
+            }
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
         self.i += 1;
         self.skip_ws();
+        let mut fields = Vec::new();
         if self.b.get(self.i) == Some(&b'}') {
             self.i += 1;
-            return Ok(());
+            return Ok(Json::Obj(fields));
         }
         loop {
             self.skip_ws();
             if self.b.get(self.i) != Some(&b'"') {
                 return self.err("expected object key");
             }
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             if self.b.get(self.i) != Some(&b':') {
                 return self.err("expected ':'");
             }
             self.i += 1;
             self.skip_ws();
-            self.value()?;
+            let v = self.value()?;
+            fields.push((key, v));
             self.skip_ws();
             match self.b.get(self.i) {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Json::Obj(fields));
                 }
                 _ => return self.err("expected ',' or '}'"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Json, String> {
         self.i += 1;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.b.get(self.i) == Some(&b']') {
             self.i += 1;
-            return Ok(());
+            return Ok(Json::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.b.get(self.i) {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Json::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
             }
@@ -323,5 +473,75 @@ mod tests {
         for s in ["", "{", "[1,]", "{\"a\":}", "{'a':1}", "01x", "\"abc", "{} {}", "nulll"] {
             assert!(validate_json(s).is_err(), "{s} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_materializes_values() {
+        let v = Json::parse("{\"a\":[1,2.5,true,null],\"b\":\"x\\n\\u00e9\",\"c\":-7}").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap(),
+            &[Json::Int(1), Json::Num(2.5), Json::Bool(true), Json::Null]
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\né"));
+        assert_eq!(v.get("c").unwrap().as_i64(), Some(-7));
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(-7.0));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_renderer_output() {
+        let j = Json::obj()
+            .set("s", Json::Str("quote\" slash\\ nl\n tab\t ctl\u{1} é".into()))
+            .set("big", Json::Num(1.25e300))
+            .set("neg", Json::Int(i64::MIN))
+            .set("arr", Json::Arr(vec![Json::Bool(false), Json::Null]));
+        let rendered = j.render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn parse_surrogate_pairs_and_rejects_lone_halves() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(Json::parse("\"\\ude00\"").is_err(), "lone low surrogate");
+    }
+
+    /// Regression guard: string scanning must be linear in document
+    /// size. An earlier version re-validated the whole remaining input
+    /// per character, which turned the multi-megabyte chrome traces the
+    /// `trace` binary validates into an hours-long parse. At 8 MB the
+    /// quadratic version needs minutes; the linear one, milliseconds.
+    #[test]
+    fn multi_megabyte_documents_parse_fast() {
+        let mut doc = String::from("[");
+        let chunk = "x".repeat(1 << 10);
+        for i in 0..(8 << 10) {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push('"');
+            doc.push_str(&chunk);
+            doc.push('"');
+        }
+        doc.push(']');
+        let start = std::time::Instant::now();
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 8 << 10);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "parse took {:?} — string scanning has gone super-linear",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn integral_floats_parse_as_ints() {
+        // `Num(5.0)` renders as `5`, which parses back as `Int(5)`:
+        // byte-level round-trip is exact, value-level is semantic.
+        assert_eq!(Json::parse(&Json::Num(5.0).render()).unwrap(), Json::Int(5));
+        // Beyond i64 range the integral literal falls back to f64.
+        assert_eq!(Json::parse("99999999999999999999").unwrap(), Json::Num(1e20));
     }
 }

@@ -139,6 +139,7 @@ mod tests {
             arrival: ns(arrival),
             start: ns(start),
             end: ns(end),
+            link: None,
         }
     }
 

@@ -1,0 +1,129 @@
+//! Property tests of the in-house JSON layer: every document the
+//! builder can produce must validate, parse back, and reach a stable
+//! fixpoint under render→parse→render. This is the contract the
+//! conformance harness relies on when it reads committed
+//! `BENCH_figures.json` baselines back for the drift gate.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use scc_obs::{validate_json, Json};
+
+/// Characters chosen to stress the escaper: every two-character escape,
+/// raw control characters, multi-byte UTF-8, and plain ASCII.
+const CHAR_POOL: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '\u{1f}', 'é',
+    'π', '😀', '中', '\u{7f}', '\u{e000}',
+];
+
+fn arb_string(rng: &mut TestRng, max_len: u64) -> String {
+    let n = rng.gen_range_u64(0, max_len + 1);
+    (0..n).map(|_| CHAR_POOL[rng.gen_range_u64(0, CHAR_POOL.len() as u64) as usize]).collect()
+}
+
+/// A random JSON value of bounded depth. Scalars mix wide-range floats
+/// (with `-0.0` normalized away: `-0` re-parses as integer `0`, the one
+/// spot where byte-stability would not hold), full-range ints, and
+/// escape-heavy strings.
+fn arb_json(rng: &mut TestRng, depth: u32) -> Json {
+    let variants = if depth == 0 { 5 } else { 7 };
+    match rng.gen_range_u64(0, variants) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 1),
+        2 => {
+            let n = rng.gen_f64(-1e18, 1e18);
+            Json::Num(if n == 0.0 { 0.0 } else { n })
+        }
+        3 => Json::Int(rng.next_u64() as i64),
+        4 => Json::Str(arb_string(rng, 12)),
+        5 => {
+            let n = rng.gen_range_u64(0, 5);
+            Json::Arr((0..n).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range_u64(0, 5);
+            let mut obj = Json::obj();
+            for i in 0..n {
+                // Distinct keys: the builder's `set` overwrites dupes,
+                // which would make the comparison trivially weaker.
+                let key = format!("{}#{i}", arb_string(rng, 6));
+                obj = obj.set(&key, arb_json(rng, depth - 1));
+            }
+            obj
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Build → render → validate → parse → render is byte-stable, and a
+    /// second parse is a fixpoint. (The first parse may normalize
+    /// integral floats to ints — `Num(5.0)` renders as `5` — so value
+    /// equality is asserted from the first parse onwards, byte equality
+    /// from the first render onwards.)
+    #[test]
+    fn documents_round_trip(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("doc-{seed}"));
+        let doc = arb_json(&mut rng, 3);
+        let text = doc.render();
+        prop_assert!(validate_json(&text).is_ok(), "invalid render: {text}");
+        let parsed = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed: {e} on {text}"))),
+        };
+        prop_assert_eq!(&parsed.render(), &text);
+        prop_assert_eq!(Json::parse(&parsed.render()).unwrap(), parsed);
+    }
+
+    /// Strings survive exactly, whatever mix of escapes and multi-byte
+    /// characters they contain — value equality, not just render
+    /// stability.
+    #[test]
+    fn strings_round_trip_exactly(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("str-{seed}"));
+        let s = arb_string(&mut rng, 40);
+        let rendered = Json::Str(s.clone()).render();
+        prop_assert_eq!(Json::parse(&rendered).unwrap(), Json::Str(s));
+    }
+
+    /// Finite floats round-trip to bit-identical values (Rust renders
+    /// shortest-round-trip decimals; integral ones come back as ints
+    /// with the same numeric value).
+    #[test]
+    fn floats_round_trip(mantissa in -1.0f64..1.0, exp in 0u32..60) {
+        let n = mantissa * 2f64.powi(exp as i32);
+        let n = if n == 0.0 { 0.0 } else { n }; // drop -0.0
+        let back = Json::parse(&Json::Num(n).render()).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap(), n);
+    }
+
+    /// Ints of any magnitude survive exactly.
+    #[test]
+    fn ints_round_trip(i in any::<i64>()) {
+        prop_assert_eq!(Json::parse(&Json::Int(i).render()).unwrap(), Json::Int(i));
+    }
+}
+
+/// The deliberate edge cases, pinned (not sampled): extreme and
+/// non-finite floats, extreme ints, deep nesting.
+#[test]
+fn pinned_edge_cases() {
+    for n in [f64::MAX, f64::MIN, f64::MIN_POSITIVE, 5e-324, 0.1 + 0.2, 1e308, -1e-308] {
+        let back = Json::parse(&Json::Num(n).render()).unwrap();
+        assert_eq!(back.as_f64().unwrap(), n, "{n} did not survive");
+    }
+    // Non-finite numbers render as null by contract.
+    for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::parse(&Json::Num(n).render()).unwrap(), Json::Null);
+    }
+    for i in [i64::MIN, i64::MAX, 0, -1] {
+        assert_eq!(Json::parse(&Json::Int(i).render()).unwrap(), Json::Int(i));
+    }
+    // 64 levels of nesting parse without issue.
+    let mut deep = Json::Int(1);
+    for _ in 0..64 {
+        deep = Json::Arr(vec![deep]);
+    }
+    let text = deep.render();
+    assert_eq!(Json::parse(&text).unwrap().render(), text);
+}

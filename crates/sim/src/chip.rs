@@ -11,7 +11,7 @@
 //! reservation made for a later instant.
 
 use crate::params::SimParams;
-use scc_hal::{CoreId, MemController, Tile, Time, MPB_BYTES_PER_CORE};
+use scc_hal::{CoreId, LinkDir, MemController, Tile, Time, MPB_BYTES_PER_CORE, NUM_LINK_DIRS};
 use scc_obs::{ObsEvent, Recorder, ResourceId};
 
 /// Reservation calendar of a single-server resource.
@@ -152,6 +152,19 @@ pub struct SimStats {
     pub mc_wait_by_ctrl: Vec<Time>,
     /// Per-controller breakdown of [`mc_busy`](SimStats::mc_busy).
     pub mc_busy_by_ctrl: Vec<Time>,
+    /// Per-directed-mesh-link breakdown of
+    /// [`router_wait`](SimStats::router_wait): entry
+    /// `tile * NUM_LINK_DIRS + dir` is the queueing attributed to
+    /// packets that left `tile`'s router on output `dir`
+    /// ([`LinkDir::Eject`] = delivered into the tile). For every tile
+    /// the five entries sum exactly to
+    /// [`router_wait_by_tile`](SimStats::router_wait_by_tile) — the
+    /// link counters *partition* the per-tile router aggregates.
+    pub link_wait: Vec<Time>,
+    /// Per-directed-link breakdown of
+    /// [`router_busy`](SimStats::router_busy); same layout and same
+    /// partition invariant as [`link_wait`](SimStats::link_wait).
+    pub link_busy: Vec<Time>,
 }
 
 impl SimStats {
@@ -165,6 +178,8 @@ impl SimStats {
             router_busy_by_tile: vec![Time::ZERO; 24],
             mc_wait_by_ctrl: vec![Time::ZERO; 4],
             mc_busy_by_ctrl: vec![Time::ZERO; 4],
+            link_wait: vec![Time::ZERO; 24 * NUM_LINK_DIRS],
+            link_busy: vec![Time::ZERO; 24 * NUM_LINK_DIRS],
             ..SimStats::default()
         }
     }
@@ -317,13 +332,26 @@ impl Chip {
         let occupancy = self.params.router_occupancy;
         let l_hop = self.params.l_hop;
         let mut t = t;
-        for tile in from.xy_route(to) {
+        let mut route = from.xy_route(to).peekable();
+        while let Some(tile) = route.next() {
+            // The output link this router forwards the packet on: the
+            // next tile of the X-Y route, or local ejection at the
+            // destination. Attributing the router's booking to its
+            // output link makes the five per-link counters of each tile
+            // an exact partition of the per-tile router aggregates.
+            let dir = match route.peek() {
+                Some(&next) => tile.dir_to(next),
+                None => LinkDir::Eject,
+            };
             let start = self.routers[tile.index()].reserve(t, occupancy, self.prune_before);
             let wait = start - t;
             self.stats.router_wait += wait;
             self.stats.router_busy += occupancy;
             self.stats.router_wait_by_tile[tile.index()] += wait;
             self.stats.router_busy_by_tile[tile.index()] += occupancy;
+            let link = tile.index() * NUM_LINK_DIRS + dir.index();
+            self.stats.link_wait[link] += wait;
+            self.stats.link_busy[link] += occupancy;
             if let Some(r) = self.recorder.as_mut() {
                 r.record(ObsEvent::Wait {
                     core: issuer,
@@ -331,6 +359,7 @@ impl Chip {
                     arrival: t,
                     start,
                     end: start + occupancy,
+                    link: Some(dir),
                 });
             }
             t = start + l_hop;
@@ -365,6 +394,7 @@ impl Chip {
                 arrival: t,
                 start,
                 end: start + service,
+                link: None,
             });
         }
         start + service
@@ -386,6 +416,7 @@ impl Chip {
                 arrival: t,
                 start,
                 end: start + service,
+                link: None,
             });
         }
         start + service

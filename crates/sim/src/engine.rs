@@ -979,6 +979,7 @@ where
         return Err(SimError::Engine("some cores never started".into()));
     }
     let makespan = out.end_times.iter().copied().fold(Time::ZERO, Time::max);
+    crate::telemetry::add_run(&out.stats);
     Ok(SimReport {
         results: collected,
         end_times: out.end_times,

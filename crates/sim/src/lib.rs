@@ -23,10 +23,12 @@ pub mod handoff;
 pub mod microbench;
 pub mod ops;
 pub mod params;
+pub mod telemetry;
 pub mod trace;
 
 pub use chip::SimStats;
 pub use engine::{run_spmd, SimConfig, SimCore, SimError, SimReport};
 pub use microbench::{measure_contention, measure_link_stress, measure_p2p, P2pKind};
 pub use params::SimParams;
+pub use telemetry::EngineTotals;
 pub use trace::{render_gantt, summarize, OpKind, OpTrace, TraceSummary};

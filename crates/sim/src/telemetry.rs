@@ -1,0 +1,99 @@
+//! Process-wide cumulative engine counters.
+//!
+//! Every successful [`crate::run_spmd`] adds its [`SimStats`] engine
+//! counters to a set of global atomics (one relaxed add per *run*, not
+//! per event — invisible next to the run itself). Harnesses that drive
+//! many simulations through helpers which do not surface per-run stats
+//! (`measure_bcast`, `measure_p2p`, …) can still attribute host-side
+//! engine work to each of their phases by snapshotting before and
+//! after: the `observatory` binary uses this for its per-experiment
+//! self-metrics (events retired, heap operations, events/sec).
+//!
+//! Virtual-time results are unaffected — these counters observe the
+//! engine, they never feed back into it.
+
+use crate::chip::SimStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static OPS: AtomicU64 = AtomicU64::new(0);
+static HEAP_PUSHES: AtomicU64 = AtomicU64::new(0);
+static COALESCED_STEPS: AtomicU64 = AtomicU64::new(0);
+static HANDOFFS: AtomicU64 = AtomicU64::new(0);
+
+/// Totals accumulated since process start (or the difference of two
+/// snapshots, see [`EngineTotals::since`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Completed `run_spmd` invocations.
+    pub runs: u64,
+    /// Events retired (popped + coalesced), summed over runs.
+    pub events: u64,
+    /// Timed RMA operations simulated.
+    pub ops: u64,
+    /// Events pushed onto the scheduler heap.
+    pub heap_pushes: u64,
+    /// Heap round-trips elided by the coalesced fast path.
+    pub coalesced_steps: u64,
+    /// Real thread switches (baton handoffs).
+    pub handoffs: u64,
+}
+
+impl EngineTotals {
+    /// Counter deltas between an `earlier` snapshot and this one.
+    pub fn since(&self, earlier: &EngineTotals) -> EngineTotals {
+        EngineTotals {
+            runs: self.runs - earlier.runs,
+            events: self.events - earlier.events,
+            ops: self.ops - earlier.ops,
+            heap_pushes: self.heap_pushes - earlier.heap_pushes,
+            coalesced_steps: self.coalesced_steps - earlier.coalesced_steps,
+            handoffs: self.handoffs - earlier.handoffs,
+        }
+    }
+}
+
+/// Read the current process-wide totals.
+pub fn snapshot() -> EngineTotals {
+    EngineTotals {
+        runs: RUNS.load(Ordering::Relaxed),
+        events: EVENTS.load(Ordering::Relaxed),
+        ops: OPS.load(Ordering::Relaxed),
+        heap_pushes: HEAP_PUSHES.load(Ordering::Relaxed),
+        coalesced_steps: COALESCED_STEPS.load(Ordering::Relaxed),
+        handoffs: HANDOFFS.load(Ordering::Relaxed),
+    }
+}
+
+/// Fold one successful run's counters into the totals.
+pub(crate) fn add_run(stats: &SimStats) {
+    RUNS.fetch_add(1, Ordering::Relaxed);
+    EVENTS.fetch_add(stats.events, Ordering::Relaxed);
+    OPS.fetch_add(stats.ops, Ordering::Relaxed);
+    HEAP_PUSHES.fetch_add(stats.heap_pushes, Ordering::Relaxed);
+    COALESCED_STEPS.fetch_add(stats.coalesced_steps, Ordering::Relaxed);
+    HANDOFFS.fetch_add(stats.handoffs, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_track_a_run() {
+        let before = snapshot();
+        let cfg = crate::SimConfig { num_cores: 2, mem_bytes: 4096, ..Default::default() };
+        let rep = crate::run_spmd(&cfg, |c| {
+            use scc_hal::{MpbAddr, Rma};
+            if c.core().index() == 0 {
+                c.put_from_mpb(0, MpbAddr::new(scc_hal::CoreId(1), 0), 4).unwrap();
+            }
+        })
+        .unwrap();
+        let delta = snapshot().since(&before);
+        assert!(delta.runs >= 1);
+        assert!(delta.events >= rep.stats.events);
+        assert!(delta.ops >= rep.stats.ops);
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
     println!("{:>6} {:>10} {:>8} {:>7} {:>12}", "P", "msg (CL)", "best k", "depth", "latency (µs)");
     for p in [48usize, 128, 256, 512, 1024] {
         for m in [1usize, 96] {
-            let (k, lat) = best_k(&params, &cfg, p, m);
+            let (k, lat) = best_k(&params, &cfg, p, m).expect("p >= 2");
             println!("{p:>6} {m:>10} {k:>8} {:>7} {lat:>12.2}", tree_depth(p, k));
         }
     }
