@@ -12,15 +12,32 @@
 //!     [--heatmaps PATH]        where to write the heatmap text
 //!     [--baseline PATH]        drift-gate against this baseline
 //!     [--write-baseline PATH]  also write the fresh report here
+//!     [--artifact-dir DIR]     where experiment sidecars land (".")
+//!     [--explain]              on gate failure, re-run the drifted
+//!                              experiments' scenarios with recording
+//!                              on and write a drift explanation
+//!     [--drift PATH]           where --explain writes its report
+//!                              (results/DRIFT.md)
+//!     [--flame-dir DIR]        where --explain writes flamegraphs
+//!                              (results)
 //!     [--list]                 print registry ids and exit
 //! ```
 //!
 //! Exit status: `1` if any shape check failed or the drift gate
-//! tripped, `0` otherwise.
+//! tripped, `0` otherwise (`--explain` never changes the verdict, it
+//! only adds diagnosis).
 
-use scc_bench::{quick, registry, run_experiment};
+use scc_bench::{
+    quick, record_run, registry, representative_scenario, run_experiment_full, whatif_artifact,
+    whatif_profile,
+};
 use scc_obs::report::validate_json;
-use scc_obs::{drift_gate, ConformanceReport};
+use scc_obs::{
+    drift_gate, flamegraph_collapsed, ConformanceReport, DiffReport, DriftReport, PhaseProfile,
+    RunHistograms,
+};
+use scc_sim::SimParams;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 struct Args {
@@ -31,6 +48,10 @@ struct Args {
     heatmaps: String,
     baseline: Option<String>,
     write_baseline: Option<String>,
+    artifact_dir: String,
+    explain: bool,
+    drift: String,
+    flame_dir: String,
     list: bool,
 }
 
@@ -43,6 +64,10 @@ fn parse_args() -> Result<Args, String> {
         heatmaps: "results/heatmaps.txt".to_string(),
         baseline: None,
         write_baseline: None,
+        artifact_dir: ".".to_string(),
+        explain: false,
+        drift: "results/DRIFT.md".to_string(),
+        flame_dir: "results".to_string(),
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--list" => args.list = true,
+            "--explain" => args.explain = true,
             "--only" => {
                 args.only =
                     Some(value("--only")?.split(',').map(|s| s.trim().to_string()).collect())
@@ -60,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
             "--heatmaps" => args.heatmaps = value("--heatmaps")?,
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--artifact-dir" => args.artifact_dir = value("--artifact-dir")?,
+            "--drift" => args.drift = value("--drift")?,
+            "--flame-dir" => args.flame_dir = value("--flame-dir")?,
             other => return Err(format!("unknown flag `{other}` (see --help in the doc comment)")),
         }
     }
@@ -108,7 +137,7 @@ fn main() -> ExitCode {
             continue;
         }
         eprint!("observatory: running {:<12}", exp.id);
-        let (exp_report, text) = run_experiment(exp, args.quick);
+        let (exp_report, text, artifacts) = run_experiment_full(exp, args.quick);
         eprintln!(
             " {} ({:.1}s, {} sim runs, {} rows, {} shapes)",
             if exp_report.shapes_pass() { "ok" } else { "SHAPE FAILURE" },
@@ -119,6 +148,14 @@ fn main() -> ExitCode {
         );
         if exp.id == "heatmap" {
             heatmap_text = Some(text);
+        }
+        for (rel, contents) in &artifacts {
+            let path = format!("{}/{rel}", args.artifact_dir);
+            if let Err(e) = write_file(&path, contents) {
+                eprintln!("observatory: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("observatory: wrote {path}");
         }
         report.experiments.push(exp_report);
     }
@@ -153,6 +190,7 @@ fn main() -> ExitCode {
     // baseline is available.
     let mut md = report.render_markdown();
     let mut failed = !report.shapes_pass();
+    let mut gate_report: Option<DriftReport> = None;
     if let Some(path) = &args.baseline {
         match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|s| {
             ConformanceReport::from_json(&s).map_err(|e| format!("unparseable baseline: {e}"))
@@ -164,6 +202,7 @@ fn main() -> ExitCode {
                 md.push_str(&gate.render());
                 eprint!("{}", gate.render());
                 failed |= !gate.ok();
+                gate_report = Some(gate);
             }
             Err(e) => {
                 eprintln!("observatory: {e}");
@@ -177,6 +216,38 @@ fn main() -> ExitCode {
     }
     eprintln!("observatory: wrote {}", args.md);
 
+    // Drift explanation: re-run each drifted experiment's representative
+    // scenario with recording on and attribute where its time goes.
+    if args.explain && failed {
+        let mut ids: Vec<String> = Vec::new();
+        if let Some(g) = &gate_report {
+            for v in &g.violations {
+                if !v.experiment.is_empty() && !ids.contains(&v.experiment) {
+                    ids.push(v.experiment.clone());
+                }
+            }
+        }
+        for e in &report.experiments {
+            if !e.shapes_pass() && !ids.contains(&e.id) {
+                ids.push(e.id.clone());
+            }
+        }
+        const EXPLAIN_CAP: usize = 5;
+        if ids.len() > EXPLAIN_CAP {
+            eprintln!(
+                "observatory: --explain: {} drifted experiments, explaining the first {EXPLAIN_CAP}",
+                ids.len()
+            );
+            ids.truncate(EXPLAIN_CAP);
+        }
+        if ids.is_empty() {
+            eprintln!("observatory: --explain: no experiment-level failure to explain");
+        } else if let Err(e) = explain(&ids, gate_report.as_ref(), &args) {
+            eprintln!("observatory: --explain: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if failed {
         eprintln!("observatory: FAILED (shape check or drift gate)");
         ExitCode::FAILURE
@@ -184,4 +255,72 @@ fn main() -> ExitCode {
         eprintln!("observatory: all experiments conform");
         ExitCode::SUCCESS
     }
+}
+
+/// Produce the drift explanation: for every drifted experiment, record
+/// its representative scenario, scan the cost classes, and write the
+/// what-if tables, differential critical path, latency histograms and
+/// a flamegraph. Emits `DRIFT.md` plus `flame_<id>.txt` per experiment
+/// and a fresh `BENCH_whatif.json` from the scans.
+fn explain(ids: &[String], gate: Option<&DriftReport>, args: &Args) -> Result<(), String> {
+    let factors: &[f64] = if args.quick { &[1.1] } else { &[0.9, 1.1] };
+    let mut md = String::new();
+    let _ = writeln!(md, "# Drift explanation\n");
+    if let Some(g) = gate {
+        let _ = writeln!(md, "```\n{}```\n", g.render());
+    }
+    let mut profiles = Vec::new();
+    for id in ids {
+        let sc = representative_scenario(id);
+        let _ = writeln!(md, "## {id} — scenario `{}`\n", sc.label);
+
+        let (events, makespan) =
+            record_run(&sc, SimParams::default()).map_err(|e| format!("{id}: record: {e}"))?;
+        let _ = writeln!(md, "nominal makespan {makespan} over {} events\n", events.len());
+
+        // Which cost class moves this scenario?
+        let wi = whatif_profile(&sc, factors).map_err(|e| format!("{id}: what-if: {e}"))?;
+        let _ = writeln!(md, "### What-if sensitivity\n");
+        md.push_str(&wi.render_markdown());
+        let _ = md.write_char('\n');
+
+        // Fingerprint of the dominant hardware class: where time moves
+        // when that class degrades 50%, phase by phase.
+        if let Some(dom) = wi.dominant_hardware() {
+            let _ = writeln!(md, "dominant hardware class: **{dom}**\n");
+            let (slow, _) = record_run(&sc, SimParams::default().scaled(dom, 1.5))
+                .map_err(|e| format!("{id}: scaled rerun: {e}"))?;
+            match (PhaseProfile::build(&events), PhaseProfile::build(&slow)) {
+                (Ok(base), Ok(cand)) => {
+                    let _ =
+                        writeln!(md, "### Differential critical path (nominal vs {dom} x1.5)\n");
+                    md.push_str(&DiffReport::between(&base, &cand).render_markdown());
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    let _ = writeln!(md, "(no critical path: {e})");
+                }
+            }
+            let _ = md.write_char('\n');
+        }
+
+        let _ = writeln!(md, "### Phase latency histograms\n");
+        md.push_str(&RunHistograms::build(&events).render_markdown());
+
+        let flame = flamegraph_collapsed(&events, &sc.label);
+        let fpath = format!("{}/flame_{id}.txt", args.flame_dir);
+        write_file(&fpath, &flame)?;
+        let _ = writeln!(
+            md,
+            "\nflamegraph: `{fpath}` ({} collapsed stacks — feed to inferno/speedscope)",
+            flame.lines().count()
+        );
+        let _ = md.write_char('\n');
+        profiles.push(wi);
+    }
+    write_file(&args.drift, &md)?;
+    eprintln!("observatory: wrote {}", args.drift);
+    let wpath = format!("{}/BENCH_whatif.json", args.artifact_dir);
+    write_file(&wpath, &whatif_artifact(&profiles, args.quick))?;
+    eprintln!("observatory: wrote {wpath}");
+    Ok(())
 }

@@ -19,7 +19,10 @@
 
 use oc_bcast::{Algorithm, Broadcaster, OcConfig};
 use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
-use scc_obs::{chrome_trace_json, critical_path, validate_json, Json, ObsEvent, UtilizationSeries};
+use scc_obs::{
+    chrome_trace_json, critical_path, flamegraph_collapsed, validate_json, Json, ObsEvent,
+    UtilizationSeries, ARTIFACT_VERSION,
+};
 use scc_rcce::MpbAllocator;
 use scc_sim::{render_gantt, run_spmd, summarize, SimConfig};
 
@@ -164,12 +167,17 @@ fn main() {
     let csv_path = format!("{}/util_{label}.csv", o.out);
     std::fs::write(&csv_path, series.to_csv()).expect("write utilization CSV");
 
+    let flame = flamegraph_collapsed(events, &label);
+    let flame_path = format!("{}/flame_{label}.txt", o.out);
+    std::fs::write(&flame_path, &flame).expect("write collapsed flamegraph");
+
     let us = |t: Time| Json::Num(t.as_us_f64());
     let mut peak = Json::obj();
     for (class, frac) in series.peak_busy() {
         peak = peak.set(class, Json::Num(frac));
     }
     let bench = Json::obj()
+        .set("version", Json::Int(ARTIFACT_VERSION))
         .set("bench", Json::Str("trace".into()))
         .set("collective", Json::Str(o.collective.clone()))
         .set("label", Json::Str(alg.label()))
@@ -193,7 +201,11 @@ fn main() {
         .set("peak_busy", peak)
         .set(
             "artifacts",
-            Json::Arr(vec![Json::Str(trace_path.clone()), Json::Str(csv_path.clone())]),
+            Json::Arr(vec![
+                Json::Str(trace_path.clone()),
+                Json::Str(csv_path.clone()),
+                Json::Str(flame_path.clone()),
+            ]),
         );
     let rendered = bench.render();
     validate_json(&rendered).expect("BENCH_obs.json is valid");
@@ -202,6 +214,7 @@ fn main() {
     println!();
     println!("# wrote {trace_path} (open in ui.perfetto.dev)");
     println!("# wrote {csv_path}");
+    println!("# wrote {flame_path} (collapsed stacks for inferno/speedscope)");
     println!("# wrote BENCH_obs.json");
 }
 

@@ -1,0 +1,14 @@
+//! Causal what-if profiles: rerun the paper's two extreme broadcast
+//! scenarios (flat-tree OC-Bcast at 96 cache lines, binomial at 1)
+//! with each simulator cost class virtually scaled ±10%, and report the
+//! makespan sensitivity per class — the flat tree must come out
+//! port-bound, the binomial latency-bound.
+//!
+//! Thin wrapper over the `whatif` registry entry; see
+//! `scc_bench::experiments::whatif`.
+//!
+//! Run: `cargo run --release -p scc-bench --bin whatif`
+
+fn main() {
+    scc_bench::run_standalone("whatif");
+}

@@ -21,6 +21,9 @@ mod heatmap;
 mod linkstress;
 mod table1;
 mod table2;
+mod whatif;
+
+pub use whatif::whatif_artifact;
 
 /// Append a formatted line (or a bare newline) to the experiment's
 /// text buffer — the in-registry twin of `println!`.
@@ -53,11 +56,27 @@ pub struct ExpCtx {
     pub rows: Vec<ExperimentRow>,
     /// The paper's qualitative claims, evaluated on this run.
     pub shapes: Vec<ShapeCheck>,
+    /// Sidecar files the experiment wants written next to
+    /// `BENCH_figures.json`: `(relative path, contents)`. The
+    /// observatory writes them after the run; standalone binaries
+    /// ignore them.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl ExpCtx {
     pub fn new(quick: bool) -> ExpCtx {
-        ExpCtx { quick, out: String::new(), rows: Vec::new(), shapes: Vec::new() }
+        ExpCtx {
+            quick,
+            out: String::new(),
+            rows: Vec::new(),
+            shapes: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Queue a sidecar artifact for the observatory to write.
+    pub fn artifact(&mut self, path: impl Into<String>, contents: String) {
+        self.artifacts.push((path.into(), contents));
     }
 
     /// Record one measured point.
@@ -146,12 +165,21 @@ pub fn registry() -> Vec<Experiment> {
             title: "Section 5 — per-link mesh occupancy heatmaps",
             run: heatmap::run,
         },
+        Experiment {
+            id: "whatif",
+            title: "Causal what-if profiles — cost-class sensitivity",
+            run: whatif::run,
+        },
     ]
 }
 
 /// Run one experiment, wrapping it with wall-clock and engine
-/// telemetry. Returns the structured report and the legacy text.
-pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, String) {
+/// telemetry. Returns the structured report, the legacy text, and any
+/// sidecar artifacts the experiment queued.
+pub fn run_experiment_full(
+    exp: &Experiment,
+    quick: bool,
+) -> (ExperimentReport, String, Vec<(String, String)>) {
     let mut ctx = ExpCtx::new(quick);
     let wall = std::time::Instant::now();
     let before = scc_sim::telemetry::snapshot();
@@ -171,7 +199,14 @@ pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, Strin
         shapes: ctx.shapes,
         metrics,
     };
-    (report, ctx.out)
+    (report, ctx.out, ctx.artifacts)
+}
+
+/// [`run_experiment_full`] without the artifact channel — the form the
+/// standalone binaries and most tests use.
+pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, String) {
+    let (report, out, _artifacts) = run_experiment_full(exp, quick);
+    (report, out)
 }
 
 /// Entry point of the thin wrapper binaries: run the experiment, print

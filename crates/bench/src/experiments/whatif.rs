@@ -1,0 +1,149 @@
+//! Causal what-if profiles: which cost class is each protocol actually
+//! bound by?
+//!
+//! Coz-style causal profiling against the simulator's cost model: rerun
+//! a scenario with one [`CostClass`] virtually scaled (±10%) and read
+//! the makespan sensitivity off the reruns. The paper's two headline
+//! characterizations become checkable shape claims:
+//!
+//! * OC-Bcast with a flat tree (k=47) at a large message is
+//!   **port-bound** — 47 getters hammer the root's MPB port, so the
+//!   port service time dominates every other hardware class
+//!   (Section 5's contention model, Figure 4a's knee);
+//! * the binomial-tree baseline at one cache line is **latency-bound**
+//!   — nothing saturates, so among hardware classes the per-hop mesh
+//!   latency `L_hop` dominates, while overall the per-message software
+//!   overhead `o` dominates everything (the LogP structure of
+//!   Section 4.4's baseline analysis).
+//!
+//! The structured side lands in `BENCH_whatif.json` (versioned with
+//! [`scc_obs::ARTIFACT_VERSION`]) through the experiment's artifact
+//! channel, so `observatory` writes it next to `BENCH_figures.json`.
+
+use super::{outln, ExpCtx};
+use crate::{whatif_profile, Scenario};
+use oc_bcast::Algorithm;
+use scc_obs::{validate_json, CostClass, Json, WhatIfProfile, ARTIFACT_VERSION};
+
+/// The two extremes the paper contrasts.
+fn scenarios() -> [Scenario; 2] {
+    [Scenario::new(Algorithm::oc_with_k(47), 48, 96), Scenario::new(Algorithm::Binomial, 48, 1)]
+}
+
+/// Scale factors per class: a symmetric pair in full mode (averaging
+/// +10% and −10% points cancels boundary effects), the cheap single
+/// +10% point in quick mode.
+fn factors(quick: bool) -> &'static [f64] {
+    if quick {
+        &[1.1]
+    } else {
+        &[0.9, 1.1]
+    }
+}
+
+/// Wrap profiles in the versioned `BENCH_whatif.json` envelope.
+pub fn whatif_artifact(profiles: &[WhatIfProfile], quick: bool) -> String {
+    let doc = Json::obj()
+        .set("version", Json::Int(ARTIFACT_VERSION))
+        .set("bench", Json::Str("whatif".into()))
+        .set("quick", Json::Bool(quick))
+        .set("profiles", Json::Arr(profiles.iter().map(WhatIfProfile::to_json).collect()));
+    let rendered = doc.render();
+    validate_json(&rendered).expect("BENCH_whatif.json must validate");
+    rendered + "\n"
+}
+
+pub fn run(ctx: &mut ExpCtx) {
+    let fs = factors(ctx.quick);
+    let mut profiles = Vec::new();
+    for sc in scenarios() {
+        let p = whatif_profile(&sc, fs).expect("what-if scan");
+        outln!(ctx, "{}", p.render_markdown());
+        for class in CostClass::ALL {
+            let s = p.sensitivity(class).expect("all classes swept");
+            // Sensitivities are exact on the deterministic simulator;
+            // the band exists to absorb deliberate cost-model retunes
+            // on classes that barely matter (absolute movement of a
+            // near-zero sensitivity is what we care about, so the band
+            // is generous for small values via the gate's max(|old|,
+            // 1e-9) scale — a 0.35 dominating sensitivity still may not
+            // move 25% without tripping).
+            ctx.row(format!("{} sens {}", sc.label, class.name()), None, None, s, 0.25, "dM/dc");
+        }
+        profiles.push(p);
+    }
+
+    let [oc, binomial] = &profiles[..] else { unreachable!("two scenarios") };
+
+    let sens = |p: &WhatIfProfile, c: CostClass| p.sensitivity(c).unwrap_or(0.0);
+    let oc_port = sens(oc, CostClass::PortService);
+    let oc_hop = sens(oc, CostClass::RouterHop);
+    ctx.shape(
+        "flat-tree OC-Bcast 96CL is port-bound",
+        oc.dominant_hardware() == Some(CostClass::PortService) && oc_port > 2.0 * oc_hop,
+        format!(
+            "hardware sensitivities: port {oc_port:.3} vs hop {oc_hop:.3} (dominant: {:?})",
+            oc.dominant_hardware().map(CostClass::name)
+        ),
+    );
+
+    let bin_hop = sens(binomial, CostClass::RouterHop);
+    let bin_port = sens(binomial, CostClass::PortService);
+    ctx.shape(
+        "binomial 1CL is latency-bound in the fabric",
+        binomial.dominant_hardware() == Some(CostClass::RouterHop),
+        format!(
+            "hardware sensitivities: hop {bin_hop:.3} vs port {bin_port:.3} (dominant: {:?})",
+            binomial.dominant_hardware().map(CostClass::name)
+        ),
+    );
+
+    let bin_o = sens(binomial, CostClass::CoreOverhead);
+    ctx.shape(
+        "binomial 1CL overall cost is software overhead",
+        binomial.dominant() == Some(CostClass::CoreOverhead) && bin_o > 0.5,
+        format!("core-overhead sensitivity {bin_o:.3} (LogP o dominates rounds of tiny messages)"),
+    );
+
+    // Port scaling must *never* matter for the uncongested binomial the
+    // way it does for the flat tree — the contrast itself is the claim.
+    ctx.shape(
+        "port sensitivity separates the two protocols",
+        oc_port > 4.0 * bin_port,
+        format!("flat-tree port sensitivity {oc_port:.3} vs binomial {bin_port:.3}"),
+    );
+
+    ctx.artifact("BENCH_whatif.json", whatif_artifact(&profiles, ctx.quick));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representative_scenario;
+
+    #[test]
+    fn representative_scenarios_cover_the_registry() {
+        for id in ["fig4", "fig5", "fig8b", "table1", "heatmap", "nonsense"] {
+            let sc = representative_scenario(id);
+            assert!((1..=48).contains(&sc.cores), "{id}: {sc:?}");
+            assert!(sc.lines >= 1, "{id}: {sc:?}");
+        }
+        // The contention experiments map to the port-saturating flat tree.
+        assert_eq!(representative_scenario("fig4").label, "k=47 48c 96cl");
+        // The tree-latency experiment maps to the latency-bound baseline.
+        assert_eq!(representative_scenario("fig5").label, "binomial 48c 1cl");
+    }
+
+    #[test]
+    fn artifact_envelope_is_versioned_and_valid() {
+        let profiles = vec![WhatIfProfile {
+            scenario: "t".into(),
+            nominal: scc_hal::Time::from_ns(100),
+            points: vec![],
+        }];
+        let text = whatif_artifact(&profiles, true);
+        let doc = Json::parse(&text).unwrap();
+        scc_obs::validate_artifact_version(&doc).unwrap();
+        assert!(text.contains("\"bench\""), "{text}");
+    }
+}

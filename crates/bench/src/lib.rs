@@ -20,6 +20,7 @@
 //! | `linkstress`| Section 3.3 — mesh link stress                |
 //! | `ablation`  | design-choice ablations (DESIGN.md)           |
 //! | `heatmap`   | Section 5 — per-link mesh occupancy (obs)     |
+//! | `whatif`    | causal what-if profiles — cost-class sensitivity |
 //!
 //! Latency is defined exactly as in the paper (Sections 5.2/6.1): the
 //! time from the source's call of the broadcast until the last core
@@ -28,11 +29,15 @@
 
 use oc_bcast::{Algorithm, Broadcaster};
 use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
+use scc_obs::{CostClass, ObsEvent, WhatIfPoint, WhatIfProfile};
 use scc_rcce::{Barrier, MpbAllocator};
-use scc_sim::{run_spmd, SimConfig, SimError};
+use scc_sim::{run_spmd, SimConfig, SimError, SimParams};
 
 pub mod experiments;
-pub use experiments::{registry, run_experiment, run_standalone, ExpCtx, Experiment};
+pub use experiments::{
+    registry, run_experiment, run_experiment_full, run_standalone, whatif_artifact, ExpCtx,
+    Experiment,
+};
 
 /// Default simulator configuration for the paper's experiments: the
 /// full 48-core chip.
@@ -117,6 +122,107 @@ pub fn sweep_sizes(
         .iter()
         .map(|&m| Ok((m, measure_bcast(cfg, alg, CoreId(0), m * 32, warmup, reps)?)))
         .collect()
+}
+
+/// One concrete broadcast setup the drift explainer can re-run: the
+/// unit of recording, diffing, and what-if scanning.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable label used in reports and flamegraph root frames,
+    /// e.g. `"ocbcast k=47 48c 96cl"`.
+    pub label: String,
+    pub alg: Algorithm,
+    pub cores: usize,
+    /// Message size in cache lines.
+    pub lines: usize,
+}
+
+impl Scenario {
+    pub fn new(alg: Algorithm, cores: usize, lines: usize) -> Scenario {
+        Scenario { label: format!("{} {cores}c {lines}cl", alg.label()), alg, cores, lines }
+    }
+
+    fn config(&self, params: SimParams, record: bool) -> SimConfig {
+        SimConfig {
+            num_cores: self.cores,
+            mem_bytes: ((self.lines * 32).next_power_of_two()).max(1 << 20),
+            params,
+            record,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// The scenario the drift explainer re-runs to explain a drifted
+/// experiment: cheap (one broadcast), representative of what the
+/// experiment stresses. Experiments with no broadcast behind them
+/// (pure-model tables) map to the default mid-size OC-Bcast.
+pub fn representative_scenario(experiment_id: &str) -> Scenario {
+    match experiment_id {
+        // Contention experiments: the flat tree saturates the root port.
+        "fig4" | "linkstress" | "heatmap" => Scenario::new(Algorithm::oc_with_k(47), 48, 96),
+        // Latency experiments at small size: binomial at one line is the
+        // latency-bound extreme the paper contrasts against.
+        "fig5" => Scenario::new(Algorithm::Binomial, 48, 1),
+        // Throughput experiments: large-message OC-Bcast.
+        "fig8b" | "table2" => Scenario::new(Algorithm::oc_with_k(7), 48, 256),
+        // Everything else: the paper's default operating point.
+        _ => Scenario::new(Algorithm::oc_with_k(7), 48, 96),
+    }
+}
+
+/// Run one recorded broadcast of `sc` under `params` and return the
+/// full event stream plus the makespan. The recorded stream is what
+/// the diff/histogram/flamegraph layers consume.
+pub fn record_run(sc: &Scenario, params: SimParams) -> Result<(Vec<ObsEvent>, Time), SimError> {
+    let (alg, cores, bytes) = (sc.alg, sc.cores, sc.lines * 32);
+    let rep = run_spmd(&sc.config(params, true), move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, alg, cores).expect("MPB layout fits");
+        if c.core() == CoreId(0) {
+            let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+            c.mem_write(0, &payload)?;
+        }
+        b.bcast(c, CoreId(0), MemRange::new(0, bytes))
+    })?;
+    for r in &rep.results {
+        r.as_ref().map_err(|e| SimError::Engine(format!("core failed: {e}")))?;
+    }
+    Ok((rep.events.expect("recording was enabled"), rep.makespan))
+}
+
+/// Makespan of one unrecorded broadcast of `sc` under `params` — the
+/// cheap measurement the what-if scan repeats per (class, factor).
+pub fn measure_scenario(sc: &Scenario, params: SimParams) -> Result<Time, SimError> {
+    let (alg, cores, bytes) = (sc.alg, sc.cores, sc.lines * 32);
+    let rep = run_spmd(&sc.config(params, false), move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let mut b = Broadcaster::new(&mut alloc, alg, cores).expect("MPB layout fits");
+        if c.core() == CoreId(0) {
+            let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+            c.mem_write(0, &payload)?;
+        }
+        b.bcast(c, CoreId(0), MemRange::new(0, bytes))
+    })?;
+    for r in &rep.results {
+        r.as_ref().map_err(|e| SimError::Engine(format!("core failed: {e}")))?;
+    }
+    Ok(rep.makespan)
+}
+
+/// Causal what-if scan of `sc`: rerun it with every [`CostClass`]
+/// scaled by each of `factors` and collect the sensitivities.
+pub fn whatif_profile(sc: &Scenario, factors: &[f64]) -> Result<WhatIfProfile, SimError> {
+    let base = SimParams::default();
+    let nominal = measure_scenario(sc, base)?;
+    let mut points = Vec::with_capacity(CostClass::ALL.len() * factors.len());
+    for class in CostClass::ALL {
+        for &factor in factors {
+            let makespan = measure_scenario(sc, base.scaled(class, factor))?;
+            points.push(WhatIfPoint { class, factor, makespan });
+        }
+    }
+    Ok(WhatIfProfile { scenario: sc.label.clone(), nominal, points })
 }
 
 /// The algorithm set of Figures 6/8: OC-Bcast k ∈ {2, 7, 47} plus one

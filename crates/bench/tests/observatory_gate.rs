@@ -5,7 +5,7 @@
 
 use scc_bench::{registry, run_experiment};
 use scc_obs::report::validate_json;
-use scc_obs::{drift_gate, ConformanceReport};
+use scc_obs::{drift_gate, validate_artifact_version, ConformanceReport, Json};
 
 /// Run a cheap subset of the registry (the pure-model and tree
 /// experiments — no 48-core sweeps) in quick mode.
@@ -73,4 +73,75 @@ fn gate_rejects_deliberate_perturbations() {
     wrong_mode.quick = !baseline.quick;
     let gate = drift_gate(&wrong_mode, &baseline);
     assert!(!gate.ok(), "mode mismatch must trip the gate");
+}
+
+/// Satellite: the CI `--explain` path, end to end through the real
+/// binary. Build a deliberately perturbed fig5 baseline, run
+/// `observatory --quick --only fig5 --baseline <it> --explain`, and
+/// require (a) a failing exit status, (b) a `DRIFT.md` that names the
+/// drifted experiment and the dominant hardware resource, (c) a
+/// non-empty collapsed flamegraph, and (d) a version-validated
+/// `BENCH_whatif.json`.
+#[test]
+fn explain_names_the_drifted_experiment_and_dominant_resource() {
+    let dir = std::env::temp_dir().join(format!("scc_obs_explain_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // A fig5 baseline whose first row is 50% off what the simulator
+    // actually produces — a fresh run must trip the gate against it.
+    let mut baseline = ConformanceReport::new(true);
+    let fig5 = registry().into_iter().find(|e| e.id == "fig5").expect("fig5 registered");
+    let (mut rep, _) = run_experiment(&fig5, true);
+    rep.rows[0].sim_measured *= 1.5;
+    baseline.experiments.push(rep);
+    std::fs::write(path("perturbed.json"), baseline.to_json().render()).expect("write baseline");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_observatory"))
+        .args([
+            "--quick",
+            "--only",
+            "fig5",
+            "--baseline",
+            &path("perturbed.json"),
+            "--explain",
+            "--json",
+            &path("BENCH_figures.json"),
+            "--md",
+            &path("CONFORMANCE.md"),
+            "--drift",
+            &path("DRIFT.md"),
+            "--flame-dir",
+            dir.to_str().unwrap(),
+            "--artifact-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run observatory");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "perturbed baseline must fail the gate\n{stderr}");
+
+    let drift = std::fs::read_to_string(path("DRIFT.md")).expect("DRIFT.md written");
+    assert!(drift.contains("fig5"), "DRIFT.md must name the drifted experiment:\n{drift}");
+    // fig5's representative scenario is the binomial 1CL baseline; its
+    // dominant hardware class is the per-hop mesh latency.
+    assert!(
+        drift.contains("dominant hardware class: **router-hop**"),
+        "DRIFT.md must name the dominant resource:\n{drift}"
+    );
+    assert!(drift.contains("conservative attribution"), "diff table missing:\n{drift}");
+    assert!(drift.contains("| series |"), "histogram table missing:\n{drift}");
+
+    let flame = std::fs::read_to_string(path("flame_fig5.txt")).expect("flamegraph written");
+    assert!(!flame.trim().is_empty());
+    for line in flame.lines() {
+        let (_stack, count) = line.rsplit_once(' ').expect("collapsed format `stack count`");
+        count.parse::<u64>().expect("counts are integers");
+    }
+
+    let whatif = std::fs::read_to_string(path("BENCH_whatif.json")).expect("whatif artifact");
+    let doc = Json::parse(&whatif).expect("valid JSON");
+    validate_artifact_version(&doc).expect("versioned artifact");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

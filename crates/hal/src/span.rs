@@ -45,6 +45,22 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in protocol order. Exporters key tables and
+    /// flamegraph frame palettes off this list so a new phase cannot
+    /// silently fall out of a rendering.
+    pub const ALL: [Phase; 10] = [
+        Phase::NotifyWait,
+        Phase::NotifyForward,
+        Phase::BufferWait,
+        Phase::Dissemination,
+        Phase::Ack,
+        Phase::Drain,
+        Phase::Round,
+        Phase::Scatter,
+        Phase::Allgather,
+        Phase::Barrier,
+    ];
+
     pub const fn name(self) -> &'static str {
         match self {
             Phase::NotifyWait => "notify-wait",
@@ -58,6 +74,20 @@ impl Phase {
             Phase::Allgather => "allgather",
             Phase::Barrier => "barrier",
         }
+    }
+
+    /// Inverse of [`Phase::name`] — lets report consumers (the diff
+    /// renderer, baseline parsers) recover the phase from its stable
+    /// string form.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Is this phase *waiting* (polling a flag, gating on a buffer)
+    /// rather than *moving payload*? Used by reports to separate
+    /// synchronization time from transfer time.
+    pub const fn is_wait(self) -> bool {
+        matches!(self, Phase::NotifyWait | Phase::BufferWait | Phase::Drain | Phase::Barrier)
     }
 }
 
@@ -109,5 +139,25 @@ mod tests {
         assert_eq!(Phase::Dissemination.name(), "disseminate");
         assert_eq!(format!("{}", Span::new(Phase::Round, 3)), "round 3");
         assert_eq!(Span::of(Phase::Drain).arg, 0);
+    }
+
+    #[test]
+    fn all_names_are_unique_and_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("no-such-phase"), None);
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn wait_phases_are_the_sync_ones() {
+        assert!(Phase::NotifyWait.is_wait());
+        assert!(Phase::Barrier.is_wait());
+        assert!(!Phase::Dissemination.is_wait());
+        assert!(!Phase::Round.is_wait());
     }
 }

@@ -25,7 +25,35 @@
 
 use crate::event::{ObsEvent, OpKind, ResourceId};
 use scc_hal::{CoreId, Time};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Why no critical path could be extracted. Degenerate streams are a
+/// normal consequence of partial recordings (a crashed run, a
+/// span-only annotation pass), so they are typed errors rather than
+/// panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CritPathError {
+    /// The stream had no events at all.
+    EmptyStream,
+    /// The stream had events (spans, parks, handoffs…) but no timed
+    /// activity and no `Finish` — there is no instant to walk back
+    /// from.
+    NoTimedActivity,
+}
+
+impl fmt::Display for CritPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CritPathError::EmptyStream => write!(f, "event stream is empty"),
+            CritPathError::NoTimedActivity => {
+                write!(f, "event stream has no timed activity (no op, compute, or finish)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CritPathError {}
 
 /// What a path segment was doing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -194,23 +222,33 @@ struct Activity {
     mc_wait: Time,
 }
 
-/// Extract the critical path from a recorded event stream. Returns
-/// `None` on an empty stream (nothing timed happened).
-pub fn critical_path(events: &[ObsEvent]) -> Option<CriticalPath> {
+/// Extract the critical path from a recorded event stream.
+///
+/// Degenerate streams come back as a typed [`CritPathError`]: empty
+/// streams, and streams with no timed activity to anchor the walk
+/// (span-only traces without a `Finish`). A stream that *does* end in
+/// a known instant but has no op coverage (e.g. spans + `Finish` only)
+/// yields a pure-idle path rather than an error — coverage of
+/// `[0, end]` is still exact.
+pub fn critical_path(events: &[ObsEvent]) -> Result<CriticalPath, CritPathError> {
     let num_cores = events
         .iter()
         .map(|e| match *e {
             ObsEvent::Op { core, .. }
             | ObsEvent::Wait { core, .. }
             | ObsEvent::Park { core, .. }
-            | ObsEvent::Wake { core, .. }
             | ObsEvent::Compute { core, .. }
             | ObsEvent::SpanBegin { core, .. }
             | ObsEvent::SpanEnd { core, .. }
             | ObsEvent::Finish { core, .. } => core.index() + 1,
+            // A wake's `writer` is a core the walk may jump to, so it
+            // must size the tables even if the writer logged nothing
+            // else (malformed or truncated streams must not panic).
+            ObsEvent::Wake { core, writer, .. } => core.index().max(writer.index()) + 1,
             ObsEvent::Handoff { from, to, .. } => from.index().max(to.index()) + 1,
         })
-        .max()?;
+        .max()
+        .ok_or(CritPathError::EmptyStream)?;
 
     let mut acts: Vec<Vec<Activity>> = vec![Vec::new(); num_cores];
     let mut waits: Vec<Vec<(Time, ResourceId, Time)>> = vec![Vec::new(); num_cores];
@@ -266,7 +304,7 @@ pub fn critical_path(events: &[ObsEvent]) -> Option<CriticalPath> {
             }
         }
     }
-    let mut core = end_core?;
+    let mut core = end_core.ok_or(CritPathError::NoTimedActivity)?;
 
     // Per-core activities arrive in completion order, which on a single
     // core is also start order; sort defensively anyway, then fold each
@@ -353,7 +391,7 @@ pub fn critical_path(events: &[ObsEvent]) -> Option<CriticalPath> {
 
     segments.reverse();
     let start = segments.first().map_or(path_end, |s| s.start);
-    Some(CriticalPath { segments, start, end: path_end })
+    Ok(CriticalPath { segments, start, end: path_end })
 }
 
 fn idle(core: CoreId, start: Time, end: Time) -> PathSegment {
@@ -503,7 +541,64 @@ mod tests {
     }
 
     #[test]
-    fn empty_stream_yields_none() {
-        assert!(critical_path(&[]).is_none());
+    fn empty_stream_is_a_typed_error() {
+        assert_eq!(critical_path(&[]).unwrap_err(), CritPathError::EmptyStream);
+    }
+
+    /// Span-only stream with no `Finish`: there is no instant to walk
+    /// back from, so the extractor reports `NoTimedActivity` instead of
+    /// fabricating a path (or panicking).
+    #[test]
+    fn span_only_stream_without_finish_is_a_typed_error() {
+        use scc_hal::{Phase, Span};
+        let events = vec![
+            ObsEvent::SpanBegin { core: CoreId(0), span: Span::of(Phase::Round), at: ns(5) },
+            ObsEvent::SpanEnd { core: CoreId(0), span: Span::of(Phase::Round), at: ns(50) },
+            ObsEvent::Park { core: CoreId(1), line: 0, at: ns(10) },
+        ];
+        assert_eq!(critical_path(&events).unwrap_err(), CritPathError::NoTimedActivity);
+    }
+
+    /// Span-only stream *with* a `Finish` anchor: the walk has an end
+    /// instant but no op coverage, so the whole path is explicit idle —
+    /// still contiguous over `[0, finish]`.
+    #[test]
+    fn span_only_stream_with_finish_yields_pure_idle_path() {
+        use scc_hal::{Phase, Span};
+        let events = vec![
+            ObsEvent::SpanBegin { core: CoreId(0), span: Span::of(Phase::Barrier), at: ns(0) },
+            ObsEvent::SpanEnd { core: CoreId(0), span: Span::of(Phase::Barrier), at: ns(70) },
+            ObsEvent::Finish { core: CoreId(0), at: ns(70) },
+        ];
+        let cp = critical_path(&events).unwrap();
+        assert_eq!(cp.total(), ns(70));
+        assert_eq!(cp.segments.len(), 1);
+        assert_eq!(cp.segments[0].kind, SegmentKind::Idle);
+        assert_eq!(cp.breakdown().idle, ns(70));
+    }
+
+    /// A stream whose last event is an instant (a wake past every op's
+    /// completion, naming a writer that logged nothing else) must not
+    /// panic — the walk sizes its tables by the writer too and falls
+    /// back to idle when the writer has no activities.
+    #[test]
+    fn trailing_instant_with_unknown_writer_does_not_panic() {
+        let events = vec![
+            op(0, OpKind::PutFromMpb, 0, 10),
+            // Malformed tail: a wake resolving the gap before Finish,
+            // whose writer core 9 never logged anything. The old walk
+            // sized its tables without `writer` and indexed out of
+            // bounds when jumping to core 9 here.
+            ObsEvent::Wake { core: CoreId(0), line: 0, at: ns(35), writer: CoreId(9) },
+            ObsEvent::Finish { core: CoreId(0), at: ns(40) },
+        ];
+        let cp = critical_path(&events).unwrap();
+        assert_eq!(cp.total(), ns(40));
+        let mut cursor = cp.start;
+        for s in &cp.segments {
+            assert_eq!(s.start, cursor);
+            cursor = s.end;
+        }
+        assert_eq!(cursor, cp.end);
     }
 }

@@ -22,6 +22,16 @@
 //! * [`report`] — a tiny JSON builder + strict parser for the
 //!   machine-readable `BENCH_obs.json` / `BENCH_figures.json` artifacts
 //!   (this workspace has no serde);
+//! * [`hist`] — per-phase / per-resource latency histograms with exact
+//!   nearest-rank quantiles and log₂ shapes;
+//! * [`flame`] — collapsed-stack flamegraph export
+//!   (`core → phase nest`, consumable by inferno/speedscope);
+//! * [`diff`] — differential critical paths: a (phase × resource) grid
+//!   whose cell deltas sum *exactly* to the makespan delta between two
+//!   runs;
+//! * [`whatif`] — the [`CostClass`] taxonomy and Coz-style causal
+//!   what-if profiles (sensitivity of the makespan to each simulator
+//!   cost class);
 //! * [`conformance`] — the structured experiment record behind the
 //!   `observatory` harness: per-point paper/model/sim rows, shape
 //!   checks, host self-metrics, and the CI drift gate that compares a
@@ -36,18 +46,28 @@
 pub mod chrome;
 pub mod conformance;
 pub mod critpath;
+pub mod diff;
 pub mod event;
+pub mod flame;
 pub mod heatmap;
+pub mod hist;
 pub mod report;
 pub mod series;
+pub mod whatif;
 
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
-    drift_gate, ConformanceReport, DriftReport, DriftViolation, ExperimentReport, ExperimentRow,
-    SelfMetrics, ShapeCheck,
+    drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
+    ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck, ARTIFACT_VERSION,
 };
-pub use critpath::{critical_path, Breakdown, CriticalPath, PathSegment, SegmentKind};
+pub use critpath::{
+    critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,
+};
+pub use diff::{DiffCell, DiffReport, PhaseProfile};
 pub use event::{EventLog, ObsEvent, OpKind, Recorder, ResourceId};
+pub use flame::flamegraph_collapsed;
 pub use heatmap::LinkHeatmap;
+pub use hist::{LatencyHistogram, RunHistograms};
 pub use report::{validate_json, Json};
 pub use series::{UtilBucket, UtilizationSeries};
+pub use whatif::{CostClass, WhatIfPoint, WhatIfProfile};

@@ -361,13 +361,15 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32, String> {
         let mut v = 0u32;
         for _ in 0..4 {
-            match self.b.get(self.i) {
-                Some(c) if c.is_ascii_hexdigit() => {
-                    v = v * 16 + (*c as char).to_digit(16).unwrap();
-                    self.i += 1;
-                }
-                _ => return self.err("bad \\u escape"),
-            }
+            // A single fallible decode step: any byte that is not a
+            // hex digit (including non-ASCII and end-of-input) is a
+            // parse error, never a panic.
+            let digit = match self.b.get(self.i).and_then(|c| (*c as char).to_digit(16)) {
+                Some(d) => d,
+                None => return self.err("bad \\u escape"),
+            };
+            v = v * 16 + digit;
+            self.i += 1;
         }
         Ok(v)
     }
@@ -498,6 +500,24 @@ mod tests {
         let rendered = j.render();
         let back = Json::parse(&rendered).unwrap();
         assert_eq!(back, j);
+    }
+
+    /// Regression: malformed hex in a `\u` escape used to reach a
+    /// `to_digit(16).unwrap()` and panic; it must be a parse error.
+    #[test]
+    fn malformed_hex_escape_is_an_error() {
+        for s in [
+            "\"\\uZZZZ\"",
+            "\"\\u12G4\"",
+            "\"\\u123\"",
+            "\"\\u\"",
+            "\"\\u12",
+            "\"\\uéééé\"",
+            "{\"k\":\"\\uZZZZ\"}",
+        ] {
+            let e = Json::parse(s).expect_err(s);
+            assert!(e.contains("escape") || e.contains("unterminated"), "{s}: {e}");
+        }
     }
 
     #[test]

@@ -102,6 +102,27 @@ proptest! {
     fn ints_round_trip(i in any::<i64>()) {
         prop_assert_eq!(Json::parse(&Json::Int(i).render()).unwrap(), Json::Int(i));
     }
+
+    /// Malformed `\u` escapes — wrong length, non-hex bytes, multi-byte
+    /// characters where a digit should be, truncation mid-escape — are
+    /// parse *errors*, never panics. (Regression: the hex decoder used
+    /// to `to_digit(16).unwrap()` per nibble.)
+    #[test]
+    fn malformed_unicode_escapes_error_not_panic(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("uesc-{seed}"));
+        const JUNK: &[&str] = &["Z", "G", "!", " ", "\\", "\"", "é", "😀", "-", "x"];
+        // 1-4 hex digits, then junk, optionally truncated.
+        let good = rng.gen_range_u64(0, 4);
+        let mut s = String::from("\"\\u");
+        for _ in 0..good {
+            s.push(char::from_digit(rng.gen_range_u64(0, 16) as u32, 16).unwrap());
+        }
+        s.push_str(JUNK[rng.gen_range_u64(0, JUNK.len() as u64) as usize]);
+        if rng.next_u64() & 1 == 1 {
+            s.push('"');
+        }
+        prop_assert!(Json::parse(&s).is_err(), "accepted malformed escape: {s}");
+    }
 }
 
 /// The deliberate edge cases, pinned (not sampled): extreme and

@@ -31,6 +31,7 @@
 //!   time").
 
 use scc_hal::Time;
+use scc_obs::CostClass;
 
 /// Timing parameters of the simulated SCC. All fields are per cache
 /// line except the four per-operation software overheads.
@@ -117,6 +118,41 @@ impl SimParams {
     pub fn o_mem_write_total(&self) -> Time {
         self.o_core_mem_write + self.mc_write
     }
+
+    /// A copy of these parameters with one [`CostClass`] uniformly
+    /// scaled by `factor` — the simulator-side hook of the causal
+    /// what-if profiler (`scc_obs::whatif`). Scaling is applied to
+    /// every micro-parameter in the class and rounded to the nearest
+    /// picosecond, so `scaled(c, 1.0)` is the identity and results stay
+    /// exactly reproducible.
+    pub fn scaled(&self, class: CostClass, factor: f64) -> SimParams {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        let s = |t: Time| Time::from_ps((t.as_ps() as f64 * factor).round() as u64);
+        let mut p = *self;
+        match class {
+            CostClass::PortService => {
+                p.mpb_port_read = s(p.mpb_port_read);
+                p.mpb_port_write = s(p.mpb_port_write);
+            }
+            CostClass::RouterHop => p.l_hop = s(p.l_hop),
+            CostClass::McService => {
+                p.mc_read = s(p.mc_read);
+                p.mc_write = s(p.mc_write);
+            }
+            CostClass::CoreOverhead => {
+                p.o_core_mpb_read = s(p.o_core_mpb_read);
+                p.o_core_mpb_write = s(p.o_core_mpb_write);
+                p.o_core_mem_read = s(p.o_core_mem_read);
+                p.o_core_mem_write = s(p.o_core_mem_write);
+                p.o_put_mpb = s(p.o_put_mpb);
+                p.o_get_mpb = s(p.o_get_mpb);
+                p.o_put_mem = s(p.o_put_mem);
+                p.o_get_mem = s(p.o_get_mem);
+            }
+            CostClass::LinkBandwidth => p.router_occupancy = s(p.router_occupancy),
+        }
+        p
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +185,41 @@ mod tests {
             (24.0..48.0).contains(&knee),
             "contention knee at {knee} concurrent getters is outside the Fig.4 band"
         );
+    }
+
+    #[test]
+    fn scaled_touches_exactly_its_class() {
+        let p = SimParams::default();
+        // Identity at factor 1.0 for every class.
+        for c in CostClass::ALL {
+            assert_eq!(p.scaled(c, 1.0), p, "{c}");
+        }
+        let port = p.scaled(CostClass::PortService, 1.5);
+        assert_eq!(port.mpb_port_read, Time::from_ns(15));
+        assert_eq!(port.mpb_port_write, Time::from_ns(27));
+        assert_eq!(
+            SimParams { mpb_port_read: p.mpb_port_read, mpb_port_write: p.mpb_port_write, ..port },
+            p
+        );
+
+        let hop = p.scaled(CostClass::RouterHop, 0.5);
+        assert_eq!(hop.l_hop, Time::from_ns(2) + Time::from_ps(500));
+        assert_eq!(SimParams { l_hop: p.l_hop, ..hop }, p);
+
+        let mc = p.scaled(CostClass::McService, 2.0);
+        assert_eq!(mc.mc_read, Time::from_ns(16));
+        assert_eq!(SimParams { mc_read: p.mc_read, mc_write: p.mc_write, ..mc }, p);
+
+        let bw = p.scaled(CostClass::LinkBandwidth, 3.0);
+        assert_eq!(bw.router_occupancy, Time::from_ns(3));
+        assert_eq!(SimParams { router_occupancy: p.router_occupancy, ..bw }, p);
+
+        // Core overhead scales software costs but no hardware service.
+        let o = p.scaled(CostClass::CoreOverhead, 1.1);
+        assert_eq!(o.o_put_mpb, Time::from_ps(75_900));
+        assert_eq!(o.mpb_port_read, p.mpb_port_read);
+        assert_eq!(o.l_hop, p.l_hop);
+        assert!(o.o_core_mem_write > p.o_core_mem_write);
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! aggregates, and the Chrome-trace exporter on a real broadcast.
 
 use oc_bcast::{Algorithm, Broadcaster, OcConfig};
-use scc_hal::{CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaExt, RmaResult, Time};
+use scc_hal::{
+    spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaExt, RmaResult, Span, Time,
+};
 use scc_model::{ModelParams, P2p};
 use scc_obs::{
-    chrome_trace_json, critical_path, kinds_present, validate_json, ObsEvent, OpKind, SegmentKind,
+    chrome_trace_json, critical_path, kinds_present, validate_json, CostClass, DiffReport,
+    ObsEvent, OpKind, PhaseProfile, RunHistograms, SegmentKind,
 };
 use scc_rcce::MpbAllocator;
-use scc_sim::{run_spmd, SimConfig, SimReport};
+use scc_sim::{run_spmd, SimConfig, SimParams, SimReport};
 
 fn record_bcast(p: usize, alg: Algorithm, lines: usize) -> SimReport<RmaResult<()>> {
     let bytes = lines * 32;
@@ -145,6 +148,92 @@ fn per_resource_stats_sum_to_aggregates() {
     assert_eq!(by_class[0], s.port_wait);
     assert_eq!(by_class[1], s.router_wait);
     assert_eq!(by_class[2], s.mc_wait);
+}
+
+/// Satellite: phase latency histograms on an uncontended two-core
+/// exchange. Core 0 repeats the same `m`-line bulk put five times, each
+/// wrapped in a `Dissemination` span; the simulator is deterministic
+/// and nothing queues, so all five samples are identical —
+/// p50 == p99 == max — and each equals the paper's `C^mem_put` formula.
+#[test]
+fn histogram_quantiles_collapse_to_the_model_on_uncontended_exchange() {
+    let m = 8usize;
+    let rounds = 5u32;
+    let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, record: true, ..SimConfig::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0x3Cu8; m * 32])?;
+            for i in 0..rounds {
+                spanned(c, Span::new(Phase::Dissemination, i), |c| {
+                    c.put_from_mem(MemRange::new(0, m * 32), MpbAddr::new(CoreId(1), 0))
+                })?;
+            }
+        }
+        Ok(())
+    })
+    .expect("simulation");
+    let events = rep.events.as_deref().expect("recording enabled");
+    let mut hg = RunHistograms::build(events);
+
+    let h = hg.phases.get_mut("disseminate").expect("span samples recorded");
+    assert_eq!(h.count(), rounds as usize);
+    let (p50, p99) = (h.quantile(0.50).unwrap(), h.quantile(0.99).unwrap());
+    assert_eq!(p50, p99, "deterministic uncontended samples must be identical");
+    assert_eq!(p50, h.max().unwrap());
+
+    // Each sample is exactly one bulk put: the LogP-style model formula.
+    let model = P2p::new(ModelParams::paper());
+    let d = CoreId(0).mpb_distance(CoreId(1));
+    let d_mem = CoreId(0).mem_distance();
+    let expect = model.c_put_mem(m, d_mem, d);
+    assert!(
+        (p50.as_us_f64() - expect).abs() < 1e-6,
+        "phase p50 {} must equal the model's {expect:.6} us",
+        p50
+    );
+    // Uncontended: whatever wait series exist, they never queued.
+    for (class, h) in hg.waits.iter_mut() {
+        assert_eq!(h.max(), Some(Time::ZERO), "{class} queued on an uncontended run");
+    }
+}
+
+/// Tentpole invariant on real contended runs: a differential critical
+/// path between the nominal flat-tree broadcast and the same scenario
+/// with MPB port service scaled 1.5x must conserve the makespan delta
+/// *exactly* — every picosecond of slowdown is attributed to some
+/// (phase × resource) cell, none smoothed or dropped — and the dominant
+/// cell must blame the ports.
+#[test]
+fn differential_critical_path_conserves_makespan_exactly() {
+    let sc = scc_bench::representative_scenario("fig4"); // k=47, 48 cores, 96 CL
+    let nominal = SimParams::default();
+    let slowed = nominal.scaled(CostClass::PortService, 1.5);
+    let (base_ev, base_mk) = scc_bench::record_run(&sc, nominal).expect("nominal run");
+    let (cand_ev, cand_mk) = scc_bench::record_run(&sc, slowed).expect("slowed run");
+
+    let base = PhaseProfile::build(&base_ev).expect("profile");
+    let cand = PhaseProfile::build(&cand_ev).expect("profile");
+    // Each profile's cells partition its own makespan...
+    assert_eq!(base.cell_total(), base_mk);
+    assert_eq!(cand.cell_total(), cand_mk);
+    assert!(cand_mk > base_mk, "slowing the ports must slow a port-bound broadcast");
+
+    // ...so the diff conserves the delta exactly, in integer ps.
+    let diff = DiffReport::between(&base, &cand);
+    assert_eq!(diff.cell_delta_sum_ps(), diff.delta_makespan_ps(), "conservation law");
+    assert_eq!(diff.delta_makespan_ps(), cand_mk.as_ps() as i64 - base_mk.as_ps() as i64);
+
+    // The explanation must point at the cause we injected: the largest
+    // mover is port time (queueing for the root's port or the service
+    // of the ops themselves, both scale with the port cost).
+    let dom = diff.dominant().expect("a 1.5x port scale must move cells");
+    assert!(
+        dom.dimension == "port-wait" || dom.dimension == "op-service",
+        "dominant cell {dom:?} should reflect the injected port slowdown"
+    );
+    assert!(dom.delta_ps() > 0);
+    let md = diff.render_markdown();
+    assert!(md.contains("conservative attribution"), "{md}");
 }
 
 /// The Chrome exporter produces valid JSON with per-core tracks, phase
