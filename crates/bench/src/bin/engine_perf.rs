@@ -127,12 +127,17 @@ fn main() {
 
     let total_wall: f64 = samples.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = samples.iter().map(|s| s.stats.events).sum();
+    let pool = handoff::pool_stats();
     println!(
         "# total: {:.1} ms for {} events ({:.0} events/s); {} worker threads spawned",
         total_wall * 1e3,
         total_events,
         total_events as f64 / total_wall,
-        handoff::workers_spawned()
+        pool.spawned
+    );
+    println!(
+        "# pool: {} leases served from the free list, {} retired over cap, peak {} pooled (cap {})",
+        pool.reused, pool.retired, pool.peak_pooled, pool.cap
     );
 
     let mut out = String::new();
@@ -147,11 +152,17 @@ fn main() {
     out.push_str("  ],\n");
     let _ = writeln!(
         out,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \"workers_spawned\": {}}}",
+        "  \"totals\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
+         \"workers_spawned\": {}, \"workers_reused\": {}, \"workers_retired\": {}, \
+         \"peak_pooled\": {}, \"pool_cap\": {}}}",
         total_wall,
         total_events,
         total_events as f64 / total_wall,
-        handoff::workers_spawned()
+        pool.spawned,
+        pool.reused,
+        pool.retired,
+        pool.peak_pooled,
+        pool.cap
     );
     out.push_str("}\n");
     std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");

@@ -6,6 +6,12 @@
 //!
 //! ```text
 //! cargo run --release -p scc-bench --bin observatory [--quick]
+//!     [--jobs N]               host worker threads fanning out over
+//!                              experiments AND their sweep units
+//!                              (default: SCC_JOBS or all host cores;
+//!                              --jobs 1 is the exact sequential path —
+//!                              every artifact is byte-identical at any
+//!                              job count)
 //!     [--only fig3,fig8a]      run a subset of the registry
 //!     [--json PATH]            where to write BENCH_figures.json
 //!     [--md PATH]              where to write CONFORMANCE.md
@@ -28,7 +34,7 @@
 //! only adds diagnosis).
 
 use scc_bench::{
-    quick, record_run, registry, representative_scenario, run_experiment_full, whatif_artifact,
+    quick, record_run, registry, representative_scenario, run_registry, whatif_artifact,
     whatif_profile,
 };
 use scc_obs::report::validate_json;
@@ -42,6 +48,7 @@ use std::process::ExitCode;
 
 struct Args {
     quick: bool,
+    jobs: usize,
     only: Option<Vec<String>>,
     json: String,
     md: String,
@@ -58,6 +65,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: quick(),
+        jobs: scc_bench::pool::jobs_default(),
         only: None,
         json: "BENCH_figures.json".to_string(),
         md: "results/CONFORMANCE.md".to_string(),
@@ -75,6 +83,13 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs needs a positive integer")?
+            }
             "--list" => args.list = true,
             "--explain" => args.explain = true,
             "--only" => {
@@ -130,26 +145,36 @@ fn main() -> ExitCode {
         }
     }
 
+    let selected: Vec<_> = reg
+        .into_iter()
+        .filter(|e| args.only.as_ref().is_none_or(|only| only.iter().any(|id| id == e.id)))
+        .collect();
+    eprintln!(
+        "observatory: running {} experiments with --jobs {}{}",
+        selected.len(),
+        args.jobs,
+        if args.jobs == 1 { " (sequential)" } else { "" }
+    );
+    let run = run_registry(selected, args.quick, args.jobs);
+
     let mut report = ConformanceReport::new(args.quick);
     let mut heatmap_text = None;
-    for exp in &reg {
-        if args.only.as_ref().is_some_and(|only| !only.iter().any(|id| id == exp.id)) {
-            continue;
-        }
-        eprint!("observatory: running {:<12}", exp.id);
-        let (exp_report, text, artifacts) = run_experiment_full(exp, args.quick);
+    for out in run.outputs {
+        let exp_report = out.report;
         eprintln!(
-            " {} ({:.1}s, {} sim runs, {} rows, {} shapes)",
+            "observatory: {:<12} {} ({:.1}s seq-equiv, {} units, {} sim runs, {} rows, {} shapes)",
+            exp_report.id,
             if exp_report.shapes_pass() { "ok" } else { "SHAPE FAILURE" },
             exp_report.metrics.wall_s,
+            exp_report.metrics.units,
             exp_report.metrics.sim_runs,
             exp_report.rows.len(),
             exp_report.shapes.len(),
         );
-        if exp.id == "heatmap" {
-            heatmap_text = Some(text);
+        if exp_report.id == "heatmap" {
+            heatmap_text = Some(out.text);
         }
-        for (rel, contents) in &artifacts {
+        for (rel, contents) in &out.artifacts {
             let path = format!("{}/{rel}", args.artifact_dir);
             if let Err(e) = write_file(&path, contents) {
                 eprintln!("observatory: {e}");
@@ -159,6 +184,17 @@ fn main() -> ExitCode {
         }
         report.experiments.push(exp_report);
     }
+    eprintln!(
+        "observatory: wall {:.1}s vs {:.1}s sequential-equivalent ({:.2}x, {} units, \
+         {:.1} units/s, peak {} sims in flight)",
+        run.run.wall_s,
+        run.run.seq_s,
+        run.run.speedup(),
+        run.run.units,
+        run.run.units_per_sec(),
+        run.run.peak_in_flight,
+    );
+    report.run = Some(run.run);
 
     // Serialize, self-validate, and write the artifacts.
     let json = report.to_json().render();
@@ -263,50 +299,28 @@ fn main() -> ExitCode {
 /// a flamegraph. Emits `DRIFT.md` plus `flame_<id>.txt` per experiment
 /// and a fresh `BENCH_whatif.json` from the scans.
 fn explain(ids: &[String], gate: Option<&DriftReport>, args: &Args) -> Result<(), String> {
-    let factors: &[f64] = if args.quick { &[1.1] } else { &[0.9, 1.1] };
+    let factors: &'static [f64] = if args.quick { &[1.1] } else { &[0.9, 1.1] };
     let mut md = String::new();
     let _ = writeln!(md, "# Drift explanation\n");
     if let Some(g) = gate {
         let _ = writeln!(md, "```\n{}```\n", g.render());
     }
+    // The per-experiment diagnoses are independent — fan them out on the
+    // same worker budget as the registry run, then stitch the report
+    // together in the caller's id order.
+    type ExplainResult = Result<(String, String, scc_obs::WhatIfProfile), String>;
+    let tasks: Vec<scc_bench::pool::Task<ExplainResult>> = ids
+        .iter()
+        .map(|id| {
+            let id = id.clone();
+            scc_bench::pool::Task { cost: 1, run: Box::new(move || explain_one(&id, factors)) }
+        })
+        .collect();
+    let sections = scc_bench::pool::run_tasks(args.jobs, tasks);
     let mut profiles = Vec::new();
-    for id in ids {
-        let sc = representative_scenario(id);
-        let _ = writeln!(md, "## {id} — scenario `{}`\n", sc.label);
-
-        let (events, makespan) =
-            record_run(&sc, SimParams::default()).map_err(|e| format!("{id}: record: {e}"))?;
-        let _ = writeln!(md, "nominal makespan {makespan} over {} events\n", events.len());
-
-        // Which cost class moves this scenario?
-        let wi = whatif_profile(&sc, factors).map_err(|e| format!("{id}: what-if: {e}"))?;
-        let _ = writeln!(md, "### What-if sensitivity\n");
-        md.push_str(&wi.render_markdown());
-        let _ = md.write_char('\n');
-
-        // Fingerprint of the dominant hardware class: where time moves
-        // when that class degrades 50%, phase by phase.
-        if let Some(dom) = wi.dominant_hardware() {
-            let _ = writeln!(md, "dominant hardware class: **{dom}**\n");
-            let (slow, _) = record_run(&sc, SimParams::default().scaled(dom, 1.5))
-                .map_err(|e| format!("{id}: scaled rerun: {e}"))?;
-            match (PhaseProfile::build(&events), PhaseProfile::build(&slow)) {
-                (Ok(base), Ok(cand)) => {
-                    let _ =
-                        writeln!(md, "### Differential critical path (nominal vs {dom} x1.5)\n");
-                    md.push_str(&DiffReport::between(&base, &cand).render_markdown());
-                }
-                (Err(e), _) | (_, Err(e)) => {
-                    let _ = writeln!(md, "(no critical path: {e})");
-                }
-            }
-            let _ = md.write_char('\n');
-        }
-
-        let _ = writeln!(md, "### Phase latency histograms\n");
-        md.push_str(&RunHistograms::build(&events).render_markdown());
-
-        let flame = flamegraph_collapsed(&events, &sc.label);
+    for (id, section) in ids.iter().zip(sections) {
+        let (section_md, flame, wi) = section?;
+        md.push_str(&section_md);
         let fpath = format!("{}/flame_{id}.txt", args.flame_dir);
         write_file(&fpath, &flame)?;
         let _ = writeln!(
@@ -323,4 +337,50 @@ fn explain(ids: &[String], gate: Option<&DriftReport>, args: &Args) -> Result<()
     write_file(&wpath, &whatif_artifact(&profiles, args.quick))?;
     eprintln!("observatory: wrote {wpath}");
     Ok(())
+}
+
+/// One experiment's drift diagnosis: the markdown section (sans the
+/// flamegraph pointer, which the caller adds after writing the file),
+/// the collapsed flamegraph text, and the what-if profile.
+fn explain_one(
+    id: &str,
+    factors: &'static [f64],
+) -> Result<(String, String, scc_obs::WhatIfProfile), String> {
+    let mut md = String::new();
+    let sc = representative_scenario(id);
+    let _ = writeln!(md, "## {id} — scenario `{}`\n", sc.label);
+
+    let (events, makespan) =
+        record_run(&sc, SimParams::default()).map_err(|e| format!("{id}: record: {e}"))?;
+    let _ = writeln!(md, "nominal makespan {makespan} over {} events\n", events.len());
+
+    // Which cost class moves this scenario?
+    let wi = whatif_profile(&sc, factors).map_err(|e| format!("{id}: what-if: {e}"))?;
+    let _ = writeln!(md, "### What-if sensitivity\n");
+    md.push_str(&wi.render_markdown());
+    let _ = md.write_char('\n');
+
+    // Fingerprint of the dominant hardware class: where time moves
+    // when that class degrades 50%, phase by phase.
+    if let Some(dom) = wi.dominant_hardware() {
+        let _ = writeln!(md, "dominant hardware class: **{dom}**\n");
+        let (slow, _) = record_run(&sc, SimParams::default().scaled(dom, 1.5))
+            .map_err(|e| format!("{id}: scaled rerun: {e}"))?;
+        match (PhaseProfile::build(&events), PhaseProfile::build(&slow)) {
+            (Ok(base), Ok(cand)) => {
+                let _ = writeln!(md, "### Differential critical path (nominal vs {dom} x1.5)\n");
+                md.push_str(&DiffReport::between(&base, &cand).render_markdown());
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                let _ = writeln!(md, "(no critical path: {e})");
+            }
+        }
+        let _ = md.write_char('\n');
+    }
+
+    let _ = writeln!(md, "### Phase latency histograms\n");
+    md.push_str(&RunHistograms::build(&events).render_markdown());
+
+    let flame = flamegraph_collapsed(&events, &sc.label);
+    Ok((md, flame, wi))
 }

@@ -11,7 +11,7 @@
 //! * the Section 5.4 alternative design: scatter-allgather over
 //!   one-sided RMA, vs the two-sided baseline and vs OC-Bcast.
 
-use super::{outln, ExpCtx};
+use super::{outln, Sweep};
 use crate::{measure_bcast, paper_chip};
 use oc_bcast::{Algorithm, OcConfig, TreeLayout, TreeStrategy};
 use scc_hal::CoreId;
@@ -22,142 +22,196 @@ fn run_one(cfg_oc: OcConfig, bytes: usize) -> (f64, f64) {
     (t.latency_us, t.throughput_mb_s)
 }
 
-pub(super) fn run(ctx: &mut ExpCtx) {
+pub(super) fn plan(sweep: &mut Sweep) {
     let small = 32; // 1 CL
-    let large = if ctx.quick { 96 * 32 * 8 } else { 96 * 32 * 40 };
+    let large = if sweep.quick { 96 * 32 * 8 } else { 96 * 32 * 40 };
+    // Cost in cache lines moved — large-message units dominate, so they
+    // get scheduled first.
+    let big = (large / 32) as u64;
 
-    outln!(ctx, "# --- notification fan-out (k = 7, 1 CL latency / large-msg throughput) ---");
-    let mut fanout_lat = Vec::new();
+    // One unit per measured configuration; all rendering/claims happen
+    // in finalize so the sections keep their sequential order.
     for (name, fanout) in [("binary (paper)", 2usize), ("ternary", 3), ("sequential", 64)] {
-        let c = OcConfig { notify_fanout: fanout, ..OcConfig::default() };
-        let (l, _) = run_one(c, small);
-        let (_, t) = run_one(c, large);
-        outln!(ctx, "{name:<16} latency {l:>8.2} µs   throughput {t:>7.2} MB/s");
-        ctx.row(format!("fanout {name} latency"), None, None, l, 0.02, "us");
-        ctx.row(format!("fanout {name} throughput"), None, None, t, 0.02, "MB/s");
-        fanout_lat.push(l);
+        sweep.value_unit_w(format!("fanout {name}"), big + 1, move |_| {
+            let c = OcConfig { notify_fanout: fanout, ..OcConfig::default() };
+            (run_one(c, small).0, run_one(c, large).1)
+        });
     }
-    ctx.shape(
-        "binary notification beats sequential at k=7",
-        fanout_lat[0] < fanout_lat[2],
-        format!("binary {:.2} µs vs sequential {:.2} µs", fanout_lat[0], fanout_lat[2]),
-    );
-    outln!(ctx);
-
-    outln!(ctx, "# --- notification fan-out at k = 47 (polling-heavy regime) ---");
-    let mut k47_lat = Vec::new();
     for (name, fanout) in [("binary (paper)", 2usize), ("sequential", 64)] {
-        let c = OcConfig { k: 47, notify_fanout: fanout, chunk_lines: 96, ..OcConfig::default() };
-        let (l, _) = run_one(c, small);
-        outln!(ctx, "{name:<16} 1-CL latency {l:>8.2} µs");
-        ctx.row(format!("fanout k=47 {name} latency"), None, None, l, 0.02, "us");
-        k47_lat.push(l);
+        sweep.value_unit(format!("fanout k47 {name}"), move |_| {
+            let c =
+                OcConfig { k: 47, notify_fanout: fanout, chunk_lines: 96, ..OcConfig::default() };
+            run_one(c, small).0
+        });
     }
-    ctx.shape(
-        "binary notification matters most in the polling-heavy k=47 regime",
-        k47_lat[0] < k47_lat[1],
-        format!("binary {:.2} µs vs sequential {:.2} µs", k47_lat[0], k47_lat[1]),
-    );
-    outln!(ctx);
-
-    outln!(ctx, "# --- double buffering (large-message throughput, MB/s) ---");
     for (name, leaf_direct) in [("standard steps", false), ("leaf_direct", true)] {
-        let on = run_one(OcConfig { leaf_direct, ..OcConfig::default() }, large).1;
-        let off =
-            run_one(OcConfig { leaf_direct, double_buffer: false, ..OcConfig::default() }, large).1;
-        outln!(ctx, "{name:<16} double {on:>7.2}   single {off:>7.2}   gain {:>5.2}x", on / off);
-        ctx.row(format!("double-buffer {name} on"), None, None, on, 0.02, "MB/s");
-        ctx.row(format!("double-buffer {name} off"), None, None, off, 0.02, "MB/s");
-        ctx.shape(
-            &format!("double buffering never hurts ({name})"),
-            on >= off * 0.999,
-            format!("double {on:.2} vs single {off:.2} MB/s"),
-        );
+        sweep.value_unit_w(format!("double-buffer {name}"), 2 * big, move |_| {
+            let on = run_one(OcConfig { leaf_direct, ..OcConfig::default() }, large).1;
+            let off = run_one(
+                OcConfig { leaf_direct, double_buffer: false, ..OcConfig::default() },
+                large,
+            )
+            .1;
+            (on, off)
+        });
     }
-    outln!(ctx, "# (with the paper's early done-release the single buffer keeps up;");
-    outln!(
-        ctx,
-        "#  with monolithic consumption the ping-pong penalty appears — see EXPERIMENTS.md)"
-    );
-    outln!(ctx);
-
-    outln!(ctx, "# --- leaf_direct (Section 5.4 optimization the paper omits) ---");
     for bytes in [small, 96 * 32, large] {
-        let base = run_one(OcConfig::default(), bytes).0;
-        let opt = run_one(OcConfig { leaf_direct: true, ..OcConfig::default() }, bytes).0;
-        outln!(
-            ctx,
-            "{:>8} B: standard {base:>9.2} µs   leaf_direct {opt:>9.2} µs   gain {:>5.1}%",
-            bytes,
-            (1.0 - opt / base) * 100.0
-        );
-        ctx.row(format!("leaf_direct {bytes}B standard"), None, None, base, 0.02, "us");
-        ctx.row(format!("leaf_direct {bytes}B optimized"), None, None, opt, 0.02, "us");
+        sweep.value_unit_w(format!("leaf_direct {bytes}B"), (bytes / 16) as u64, move |_| {
+            let base = run_one(OcConfig::default(), bytes).0;
+            let opt = run_one(OcConfig { leaf_direct: true, ..OcConfig::default() }, bytes).0;
+            (base, opt)
+        });
     }
-    outln!(ctx);
-
-    outln!(ctx, "# --- chunk size M_oc (large-message throughput, MB/s) ---");
-    let mut chunk_tput = Vec::new();
     for chunk in [24usize, 48, 96, 120] {
-        let c = OcConfig { chunk_lines: chunk, ..OcConfig::default() };
-        let (_, t) = run_one(c, large);
-        outln!(
-            ctx,
-            "M_oc = {chunk:>3} CL: {t:>7.2} MB/s{}",
-            if chunk == 96 { "  (paper)" } else { "" }
-        );
-        ctx.row(format!("chunk M_oc={chunk}"), None, None, t, 0.02, "MB/s");
-        chunk_tput.push((chunk, t));
+        sweep.value_unit_w(format!("chunk M_oc={chunk}"), big, move |_| {
+            run_one(OcConfig { chunk_lines: chunk, ..OcConfig::default() }, large).1
+        });
     }
-    ctx.shape(
-        "the paper's M_oc=96 beats small chunks",
-        chunk_tput[2].1 > chunk_tput[0].1,
-        format!("96 CL {:.2} vs 24 CL {:.2} MB/s", chunk_tput[2].1, chunk_tput[0].1),
-    );
-    outln!(ctx);
-
-    outln!(ctx, "# --- tree layout: id-based (paper) vs topology-aware (extension) ---");
     for k in [2usize, 7] {
         for (name, strategy) in
             [("by-id (paper)", TreeStrategy::ById), ("topology-aware", TreeStrategy::TopologyAware)]
         {
-            let c = OcConfig { k, strategy, ..OcConfig::default() };
-            let (l1, _) = run_one(c, small);
-            let (l96, _) = run_one(c, 96 * 32);
-            let dist = TreeLayout::build(strategy, 48, k, CoreId(0)).total_parent_distance();
-            outln!(
-                ctx,
-                "k={k} {name:<16} 1CL {l1:>7.2} µs   96CL {l96:>8.2} µs   Σ parent-dist {dist}"
-            );
-            ctx.row(format!("layout k={k} {name} 1CL"), None, None, l1, 0.02, "us");
-            ctx.row(format!("layout k={k} {name} 96CL"), None, None, l96, 0.02, "us");
+            sweep.value_unit_w(format!("layout k={k} {name}"), 97, move |_| {
+                let c = OcConfig { k, strategy, ..OcConfig::default() };
+                (run_one(c, small).0, run_one(c, 96 * 32).0)
+            });
         }
     }
-    outln!(ctx);
-
-    outln!(ctx, "# --- Section 5.4 alternative: one-sided scatter-allgather ---");
-    let chip = paper_chip();
-    let mut sag = Vec::new();
     for (label, alg) in [
         ("s-ag two-sided", Algorithm::ScatterAllgather),
         ("s-ag one-sided", Algorithm::RmaScatterAllgather),
         ("OC-Bcast k=7", Algorithm::oc_default()),
     ] {
-        let t = measure_bcast(&chip, alg, CoreId(0), large, 0, 1).expect("sim");
-        outln!(ctx, "{label:<16} peak {:>7.2} MB/s", t.throughput_mb_s);
-        ctx.row(format!("alt {label} peak"), None, None, t.throughput_mb_s, 0.02, "MB/s");
-        sag.push(t.throughput_mb_s);
+        sweep.value_unit_w(format!("alt {label}"), big, move |_| {
+            measure_bcast(&paper_chip(), alg, CoreId(0), large, 0, 1).expect("sim").throughput_mb_s
+        });
     }
-    ctx.shape(
-        "one-sided RMA beats the two-sided scatter-allgather",
-        sag[1] > sag[0],
-        format!("one-sided {:.2} vs two-sided {:.2} MB/s", sag[1], sag[0]),
-    );
-    ctx.shape(
-        "OC-Bcast beats both scatter-allgather variants",
-        sag[2] > sag[1] && sag[2] > sag[0],
-        format!("OC-Bcast {:.2} vs one-sided {:.2} MB/s", sag[2], sag[1]),
-    );
-    outln!(ctx, "# one-sided RMA roughly doubles scatter-allgather, but the algorithm");
-    outln!(ctx, "# shape (no off-chip round trip per hop) is what OC-Bcast adds on top.");
+
+    sweep.finalize(move |ctx, mut values| {
+        outln!(ctx, "# --- notification fan-out (k = 7, 1 CL latency / large-msg throughput) ---");
+        let mut fanout_lat = Vec::new();
+        for (name, _) in [("binary (paper)", 2usize), ("ternary", 3), ("sequential", 64)] {
+            let (l, t) = values.next_as::<(f64, f64)>();
+            outln!(ctx, "{name:<16} latency {l:>8.2} µs   throughput {t:>7.2} MB/s");
+            ctx.row(format!("fanout {name} latency"), None, None, l, 0.02, "us");
+            ctx.row(format!("fanout {name} throughput"), None, None, t, 0.02, "MB/s");
+            fanout_lat.push(l);
+        }
+        ctx.shape(
+            "binary notification beats sequential at k=7",
+            fanout_lat[0] < fanout_lat[2],
+            format!("binary {:.2} µs vs sequential {:.2} µs", fanout_lat[0], fanout_lat[2]),
+        );
+        outln!(ctx);
+
+        outln!(ctx, "# --- notification fan-out at k = 47 (polling-heavy regime) ---");
+        let mut k47_lat = Vec::new();
+        for (name, _) in [("binary (paper)", 2usize), ("sequential", 64)] {
+            let l = values.next_as::<f64>();
+            outln!(ctx, "{name:<16} 1-CL latency {l:>8.2} µs");
+            ctx.row(format!("fanout k=47 {name} latency"), None, None, l, 0.02, "us");
+            k47_lat.push(l);
+        }
+        ctx.shape(
+            "binary notification matters most in the polling-heavy k=47 regime",
+            k47_lat[0] < k47_lat[1],
+            format!("binary {:.2} µs vs sequential {:.2} µs", k47_lat[0], k47_lat[1]),
+        );
+        outln!(ctx);
+
+        outln!(ctx, "# --- double buffering (large-message throughput, MB/s) ---");
+        for (name, _) in [("standard steps", false), ("leaf_direct", true)] {
+            let (on, off) = values.next_as::<(f64, f64)>();
+            outln!(
+                ctx,
+                "{name:<16} double {on:>7.2}   single {off:>7.2}   gain {:>5.2}x",
+                on / off
+            );
+            ctx.row(format!("double-buffer {name} on"), None, None, on, 0.02, "MB/s");
+            ctx.row(format!("double-buffer {name} off"), None, None, off, 0.02, "MB/s");
+            ctx.shape(
+                &format!("double buffering never hurts ({name})"),
+                on >= off * 0.999,
+                format!("double {on:.2} vs single {off:.2} MB/s"),
+            );
+        }
+        outln!(ctx, "# (with the paper's early done-release the single buffer keeps up;");
+        outln!(
+            ctx,
+            "#  with monolithic consumption the ping-pong penalty appears — see EXPERIMENTS.md)"
+        );
+        outln!(ctx);
+
+        outln!(ctx, "# --- leaf_direct (Section 5.4 optimization the paper omits) ---");
+        for bytes in [small, 96 * 32, large] {
+            let (base, opt) = values.next_as::<(f64, f64)>();
+            outln!(
+                ctx,
+                "{:>8} B: standard {base:>9.2} µs   leaf_direct {opt:>9.2} µs   gain {:>5.1}%",
+                bytes,
+                (1.0 - opt / base) * 100.0
+            );
+            ctx.row(format!("leaf_direct {bytes}B standard"), None, None, base, 0.02, "us");
+            ctx.row(format!("leaf_direct {bytes}B optimized"), None, None, opt, 0.02, "us");
+        }
+        outln!(ctx);
+
+        outln!(ctx, "# --- chunk size M_oc (large-message throughput, MB/s) ---");
+        let mut chunk_tput = Vec::new();
+        for chunk in [24usize, 48, 96, 120] {
+            let t = values.next_as::<f64>();
+            outln!(
+                ctx,
+                "M_oc = {chunk:>3} CL: {t:>7.2} MB/s{}",
+                if chunk == 96 { "  (paper)" } else { "" }
+            );
+            ctx.row(format!("chunk M_oc={chunk}"), None, None, t, 0.02, "MB/s");
+            chunk_tput.push((chunk, t));
+        }
+        ctx.shape(
+            "the paper's M_oc=96 beats small chunks",
+            chunk_tput[2].1 > chunk_tput[0].1,
+            format!("96 CL {:.2} vs 24 CL {:.2} MB/s", chunk_tput[2].1, chunk_tput[0].1),
+        );
+        outln!(ctx);
+
+        outln!(ctx, "# --- tree layout: id-based (paper) vs topology-aware (extension) ---");
+        for k in [2usize, 7] {
+            for (name, strategy) in [
+                ("by-id (paper)", TreeStrategy::ById),
+                ("topology-aware", TreeStrategy::TopologyAware),
+            ] {
+                let (l1, l96) = values.next_as::<(f64, f64)>();
+                let dist = TreeLayout::build(strategy, 48, k, CoreId(0)).total_parent_distance();
+                outln!(
+                    ctx,
+                    "k={k} {name:<16} 1CL {l1:>7.2} µs   96CL {l96:>8.2} µs   Σ parent-dist {dist}"
+                );
+                ctx.row(format!("layout k={k} {name} 1CL"), None, None, l1, 0.02, "us");
+                ctx.row(format!("layout k={k} {name} 96CL"), None, None, l96, 0.02, "us");
+            }
+        }
+        outln!(ctx);
+
+        outln!(ctx, "# --- Section 5.4 alternative: one-sided scatter-allgather ---");
+        let mut sag = Vec::new();
+        for label in ["s-ag two-sided", "s-ag one-sided", "OC-Bcast k=7"] {
+            let t = values.next_as::<f64>();
+            outln!(ctx, "{label:<16} peak {t:>7.2} MB/s");
+            ctx.row(format!("alt {label} peak"), None, None, t, 0.02, "MB/s");
+            sag.push(t);
+        }
+        ctx.shape(
+            "one-sided RMA beats the two-sided scatter-allgather",
+            sag[1] > sag[0],
+            format!("one-sided {:.2} vs two-sided {:.2} MB/s", sag[1], sag[0]),
+        );
+        ctx.shape(
+            "OC-Bcast beats both scatter-allgather variants",
+            sag[2] > sag[1] && sag[2] > sag[0],
+            format!("OC-Bcast {:.2} vs one-sided {:.2} MB/s", sag[2], sag[1]),
+        );
+        outln!(ctx, "# one-sided RMA roughly doubles scatter-allgather, but the algorithm");
+        outln!(ctx, "# shape (no off-chip round trip per hop) is what OC-Bcast adds on top.");
+    });
 }

@@ -2,83 +2,99 @@
 //! for 1/4/8/16 cache lines — measurement dots (simulator) vs model
 //! lines (Formulas 7–12 with Table-1 parameters), four panels.
 
-use super::{outln, ExpCtx};
+use super::{outln, Sweep};
 use crate::paper_chip;
 use scc_model::{ModelParams, P2p};
 use scc_sim::{measure_p2p, P2pKind};
 
-pub(super) fn run(ctx: &mut ExpCtx) {
-    let cfg = paper_chip();
-    let model = P2p::new(ModelParams::paper());
-    let sizes = [1usize, 4, 8, 16];
-    let reps = 3;
+const SIZES: [usize; 4] = [1, 4, 8, 16];
+const REPS: u32 = 3;
 
-    let panels: [(&str, P2pKind, u32); 4] = [
-        ("MPB to MPB Get Completion Time", P2pKind::GetMpb, 9),
-        ("MPB to MPB Put Completion Time", P2pKind::PutMpb, 9),
-        ("MPB to Memory Get Completion Time", P2pKind::GetMem, 4),
-        ("Memory to MPB Put Completion Time", P2pKind::PutMem, 4),
-    ];
+const PANELS: [(&str, P2pKind, u32); 4] = [
+    ("MPB to MPB Get Completion Time", P2pKind::GetMpb, 9),
+    ("MPB to MPB Put Completion Time", P2pKind::PutMpb, 9),
+    ("MPB to Memory Get Completion Time", P2pKind::GetMem, 4),
+    ("Memory to MPB Put Completion Time", P2pKind::PutMem, 4),
+];
 
-    for (title, kind, dmax) in panels {
-        let labels: Vec<String> =
-            sizes.iter().flat_map(|m| [format!("exp:{m}CL"), format!("model:{m}CL")]).collect();
-        let mut rows = Vec::new();
+pub(super) fn plan(sweep: &mut Sweep) {
+    // One unit per (panel, distance): the four sizes' measurements at
+    // that distance. The model half of each column is pure arithmetic
+    // and stays in the finalize step.
+    for (_, kind, dmax) in PANELS {
         for d in 1..=dmax {
-            let mut cols = Vec::new();
-            for &m in &sizes {
-                let exp = measure_p2p(&cfg, kind, m, d, reps).expect("sim").as_us_f64();
-                let mdl = match kind {
-                    P2pKind::GetMpb => model.c_get_mpb(m, d),
-                    P2pKind::PutMpb => model.c_put_mpb(m, d),
-                    P2pKind::GetMem => model.c_get_mem(m, 1, d),
-                    P2pKind::PutMem => model.c_put_mem(m, d, 1),
-                };
-                cols.push(exp);
-                cols.push(mdl);
-            }
-            rows.push((d as usize, cols));
+            sweep.value_unit(format!("{} d={d}", kind_short(kind)), move |_| {
+                let cfg = paper_chip();
+                SIZES
+                    .iter()
+                    .map(|&m| measure_p2p(&cfg, kind, m, d, REPS).expect("sim").as_us_f64())
+                    .collect::<Vec<f64>>()
+            });
         }
-        ctx.series(title, "hops", &labels, &rows);
+    }
 
-        // Structured rows: the near and far end of each panel's sweep.
-        let short = kind_short(kind);
-        for &(d, ref cols) in [&rows[0], rows.last().expect("rows")] {
-            for (i, &m) in sizes.iter().enumerate() {
-                ctx.row(
-                    format!("{short} {m}CL d={d}"),
-                    None,
-                    Some(cols[2 * i + 1]),
-                    cols[2 * i],
-                    0.02,
-                    "us",
-                );
+    sweep.finalize(|ctx, mut values| {
+        let model = P2p::new(ModelParams::paper());
+        for (title, kind, dmax) in PANELS {
+            let labels: Vec<String> =
+                SIZES.iter().flat_map(|m| [format!("exp:{m}CL"), format!("model:{m}CL")]).collect();
+            let mut rows = Vec::new();
+            for d in 1..=dmax {
+                let exps = values.next_as::<Vec<f64>>();
+                let mut cols = Vec::new();
+                for (i, &m) in SIZES.iter().enumerate() {
+                    let mdl = match kind {
+                        P2pKind::GetMpb => model.c_get_mpb(m, d),
+                        P2pKind::PutMpb => model.c_put_mpb(m, d),
+                        P2pKind::GetMem => model.c_get_mem(m, 1, d),
+                        P2pKind::PutMem => model.c_put_mem(m, d, 1),
+                    };
+                    cols.push(exps[i]);
+                    cols.push(mdl);
+                }
+                rows.push((d as usize, cols));
             }
-        }
+            ctx.series(title, "hops", &labels, &rows);
 
-        // The paper's validation claim: model and measurement agree.
-        let mut worst = (0.0f64, 0usize, 0.0, 0.0);
-        for (d, cols) in &rows {
-            for pair in cols.chunks_exact(2) {
-                let rel = (pair[0] - pair[1]).abs() / pair[1];
-                if rel > worst.0 {
-                    worst = (rel, *d, pair[0], pair[1]);
+            // Structured rows: the near and far end of each panel's sweep.
+            let short = kind_short(kind);
+            for &(d, ref cols) in [&rows[0], rows.last().expect("rows")] {
+                for (i, &m) in SIZES.iter().enumerate() {
+                    ctx.row(
+                        format!("{short} {m}CL d={d}"),
+                        None,
+                        Some(cols[2 * i + 1]),
+                        cols[2 * i],
+                        0.02,
+                        "us",
+                    );
                 }
             }
+
+            // The paper's validation claim: model and measurement agree.
+            let mut worst = (0.0f64, 0usize, 0.0, 0.0);
+            for (d, cols) in &rows {
+                for pair in cols.chunks_exact(2) {
+                    let rel = (pair[0] - pair[1]).abs() / pair[1];
+                    if rel > worst.0 {
+                        worst = (rel, *d, pair[0], pair[1]);
+                    }
+                }
+            }
+            ctx.shape(
+                &format!("{short}: simulator within 2% of model at every (size, distance)"),
+                worst.0 < 0.02,
+                format!(
+                    "worst at d={}: exp {:.4} vs model {:.4} ({:.2}% off)",
+                    worst.1,
+                    worst.2,
+                    worst.3,
+                    worst.0 * 100.0
+                ),
+            );
         }
-        ctx.shape(
-            &format!("{short}: simulator within 2% of model at every (size, distance)"),
-            worst.0 < 0.02,
-            format!(
-                "worst at d={}: exp {:.4} vs model {:.4} ({:.2}% off)",
-                worst.1,
-                worst.2,
-                worst.3,
-                worst.0 * 100.0
-            ),
-        );
-    }
-    outln!(ctx, "# all panels: simulator within 2% of the analytical model");
+        outln!(ctx, "# all panels: simulator within 2% of the analytical model");
+    });
 }
 
 fn kind_short(kind: P2pKind) -> &'static str {

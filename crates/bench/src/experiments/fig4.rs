@@ -3,72 +3,86 @@
 //! MPB, (b) the same for concurrent 1-cache-line puts, as the number
 //! of concurrent accessors grows.
 
-use super::{outln, ExpCtx};
+use super::{outln, Sweep};
 use crate::paper_chip;
 use scc_model::ClosedQueue;
 use scc_sim::measure_contention;
 
-pub(super) fn run(ctx: &mut ExpCtx) {
-    let cfg = paper_chip();
-    // The paper sweeps 1..48 accessors of core 0's MPB; with core 0 as
-    // the victim, up to 47 other cores can access it concurrently.
-    let counts: &[usize] =
-        if ctx.quick { &[1, 8, 24, 47] } else { &[1, 2, 4, 6, 8, 12, 16, 24, 32, 40, 47] };
+fn counts(quick: bool) -> &'static [usize] {
+    if quick {
+        &[1, 8, 24, 47]
+    } else {
+        &[1, 2, 4, 6, 8, 12, 16, 24, 32, 40, 47]
+    }
+}
 
-    // The closed-queueing bound model of scc-model (an extension: the
-    // paper declares contention hard to model) overlays each panel.
-    let get_model = ClosedQueue::get_scenario(128, 9.0, 0.010, 0.126, 0.005);
-    let put_model = ClosedQueue {
-        think_us: 0.069 + 0.136 + (0.126 + 2.0 * 9.0 * 0.005) - 0.018,
-        service_us: 0.018,
-    };
-    for (title, lines, puts, reps, model, tag) in [
-        (
-            "Concurrent MPB get completion time (128 cache lines)",
-            128usize,
-            false,
-            2u32,
-            &get_model,
-            "get128",
-        ),
-        ("Concurrent MPB put completion time (1 cache line)", 1, true, 50, &put_model, "put1"),
-    ] {
-        let labels = vec![
-            "avg_us".to_string(),
-            "min_us".to_string(),
-            "max_us".to_string(),
-            "model_us".to_string(),
-        ];
-        let mut rows = Vec::new();
+const PANELS: [(&str, usize, bool, u32, &str); 2] = [
+    ("Concurrent MPB get completion time (128 cache lines)", 128, false, 2, "get128"),
+    ("Concurrent MPB put completion time (1 cache line)", 1, true, 50, "put1"),
+];
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    let counts = counts(sweep.quick);
+    // One unit per (panel, accessor count): the simulator measurement
+    // reduced to (avg, min, max). The queueing-model overlay is pure
+    // arithmetic and stays in finalize.
+    for (_, lines, puts, reps, tag) in PANELS {
         for &n in counts {
-            let v = measure_contention(&cfg, n, lines, puts, reps).expect("sim");
-            let us: Vec<f64> = v.iter().map(|t| t.as_us_f64()).collect();
-            let avg = us.iter().sum::<f64>() / us.len() as f64;
-            let min = us.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = us.iter().copied().fold(0.0f64, f64::max);
-            rows.push((n, vec![avg, min, max, model.cycle_estimate_us(n)]));
+            sweep.value_unit_w(format!("{tag} n={n}"), (lines * n) as u64, move |_| {
+                let cfg = paper_chip();
+                let v = measure_contention(&cfg, n, lines, puts, reps).expect("sim");
+                let us: Vec<f64> = v.iter().map(|t| t.as_us_f64()).collect();
+                let avg = us.iter().sum::<f64>() / us.len() as f64;
+                let min = us.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = us.iter().copied().fold(0.0f64, f64::max);
+                (avg, min, max)
+            });
         }
-        ctx.series(title, "accessors", &labels, &rows);
-        for (n, cols) in &rows {
-            ctx.row(format!("{tag} n={n} avg"), None, Some(cols[3]), cols[0], 0.05, "us");
-        }
+    }
 
-        // Shape checks mirroring Section 3.3's findings.
-        let at = |n: usize| rows.iter().find(|r| r.0 == n).map(|r| r.1[0]);
-        let single = at(1).expect("n=1 measured");
-        if let Some(a24) = at(24) {
+    sweep.finalize(move |ctx, mut values| {
+        // The closed-queueing bound model of scc-model (an extension: the
+        // paper declares contention hard to model) overlays each panel.
+        let get_model = ClosedQueue::get_scenario(128, 9.0, 0.010, 0.126, 0.005);
+        let put_model = ClosedQueue {
+            think_us: 0.069 + 0.136 + (0.126 + 2.0 * 9.0 * 0.005) - 0.018,
+            service_us: 0.018,
+        };
+        for (title, _, _, _, tag) in PANELS {
+            let model = if tag == "get128" { &get_model } else { &put_model };
+            let labels = vec![
+                "avg_us".to_string(),
+                "min_us".to_string(),
+                "max_us".to_string(),
+                "model_us".to_string(),
+            ];
+            let mut rows = Vec::new();
+            for &n in counts {
+                let (avg, min, max) = values.next_as::<(f64, f64, f64)>();
+                rows.push((n, vec![avg, min, max, model.cycle_estimate_us(n)]));
+            }
+            ctx.series(title, "accessors", &labels, &rows);
+            for (n, cols) in &rows {
+                ctx.row(format!("{tag} n={n} avg"), None, Some(cols[3]), cols[0], 0.05, "us");
+            }
+
+            // Shape checks mirroring Section 3.3's findings.
+            let at = |n: usize| rows.iter().find(|r| r.0 == n).map(|r| r.1[0]);
+            let single = at(1).expect("n=1 measured");
+            if let Some(a24) = at(24) {
+                ctx.shape(
+                    &format!("{tag}: no measurable contention up to 24 accessors"),
+                    a24 < single * 1.12,
+                    format!("n=1 {single:.3} µs vs n=24 {a24:.3} µs"),
+                );
+            }
+            let a47 = at(47).expect("n=47 measured");
             ctx.shape(
-                &format!("{tag}: no measurable contention up to 24 accessors"),
-                a24 < single * 1.12,
-                format!("n=1 {single:.3} µs vs n=24 {a24:.3} µs"),
+                &format!("{tag}: visible contention at 47 accessors"),
+                a47 > single * 1.3,
+                format!("n=1 {single:.3} µs vs n=47 {a47:.3} µs"),
             );
         }
-        let a47 = at(47).expect("n=47 measured");
-        ctx.shape(
-            &format!("{tag}: visible contention at 47 accessors"),
-            a47 > single * 1.3,
-            format!("n=1 {single:.3} µs vs n=47 {a47:.3} µs"),
-        );
-    }
-    outln!(ctx, "# knee past 24 accessors, clear contention at 47 — as in Figure 4");
+        outln!(ctx, "# knee past 24 accessors, clear contention at 47 — as in Figure 4");
+    });
 }

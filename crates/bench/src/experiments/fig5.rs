@@ -2,7 +2,7 @@
 //! notification trees, printed for the paper's example (s = 0, P = 12,
 //! k = 7) and for the full 48-core chip.
 
-use super::{out, outln, ExpCtx};
+use super::{out, outln, ExpCtx, Sweep};
 use oc_bcast::{KaryTree, NotifyGroup};
 use scc_hal::CoreId;
 
@@ -42,7 +42,12 @@ fn print_tree(ctx: &mut ExpCtx, p: usize, k: usize, root: u8) -> (usize, usize) 
     (depth, seen)
 }
 
-pub(super) fn run(ctx: &mut ExpCtx) {
+pub(super) fn plan(sweep: &mut Sweep) {
+    // Pure tree printing — cheap enough to stay one unit.
+    sweep.unit("trees", run);
+}
+
+fn run(ctx: &mut ExpCtx) {
     // The paper's figure.
     let (d12, seen12) = print_tree(ctx, 12, 7, 0);
     // The experimental configuration.

@@ -2,12 +2,17 @@
 //! for OC-Bcast (k = 2, 7, 47) and the binomial tree at P = 48 —
 //! panel (a) up to 180 cache lines, panel (b) the ≤ 30-line zoom.
 
-use super::{outln, ExpCtx};
+use super::{outln, ExpCtx, Sweep};
 use scc_model::bcast::FullModelCfg;
 use scc_model::series::fig6_curves;
 use scc_model::ModelParams;
 
-pub(super) fn run(ctx: &mut ExpCtx) {
+pub(super) fn plan(sweep: &mut Sweep) {
+    // Model-only (no simulator in the loop) — one unit.
+    sweep.unit("curves", run);
+}
+
+fn run(ctx: &mut ExpCtx) {
     let params = ModelParams::paper();
     let cfg = FullModelCfg::default();
     let ks = [2usize, 7, 47];

@@ -2,95 +2,109 @@
 //! 48-core chip — OC-Bcast (k = 2, 7, 47) against the RCCE_comm
 //! binomial tree, sizes up to 2·M_oc = 192 cache lines.
 
-use super::{outln, ExpCtx};
-use crate::{paper_algorithms, paper_chip, sweep_sizes};
+use super::{outln, Sweep};
+use crate::{measure_bcast, paper_algorithms, paper_chip};
 use oc_bcast::Algorithm;
+use scc_hal::CoreId;
 use scc_model::Predictor;
 
-pub(super) fn run(ctx: &mut ExpCtx) {
-    let cfg = paper_chip();
-    let sizes: Vec<usize> = if ctx.quick {
+fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
         vec![1, 32, 96, 192]
     } else {
         vec![1, 8, 16, 32, 48, 64, 80, 96, 97, 112, 128, 144, 160, 176, 192]
-    };
+    }
+}
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    let sizes = sizes(sweep.quick);
     let algs = paper_algorithms(Algorithm::Binomial);
     let (warmup, reps) = (1, 3);
 
-    let labels: Vec<String> = algs.iter().map(|a| a.label()).collect();
-    let mut columns = Vec::new();
+    // One unit per (algorithm, size) point, weighted by size so the
+    // pool schedules the heavy large-message runs first.
     for &alg in &algs {
-        let series = sweep_sizes(&cfg, alg, &sizes, warmup, reps).expect("sim");
-        columns.push(series);
-    }
-    let rows: Vec<(usize, Vec<f64>)> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| (m, columns.iter().map(|c| c[i].1.latency_us).collect()))
-        .collect();
-    ctx.series(
-        "Figure 8a — measured broadcast latency (µs), P = 48",
-        "cache_lines",
-        &labels,
-        &rows,
-    );
-
-    // Structured rows with the contention-free model's prediction
-    // alongside each simulator measurement.
-    let predictor = Predictor::paper();
-    for (m, cols) in &rows {
-        for (label, sim) in labels.iter().zip(cols) {
-            let model = match label.as_str() {
-                "k=2" => Some(predictor.oc_latency_us(48, *m, 2)),
-                "k=7" => Some(predictor.oc_latency_us(48, *m, 7)),
-                "k=47" => Some(predictor.oc_latency_us(48, *m, 47)),
-                "binomial" => Some(predictor.binomial_latency_us(48, *m)),
-                _ => None,
-            };
-            ctx.row(format!("latency {label} m={m}"), None, model, *sim, 0.02, "us");
+        for &m in &sizes {
+            sweep.value_unit_w(format!("{} m={m}", alg.label()), m as u64, move |_| {
+                let cfg = paper_chip();
+                measure_bcast(&cfg, alg, CoreId(0), m * 32, warmup, reps).expect("sim").latency_us
+            });
         }
     }
 
-    // Section 6.2.1 claims.
-    let col = |label: &str| labels.iter().position(|l| l == label).expect("column");
-    let at = |m: usize, label: &str| rows.iter().find(|r| r.0 == m).expect("row").1[col(label)];
-    let improvement = 1.0 - at(1, "k=7") / at(1, "binomial");
-    outln!(
-        ctx,
-        "# 1-CL latency: k=7 {:.2} µs vs binomial {:.2} µs — {:.0}% improvement (paper: ≥27%)",
-        at(1, "k=7"),
-        at(1, "binomial"),
-        improvement * 100.0
-    );
-    ctx.shape(
-        "1-CL latency improves ≥27% over the binomial tree",
-        improvement >= 0.27,
-        format!(
-            "k=7 {:.2} µs vs binomial {:.2} µs ({:.0}%)",
+    sweep.finalize(move |ctx, mut values| {
+        let labels: Vec<String> = algs.iter().map(|a| a.label()).collect();
+        let columns: Vec<Vec<f64>> =
+            algs.iter().map(|_| sizes.iter().map(|_| values.next_as::<f64>()).collect()).collect();
+        let rows: Vec<(usize, Vec<f64>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, columns.iter().map(|c| c[i]).collect()))
+            .collect();
+        ctx.series(
+            "Figure 8a — measured broadcast latency (µs), P = 48",
+            "cache_lines",
+            &labels,
+            &rows,
+        );
+
+        // Structured rows with the contention-free model's prediction
+        // alongside each simulator measurement.
+        let predictor = Predictor::paper();
+        for (m, cols) in &rows {
+            for (label, sim) in labels.iter().zip(cols) {
+                let model = match label.as_str() {
+                    "k=2" => Some(predictor.oc_latency_us(48, *m, 2)),
+                    "k=7" => Some(predictor.oc_latency_us(48, *m, 7)),
+                    "k=47" => Some(predictor.oc_latency_us(48, *m, 47)),
+                    "binomial" => Some(predictor.binomial_latency_us(48, *m)),
+                    _ => None,
+                };
+                ctx.row(format!("latency {label} m={m}"), None, model, *sim, 0.02, "us");
+            }
+        }
+
+        // Section 6.2.1 claims.
+        let col = |label: &str| labels.iter().position(|l| l == label).expect("column");
+        let at = |m: usize, label: &str| rows.iter().find(|r| r.0 == m).expect("row").1[col(label)];
+        let improvement = 1.0 - at(1, "k=7") / at(1, "binomial");
+        outln!(
+            ctx,
+            "# 1-CL latency: k=7 {:.2} µs vs binomial {:.2} µs — {:.0}% improvement (paper: ≥27%)",
             at(1, "k=7"),
             at(1, "binomial"),
             improvement * 100.0
-        ),
-    );
-    if !ctx.quick {
-        let k7_gain_over_k2 = 1.0 - at(144, "k=7") / at(144, "k=2");
-        outln!(
-            ctx,
-            "# 96–192 CL: k=7 is {:.0}% better than k=2 (paper: ~25%)",
-            k7_gain_over_k2 * 100.0
         );
         ctx.shape(
-            "k=7 clearly beats k=2 at 144 CL",
-            k7_gain_over_k2 > 0.10,
-            format!("{:.0}% gain", k7_gain_over_k2 * 100.0),
+            "1-CL latency improves ≥27% over the binomial tree",
+            improvement >= 0.27,
+            format!(
+                "k=7 {:.2} µs vs binomial {:.2} µs ({:.0}%)",
+                at(1, "k=7"),
+                at(1, "binomial"),
+                improvement * 100.0
+            ),
         );
-        // The gap to binomial grows with size.
-        let gap1 = at(1, "binomial") - at(1, "k=7");
-        let gap192 = at(192, "binomial") - at(192, "k=7");
-        ctx.shape(
-            "the gap to binomial grows with message size",
-            gap192 > gap1,
-            format!("gap at 1 CL {gap1:.2} µs, at 192 CL {gap192:.2} µs"),
-        );
-    }
+        if !ctx.quick {
+            let k7_gain_over_k2 = 1.0 - at(144, "k=7") / at(144, "k=2");
+            outln!(
+                ctx,
+                "# 96–192 CL: k=7 is {:.0}% better than k=2 (paper: ~25%)",
+                k7_gain_over_k2 * 100.0
+            );
+            ctx.shape(
+                "k=7 clearly beats k=2 at 144 CL",
+                k7_gain_over_k2 > 0.10,
+                format!("{:.0}% gain", k7_gain_over_k2 * 100.0),
+            );
+            // The gap to binomial grows with size.
+            let gap1 = at(1, "binomial") - at(1, "k=7");
+            let gap192 = at(192, "binomial") - at(192, "k=7");
+            ctx.shape(
+                "the gap to binomial grows with message size",
+                gap192 > gap1,
+                format!("gap at 1 CL {gap1:.2} µs, at 192 CL {gap192:.2} µs"),
+            );
+        }
+    });
 }

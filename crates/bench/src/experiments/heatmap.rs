@@ -6,12 +6,21 @@
 //! router aggregates exactly, and that invariant is re-checked here on
 //! every run.
 
-use super::{outln, ExpCtx};
+use super::{outln, Sweep};
 use oc_bcast::{Algorithm, Broadcaster};
 use scc_hal::{CoreId, LinkDir, MemRange, Rma, RmaResult, Tile, Time, NUM_LINK_DIRS};
 use scc_obs::LinkHeatmap;
 use scc_rcce::{Barrier, MpbAllocator};
 use scc_sim::{run_spmd, SimConfig, SimStats};
+
+fn collectives() -> [(&'static str, Algorithm); 4] {
+    [
+        ("OC-Bcast k=2", Algorithm::oc_with_k(2)),
+        ("OC-Bcast k=7", Algorithm::oc_with_k(7)),
+        ("OC-Bcast k=47", Algorithm::oc_with_k(47)),
+        ("binomial", Algorithm::Binomial),
+    ]
+}
 
 /// One contended 48-core broadcast (two rounds, barrier-separated).
 fn contended_bcast(alg: Algorithm, bytes: usize) -> SimStats {
@@ -60,55 +69,77 @@ fn partition_violation(stats: &SimStats) -> Option<String> {
     None
 }
 
-pub(super) fn run(ctx: &mut ExpCtx) {
-    let bytes = if ctx.quick { 4 << 10 } else { 16 << 10 };
-    let collectives = [
-        ("OC-Bcast k=2", Algorithm::oc_with_k(2)),
-        ("OC-Bcast k=7", Algorithm::oc_with_k(7)),
-        ("OC-Bcast k=47", Algorithm::oc_with_k(47)),
-        ("binomial", Algorithm::Binomial),
-    ];
-
-    outln!(ctx, "# directed-link occupancy, contended 48-core broadcast ({bytes} B from C0)");
-    outln!(ctx);
-    for (label, alg) in collectives {
-        let stats = contended_bcast(alg, bytes);
-        let hm = LinkHeatmap::from_slices(&stats.link_busy, &stats.link_wait);
-        outln!(ctx, "{}", hm.render_ascii(&format!("{label} — busy µs per directed link")));
-
-        let (peak_tile, peak_dir, peak_busy) = hm.peak();
-        let total_busy: Time = stats.link_busy.iter().copied().fold(Time::ZERO, |a, b| a + b);
-        let eject: Time = (0..24)
-            .map(|t| stats.link_busy[t * NUM_LINK_DIRS + LinkDir::Eject.index()])
-            .fold(Time::ZERO, |a, b| a + b);
-        ctx.row(format!("{label} peak link busy"), None, None, peak_busy.as_us_f64(), 0.02, "us");
-        ctx.row(format!("{label} total link busy"), None, None, total_busy.as_us_f64(), 0.02, "us");
-        ctx.row(
-            format!("{label} eject share"),
-            None,
-            None,
-            eject.as_us_f64() / total_busy.as_us_f64(),
-            0.02,
-            "frac",
-        );
-
-        ctx.shape(
-            &format!("{label}: per-link counters partition the router aggregates"),
-            partition_violation(&stats).is_none(),
-            partition_violation(&stats)
-                .unwrap_or_else(|| "links sum exactly to per-tile router busy/wait".to_string()),
-        );
-        ctx.shape(
-            &format!("{label}: X-Y routing never leaves the mesh boundary"),
-            (0..4u8).all(|y| {
-                stats.link_busy[Tile::new(0, y).index() * NUM_LINK_DIRS + LinkDir::West.index()]
-                    == Time::ZERO
-                    && stats.link_busy
-                        [Tile::new(5, y).index() * NUM_LINK_DIRS + LinkDir::East.index()]
-                        == Time::ZERO
-            }),
-            format!("peak link: tile {peak_tile} {peak_dir:?} at {:.3} µs", peak_busy.as_us_f64()),
-        );
+pub(super) fn plan(sweep: &mut Sweep) {
+    let bytes = if sweep.quick { 4 << 10 } else { 16 << 10 };
+    // One contended broadcast per collective as a unit; all rendering
+    // (header, per-collective sections, trailer) happens in finalize.
+    for (label, alg) in collectives() {
+        sweep.value_unit(format!("bcast {label}"), move |_| contended_bcast(alg, bytes));
     }
-    outln!(ctx, "# every collective: link counters partition per-tile router busy/wait exactly");
+
+    sweep.finalize(move |ctx, mut values| {
+        outln!(ctx, "# directed-link occupancy, contended 48-core broadcast ({bytes} B from C0)");
+        outln!(ctx);
+        for (label, _) in collectives() {
+            let stats = values.next_as::<SimStats>();
+            let hm = LinkHeatmap::from_slices(&stats.link_busy, &stats.link_wait);
+            outln!(ctx, "{}", hm.render_ascii(&format!("{label} — busy µs per directed link")));
+
+            let (peak_tile, peak_dir, peak_busy) = hm.peak();
+            let total_busy: Time = stats.link_busy.iter().copied().fold(Time::ZERO, |a, b| a + b);
+            let eject: Time = (0..24)
+                .map(|t| stats.link_busy[t * NUM_LINK_DIRS + LinkDir::Eject.index()])
+                .fold(Time::ZERO, |a, b| a + b);
+            ctx.row(
+                format!("{label} peak link busy"),
+                None,
+                None,
+                peak_busy.as_us_f64(),
+                0.02,
+                "us",
+            );
+            ctx.row(
+                format!("{label} total link busy"),
+                None,
+                None,
+                total_busy.as_us_f64(),
+                0.02,
+                "us",
+            );
+            ctx.row(
+                format!("{label} eject share"),
+                None,
+                None,
+                eject.as_us_f64() / total_busy.as_us_f64(),
+                0.02,
+                "frac",
+            );
+
+            ctx.shape(
+                &format!("{label}: per-link counters partition the router aggregates"),
+                partition_violation(&stats).is_none(),
+                partition_violation(&stats).unwrap_or_else(|| {
+                    "links sum exactly to per-tile router busy/wait".to_string()
+                }),
+            );
+            ctx.shape(
+                &format!("{label}: X-Y routing never leaves the mesh boundary"),
+                (0..4u8).all(|y| {
+                    stats.link_busy[Tile::new(0, y).index() * NUM_LINK_DIRS + LinkDir::West.index()]
+                        == Time::ZERO
+                        && stats.link_busy
+                            [Tile::new(5, y).index() * NUM_LINK_DIRS + LinkDir::East.index()]
+                            == Time::ZERO
+                }),
+                format!(
+                    "peak link: tile {peak_tile} {peak_dir:?} at {:.3} µs",
+                    peak_busy.as_us_f64()
+                ),
+            );
+        }
+        outln!(
+            ctx,
+            "# every collective: link counters partition per-tile router busy/wait exactly"
+        );
+    });
 }

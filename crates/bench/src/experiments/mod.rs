@@ -1,14 +1,29 @@
 //! The typed experiment registry behind the `observatory` harness.
 //!
-//! Every paper figure/table is one [`Experiment`]: a function that
-//! writes the classic human-readable text (byte-identical to what the
-//! standalone binary prints) into an [`ExpCtx`] *and* records the
-//! structured side — [`ExperimentRow`]s for the drift gate and
-//! [`ShapeCheck`]s for the paper's qualitative claims. The runner
-//! wraps each experiment with wall-clock and engine-telemetry
-//! deltas so `BENCH_figures.json` carries per-experiment self-metrics.
+//! Every paper figure/table is one [`Experiment`]: a *plan* function
+//! that describes the experiment as a [`Sweep`] — an ordered list of
+//! independent measurement [`Unit`]s plus one finalize step that turns
+//! the units' values into the classic human-readable text
+//! (byte-identical to what the standalone binary prints), the
+//! structured [`ExperimentRow`]s for the drift gate, and the
+//! [`ShapeCheck`]s for the paper's qualitative claims.
+//!
+//! Expressing sweeps as data is what makes the parallel runner
+//! (`crate::runner`) possible: units carry no ordering dependencies, so
+//! they can execute on any host thread in any order, and the merge —
+//! unit outputs concatenated in declaration order, then finalize —
+//! reconstructs exactly the sequential output. Determinism of the
+//! artifacts follows from determinism of the simulator: a unit's value
+//! depends only on its own configuration, never on when or where it
+//! ran.
+//!
+//! Each unit is individually metered (its own wall time plus the engine
+//! counters of exactly the `run_spmd` calls it made, via the
+//! thread-local telemetry scope), so per-experiment [`SelfMetrics`]
+//! stay exact even when experiments interleave across threads.
 
 use scc_obs::{ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck};
+use std::any::Any;
 
 mod ablation;
 mod fig3;
@@ -45,8 +60,8 @@ macro_rules! out {
 }
 pub(crate) use {out, outln};
 
-/// Mutable context an experiment fills in: the legacy text output plus
-/// the structured rows and shape checks.
+/// Mutable context a sweep unit (or finalize step) fills in: the legacy
+/// text output plus the structured rows and shape checks.
 pub struct ExpCtx {
     /// Reduced sweeps (`SCC_BENCH_QUICK=1` / `observatory --quick`).
     pub quick: bool,
@@ -118,88 +133,273 @@ impl ExpCtx {
     }
 }
 
+/// Type-erased value a measurement unit hands to its sweep's finalize
+/// step.
+pub type UnitValue = Box<dyn Any + Send>;
+
+/// Boxed unit body: writes into its own [`ExpCtx`], may return a value.
+pub type UnitFn = Box<dyn FnOnce(&mut ExpCtx) -> Option<UnitValue> + Send>;
+
+/// Boxed finalize step: consumes the units' values in declaration order.
+pub type FinalizeFn = Box<dyn FnOnce(&mut ExpCtx, Values) + Send>;
+
+/// One independently schedulable piece of an experiment: a closure that
+/// may write output into its own [`ExpCtx`] and may return a value for
+/// the finalize step. Units of one sweep must be mutually independent —
+/// the runner may execute them in any order, on any thread.
+pub struct Unit {
+    /// Unique (within the sweep) stable key; merge order is declaration
+    /// order, the key exists for debugging and duplicate detection.
+    pub(crate) key: String,
+    /// Relative weight for longest-task-first scheduling.
+    pub(crate) cost: u64,
+    pub(crate) run: UnitFn,
+}
+
+/// An experiment described as data: ordered units plus a finalize step.
+pub struct Sweep {
+    /// Reduced sweeps (`SCC_BENCH_QUICK=1` / `observatory --quick`).
+    pub quick: bool,
+    pub(crate) units: Vec<Unit>,
+    pub(crate) finalize: Option<FinalizeFn>,
+}
+
+impl Sweep {
+    pub fn new(quick: bool) -> Sweep {
+        Sweep { quick, units: Vec::new(), finalize: None }
+    }
+
+    fn push(&mut self, key: String, cost: u64, run: UnitFn) {
+        assert!(!self.units.iter().any(|u| u.key == key), "duplicate unit key `{key}`");
+        self.units.push(Unit { key, cost, run });
+    }
+
+    /// Add a self-contained unit: it writes its own output and returns
+    /// no value (its text/rows/shapes merge in declaration order).
+    pub fn unit(&mut self, key: impl Into<String>, f: impl FnOnce(&mut ExpCtx) + Send + 'static) {
+        self.push(
+            key.into(),
+            1,
+            Box::new(move |ctx| {
+                f(ctx);
+                None
+            }),
+        );
+    }
+
+    /// Add a measurement unit whose value the finalize step consumes
+    /// (in declaration order, via [`Values::next_as`]).
+    pub fn value_unit<T: Send + 'static>(
+        &mut self,
+        key: impl Into<String>,
+        f: impl FnOnce(&mut ExpCtx) -> T + Send + 'static,
+    ) {
+        self.value_unit_w(key, 1, f);
+    }
+
+    /// [`Self::value_unit`] with an explicit scheduling weight — use
+    /// when units of one sweep differ wildly in runtime (e.g. message
+    /// size in cache lines).
+    pub fn value_unit_w<T: Send + 'static>(
+        &mut self,
+        key: impl Into<String>,
+        cost: u64,
+        f: impl FnOnce(&mut ExpCtx) -> T + Send + 'static,
+    ) {
+        self.push(key.into(), cost, Box::new(move |ctx| Some(Box::new(f(ctx)) as UnitValue)));
+    }
+
+    /// Set the finalize step: runs after every unit, receives the
+    /// units' values in declaration order, and its output merges last.
+    pub fn finalize(&mut self, f: impl FnOnce(&mut ExpCtx, Values) + Send + 'static) {
+        assert!(self.finalize.is_none(), "a sweep has exactly one finalize step");
+        self.finalize = Some(Box::new(f));
+    }
+}
+
+/// The values the measurement units produced, in declaration order.
+pub struct Values {
+    items: std::vec::IntoIter<(String, Option<UnitValue>)>,
+}
+
+impl Values {
+    /// Take the next value (skipping valueless units) as a `T`. Panics
+    /// with the unit's key on a type mismatch — a plan/finalize bug.
+    pub fn next_as<T: 'static>(&mut self) -> T {
+        for (key, v) in self.items.by_ref() {
+            if let Some(v) = v {
+                return *v.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("unit `{key}`: finalize expected a {}", std::any::type_name::<T>())
+                });
+            }
+        }
+        panic!("finalize consumed more values than the sweep's units produced");
+    }
+}
+
 /// One registered experiment.
 pub struct Experiment {
     /// Registry id — also the wrapper binary's name (`fig3`, …).
     pub id: &'static str,
     /// Human title used in `results/CONFORMANCE.md`.
     pub title: &'static str,
-    pub run: fn(&mut ExpCtx),
+    /// Describe the experiment as a [`Sweep`].
+    pub plan: fn(&mut Sweep),
 }
 
 /// Every experiment the observatory knows, in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", title: "Table 1 — fitted model parameters", run: table1::run },
+        Experiment {
+            id: "table1", title: "Table 1 — fitted model parameters", plan: table1::plan
+        },
         Experiment {
             id: "fig3",
             title: "Figure 3 — put/get completion time vs distance",
-            run: fig3::run,
+            plan: fig3::plan,
         },
-        Experiment { id: "fig4", title: "Figure 4 — MPB contention", run: fig4::run },
+        Experiment { id: "fig4", title: "Figure 4 — MPB contention", plan: fig4::plan },
         Experiment {
             id: "fig5",
             title: "Figure 5 — propagation and notification trees",
-            run: fig5::run,
+            plan: fig5::plan,
         },
-        Experiment { id: "fig6", title: "Figure 6 — modeled broadcast latency", run: fig6::run },
-        Experiment { id: "table2", title: "Table 2 — modeled peak throughput", run: table2::run },
+        Experiment {
+            id: "fig6", title: "Figure 6 — modeled broadcast latency", plan: fig6::plan
+        },
+        Experiment {
+            id: "table2", title: "Table 2 — modeled peak throughput", plan: table2::plan
+        },
         Experiment {
             id: "fig8a",
             title: "Figure 8a — measured broadcast latency",
-            run: fig8a::run,
+            plan: fig8a::plan,
         },
         Experiment {
             id: "fig8b",
             title: "Figure 8b — measured broadcast throughput",
-            run: fig8b::run,
+            plan: fig8b::plan,
         },
         Experiment {
             id: "linkstress",
             title: "Section 3.3 — mesh link stress",
-            run: linkstress::run,
+            plan: linkstress::plan,
         },
-        Experiment { id: "ablation", title: "Design-choice ablations", run: ablation::run },
+        Experiment { id: "ablation", title: "Design-choice ablations", plan: ablation::plan },
         Experiment {
             id: "heatmap",
             title: "Section 5 — per-link mesh occupancy heatmaps",
-            run: heatmap::run,
+            plan: heatmap::plan,
         },
         Experiment {
             id: "whatif",
             title: "Causal what-if profiles — cost-class sensitivity",
-            run: whatif::run,
+            plan: whatif::plan,
         },
     ]
 }
 
-/// Run one experiment, wrapping it with wall-clock and engine
-/// telemetry. Returns the structured report, the legacy text, and any
-/// sidecar artifacts the experiment queued.
+/// What one executed unit produced: its context (text/rows/shapes/
+/// artifacts), its value for finalize, and its own metered cost.
+pub(crate) struct UnitOutcome {
+    pub(crate) key: String,
+    pub(crate) ctx: ExpCtx,
+    pub(crate) value: Option<UnitValue>,
+    pub(crate) metrics: SelfMetrics,
+}
+
+/// Execute one unit on the calling thread, metering its wall time and
+/// exactly its own engine work (thread-local telemetry scope — safe
+/// under any number of concurrently executing units).
+pub(crate) fn execute_unit(unit: Unit, quick: bool) -> UnitOutcome {
+    let mut ctx = ExpCtx::new(quick);
+    let _ = scc_sim::telemetry::take_thread();
+    let wall = std::time::Instant::now();
+    let value = (unit.run)(&mut ctx);
+    let wall_s = wall.elapsed().as_secs_f64();
+    let d = scc_sim::telemetry::take_thread();
+    UnitOutcome {
+        key: unit.key,
+        ctx,
+        value,
+        metrics: SelfMetrics {
+            wall_s,
+            sim_runs: d.runs,
+            sim_events: d.events,
+            heap_pushes: d.heap_pushes,
+            coalesced_steps: d.coalesced_steps,
+            units: 0, // set by `assemble` to the merged unit count
+        },
+    }
+}
+
+/// Merge executed units (in declaration order — the caller must pass
+/// them so) and run the finalize step. This is the deterministic-merge
+/// half of the parallel runner: given the same unit values, the result
+/// is byte-identical however the units were scheduled.
+pub(crate) fn assemble(
+    exp: &Experiment,
+    quick: bool,
+    finalize: Option<FinalizeFn>,
+    outcomes: Vec<UnitOutcome>,
+) -> (ExperimentReport, String, Vec<(String, String)>) {
+    let unit_count = outcomes.len() as u64;
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let mut shapes = Vec::new();
+    let mut artifacts = Vec::new();
+    let mut metrics = SelfMetrics::default();
+    let mut values = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        text.push_str(&o.ctx.out);
+        rows.extend(o.ctx.rows);
+        shapes.extend(o.ctx.shapes);
+        artifacts.extend(o.ctx.artifacts);
+        metrics.absorb(&o.metrics);
+        values.push((o.key, o.value));
+    }
+    if let Some(f) = finalize {
+        let values = Values { items: values.into_iter() };
+        let fin = execute_unit(
+            Unit {
+                key: "finalize".to_string(),
+                cost: 0,
+                run: Box::new(move |ctx| {
+                    f(ctx, values);
+                    None
+                }),
+            },
+            quick,
+        );
+        text.push_str(&fin.ctx.out);
+        rows.extend(fin.ctx.rows);
+        shapes.extend(fin.ctx.shapes);
+        artifacts.extend(fin.ctx.artifacts);
+        metrics.absorb(&fin.metrics);
+    }
+    metrics.units = unit_count;
+    let report = ExperimentReport {
+        id: exp.id.to_string(),
+        title: exp.title.to_string(),
+        rows,
+        shapes,
+        metrics,
+    };
+    (report, text, artifacts)
+}
+
+/// Run one experiment sequentially on the calling thread — the exact
+/// legacy path (`--jobs 1`). Returns the structured report, the legacy
+/// text, and any sidecar artifacts the experiment queued.
 pub fn run_experiment_full(
     exp: &Experiment,
     quick: bool,
 ) -> (ExperimentReport, String, Vec<(String, String)>) {
-    let mut ctx = ExpCtx::new(quick);
-    let wall = std::time::Instant::now();
-    let before = scc_sim::telemetry::snapshot();
-    (exp.run)(&mut ctx);
-    let delta = scc_sim::telemetry::snapshot().since(&before);
-    let metrics = SelfMetrics {
-        wall_s: wall.elapsed().as_secs_f64(),
-        sim_runs: delta.runs,
-        sim_events: delta.events,
-        heap_pushes: delta.heap_pushes,
-        coalesced_steps: delta.coalesced_steps,
-    };
-    let report = ExperimentReport {
-        id: exp.id.to_string(),
-        title: exp.title.to_string(),
-        rows: ctx.rows,
-        shapes: ctx.shapes,
-        metrics,
-    };
-    (report, ctx.out, ctx.artifacts)
+    let mut sweep = Sweep::new(quick);
+    (exp.plan)(&mut sweep);
+    let Sweep { units, finalize, .. } = sweep;
+    let outcomes = units.into_iter().map(|u| execute_unit(u, quick)).collect();
+    assemble(exp, quick, finalize, outcomes)
 }
 
 /// [`run_experiment_full`] without the artifact channel — the form the
@@ -209,15 +409,18 @@ pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, Strin
     (report, out)
 }
 
-/// Entry point of the thin wrapper binaries: run the experiment, print
-/// its classic text, and die (like the old inline `assert!`s did) if
-/// any paper shape claim failed.
+/// Entry point of the thin wrapper binaries: run the experiment
+/// (respecting `--jobs N` / `SCC_JOBS`, default all host cores — safe
+/// because the output is byte-identical at any job count), print its
+/// classic text, and die (like the old inline `assert!`s did) if any
+/// paper shape claim failed.
 pub fn run_standalone(id: &str) {
     let exp = registry()
         .into_iter()
         .find(|e| e.id == id)
         .unwrap_or_else(|| panic!("unknown experiment `{id}`"));
-    let (report, out) = run_experiment(&exp, crate::quick());
+    let jobs = crate::pool::jobs_from_args(std::env::args().skip(1));
+    let (report, out, _artifacts) = crate::runner::run_experiment_jobs(&exp, crate::quick(), jobs);
     print!("{out}");
     for s in &report.shapes {
         assert!(s.pass, "[{id}] shape check `{}` failed: {}", s.name, s.detail);
@@ -249,5 +452,40 @@ mod tests {
         assert!(!out.is_empty());
         assert!(report.shapes_pass(), "{:?}", report.shapes);
         assert!(report.metrics.wall_s > 0.0);
+        assert!(report.metrics.units >= 1);
+    }
+
+    #[test]
+    fn every_experiment_decomposes_into_units() {
+        for exp in registry() {
+            let mut sweep = Sweep::new(true);
+            (exp.plan)(&mut sweep);
+            assert!(!sweep.units.is_empty(), "{}: empty sweep", exp.id);
+            // Keys are asserted unique at push time; re-check here so a
+            // relaxed push never slips through.
+            let mut keys: Vec<&str> = sweep.units.iter().map(|u| u.key.as_str()).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), sweep.units.len(), "{}: duplicate keys", exp.id);
+        }
+    }
+
+    #[test]
+    fn values_flow_from_units_to_finalize_in_declaration_order() {
+        let mut sweep = Sweep::new(true);
+        sweep.value_unit("a", |_| 10u64);
+        sweep.unit("textual", |ctx| outln!(ctx, "mid"));
+        sweep.value_unit_w("b", 99, |_| 32u64);
+        sweep.finalize(|ctx, mut values| {
+            let a = values.next_as::<u64>();
+            let b = values.next_as::<u64>();
+            outln!(ctx, "sum {}", a + b);
+        });
+        let Sweep { units, finalize, .. } = sweep;
+        let outcomes = units.into_iter().map(|u| execute_unit(u, true)).collect();
+        let exp = Experiment { id: "t", title: "t", plan: |_| {} };
+        let (report, text, _) = assemble(&exp, true, finalize, outcomes);
+        assert_eq!(text, "mid\nsum 42\n");
+        assert_eq!(report.metrics.units, 3);
     }
 }

@@ -2,12 +2,17 @@
 //! (k = 2, 7, 47) vs the two-sided scatter-allgather, both from the
 //! simplified Formulas (15)/(16) and from the complete model.
 
-use super::{outln, ExpCtx};
+use super::{outln, ExpCtx, Sweep};
 use scc_model::bcast::FullModelCfg;
 use scc_model::series::table2_rows;
 use scc_model::{oc_throughput_simplified, sag_throughput_simplified, ModelParams};
 
-pub(super) fn run(ctx: &mut ExpCtx) {
+pub(super) fn plan(sweep: &mut Sweep) {
+    // Model-only (no simulator in the loop) — one unit.
+    sweep.unit("table", run);
+}
+
+fn run(ctx: &mut ExpCtx) {
     let params = ModelParams::paper();
     let cfg = FullModelCfg::default();
     let rows = table2_rows(&params, &cfg, 48, &[2, 7, 47]).expect("static sweep");

@@ -20,10 +20,12 @@
 //! [`scc_obs::ARTIFACT_VERSION`]) through the experiment's artifact
 //! channel, so `observatory` writes it next to `BENCH_figures.json`.
 
-use super::{outln, ExpCtx};
-use crate::{whatif_profile, Scenario};
+use super::{outln, Sweep};
+use crate::{measure_scenario, Scenario};
 use oc_bcast::Algorithm;
-use scc_obs::{validate_json, CostClass, Json, WhatIfProfile, ARTIFACT_VERSION};
+use scc_hal::Time;
+use scc_obs::{validate_json, CostClass, Json, WhatIfPoint, WhatIfProfile, ARTIFACT_VERSION};
+use scc_sim::SimParams;
 
 /// The two extremes the paper contrasts.
 fn scenarios() -> [Scenario; 2] {
@@ -53,67 +55,112 @@ pub fn whatif_artifact(profiles: &[WhatIfProfile], quick: bool) -> String {
     rendered + "\n"
 }
 
-pub fn run(ctx: &mut ExpCtx) {
-    let fs = factors(ctx.quick);
-    let mut profiles = Vec::new();
+pub(super) fn plan(sweep: &mut Sweep) {
+    let fs = factors(sweep.quick);
+    // The what-if scan decomposes naturally: one unit for each
+    // scenario's nominal run, one per (scenario, cost class) for that
+    // class's scaled reruns. Profiles reassemble in finalize with the
+    // points in `CostClass::ALL` order — exactly what
+    // `crate::whatif_profile` produces sequentially.
     for sc in scenarios() {
-        let p = whatif_profile(&sc, fs).expect("what-if scan");
-        outln!(ctx, "{}", p.render_markdown());
+        let nominal_sc = sc.clone();
+        sweep.value_unit_w(format!("{} nominal", sc.label), sc.lines as u64, move |_| {
+            measure_scenario(&nominal_sc, SimParams::default()).expect("what-if scan")
+        });
         for class in CostClass::ALL {
-            let s = p.sensitivity(class).expect("all classes swept");
-            // Sensitivities are exact on the deterministic simulator;
-            // the band exists to absorb deliberate cost-model retunes
-            // on classes that barely matter (absolute movement of a
-            // near-zero sensitivity is what we care about, so the band
-            // is generous for small values via the gate's max(|old|,
-            // 1e-9) scale — a 0.35 dominating sensitivity still may not
-            // move 25% without tripping).
-            ctx.row(format!("{} sens {}", sc.label, class.name()), None, None, s, 0.25, "dM/dc");
+            let class_sc = sc.clone();
+            sweep.value_unit_w(
+                format!("{} scale {}", sc.label, class.name()),
+                sc.lines as u64 * fs.len() as u64,
+                move |_| {
+                    let base = SimParams::default();
+                    fs.iter()
+                        .map(|&factor| {
+                            let makespan = measure_scenario(&class_sc, base.scaled(class, factor))
+                                .expect("what-if scan");
+                            WhatIfPoint { class, factor, makespan }
+                        })
+                        .collect::<Vec<WhatIfPoint>>()
+                },
+            );
         }
-        profiles.push(p);
     }
 
-    let [oc, binomial] = &profiles[..] else { unreachable!("two scenarios") };
+    sweep.finalize(move |ctx, mut values| {
+        let mut profiles = Vec::new();
+        for sc in scenarios() {
+            let nominal = values.next_as::<Time>();
+            let mut points = Vec::new();
+            for _ in CostClass::ALL {
+                points.extend(values.next_as::<Vec<WhatIfPoint>>());
+            }
+            let p = WhatIfProfile { scenario: sc.label.clone(), nominal, points };
+            outln!(ctx, "{}", p.render_markdown());
+            for class in CostClass::ALL {
+                let s = p.sensitivity(class).expect("all classes swept");
+                // Sensitivities are exact on the deterministic simulator;
+                // the band exists to absorb deliberate cost-model retunes
+                // on classes that barely matter (absolute movement of a
+                // near-zero sensitivity is what we care about, so the band
+                // is generous for small values via the gate's max(|old|,
+                // 1e-9) scale — a 0.35 dominating sensitivity still may not
+                // move 25% without tripping).
+                ctx.row(
+                    format!("{} sens {}", sc.label, class.name()),
+                    None,
+                    None,
+                    s,
+                    0.25,
+                    "dM/dc",
+                );
+            }
+            profiles.push(p);
+        }
 
-    let sens = |p: &WhatIfProfile, c: CostClass| p.sensitivity(c).unwrap_or(0.0);
-    let oc_port = sens(oc, CostClass::PortService);
-    let oc_hop = sens(oc, CostClass::RouterHop);
-    ctx.shape(
-        "flat-tree OC-Bcast 96CL is port-bound",
-        oc.dominant_hardware() == Some(CostClass::PortService) && oc_port > 2.0 * oc_hop,
-        format!(
-            "hardware sensitivities: port {oc_port:.3} vs hop {oc_hop:.3} (dominant: {:?})",
-            oc.dominant_hardware().map(CostClass::name)
-        ),
-    );
+        let [oc, binomial] = &profiles[..] else { unreachable!("two scenarios") };
 
-    let bin_hop = sens(binomial, CostClass::RouterHop);
-    let bin_port = sens(binomial, CostClass::PortService);
-    ctx.shape(
-        "binomial 1CL is latency-bound in the fabric",
-        binomial.dominant_hardware() == Some(CostClass::RouterHop),
-        format!(
-            "hardware sensitivities: hop {bin_hop:.3} vs port {bin_port:.3} (dominant: {:?})",
-            binomial.dominant_hardware().map(CostClass::name)
-        ),
-    );
+        let sens = |p: &WhatIfProfile, c: CostClass| p.sensitivity(c).unwrap_or(0.0);
+        let oc_port = sens(oc, CostClass::PortService);
+        let oc_hop = sens(oc, CostClass::RouterHop);
+        ctx.shape(
+            "flat-tree OC-Bcast 96CL is port-bound",
+            oc.dominant_hardware() == Some(CostClass::PortService) && oc_port > 2.0 * oc_hop,
+            format!(
+                "hardware sensitivities: port {oc_port:.3} vs hop {oc_hop:.3} (dominant: {:?})",
+                oc.dominant_hardware().map(CostClass::name)
+            ),
+        );
 
-    let bin_o = sens(binomial, CostClass::CoreOverhead);
-    ctx.shape(
-        "binomial 1CL overall cost is software overhead",
-        binomial.dominant() == Some(CostClass::CoreOverhead) && bin_o > 0.5,
-        format!("core-overhead sensitivity {bin_o:.3} (LogP o dominates rounds of tiny messages)"),
-    );
+        let bin_hop = sens(binomial, CostClass::RouterHop);
+        let bin_port = sens(binomial, CostClass::PortService);
+        ctx.shape(
+            "binomial 1CL is latency-bound in the fabric",
+            binomial.dominant_hardware() == Some(CostClass::RouterHop),
+            format!(
+                "hardware sensitivities: hop {bin_hop:.3} vs port {bin_port:.3} (dominant: {:?})",
+                binomial.dominant_hardware().map(CostClass::name)
+            ),
+        );
 
-    // Port scaling must *never* matter for the uncongested binomial the
-    // way it does for the flat tree — the contrast itself is the claim.
-    ctx.shape(
-        "port sensitivity separates the two protocols",
-        oc_port > 4.0 * bin_port,
-        format!("flat-tree port sensitivity {oc_port:.3} vs binomial {bin_port:.3}"),
-    );
+        let bin_o = sens(binomial, CostClass::CoreOverhead);
+        ctx.shape(
+            "binomial 1CL overall cost is software overhead",
+            binomial.dominant() == Some(CostClass::CoreOverhead) && bin_o > 0.5,
+            format!(
+                "core-overhead sensitivity {bin_o:.3} (LogP o dominates rounds of tiny messages)"
+            ),
+        );
 
-    ctx.artifact("BENCH_whatif.json", whatif_artifact(&profiles, ctx.quick));
+        // Port scaling must *never* matter for the uncongested binomial the
+        // way it does for the flat tree — the contrast itself is the claim.
+        ctx.shape(
+            "port sensitivity separates the two protocols",
+            oc_port > 4.0 * bin_port,
+            format!("flat-tree port sensitivity {oc_port:.3} vs binomial {bin_port:.3}"),
+        );
+
+        ctx.artifact("BENCH_whatif.json", whatif_artifact(&profiles, ctx.quick));
+    });
 }
 
 #[cfg(test)]

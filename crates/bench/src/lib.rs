@@ -34,10 +34,13 @@ use scc_rcce::{Barrier, MpbAllocator};
 use scc_sim::{run_spmd, SimConfig, SimError, SimParams};
 
 pub mod experiments;
+pub mod pool;
+pub mod runner;
 pub use experiments::{
     registry, run_experiment, run_experiment_full, run_standalone, whatif_artifact, ExpCtx,
-    Experiment,
+    Experiment, Sweep, Values,
 };
+pub use runner::{run_experiment_jobs, run_registry, ExpOutput, RegistryRun};
 
 /// Default simulator configuration for the paper's experiments: the
 /// full 48-core chip.

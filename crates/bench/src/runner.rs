@@ -1,0 +1,147 @@
+//! The parallel registry runner: two-level fan-out with a
+//! deterministic merge.
+//!
+//! The observatory's work is a forest — independent experiments, each
+//! an ordered list of independent sweep units. This module flattens the
+//! *entire* forest into one task list for [`crate::pool::run_tasks`],
+//! so a wide experiment's units and a narrow experiment's units share
+//! the same worker threads (level 1: across experiments, level 2:
+//! within one experiment). Unit outcomes come back in submission order;
+//! each experiment's chunk is then assembled — text, rows, shapes, and
+//! artifacts concatenated in declaration order, finalize last — on the
+//! calling thread, in registry order. Because every unit's value is a
+//! pure function of its configuration (the simulator is deterministic),
+//! the merged output is byte-identical to the sequential run at any
+//! `--jobs` count.
+//!
+//! `jobs <= 1` bypasses all of this and takes the exact legacy
+//! sequential path ([`crate::run_experiment_full`] per experiment, in
+//! registry order, on the calling thread).
+
+use crate::experiments::{assemble, execute_unit, Experiment, Sweep};
+use crate::pool::{run_tasks, Task};
+use scc_obs::{ExperimentReport, RunMetrics};
+
+/// One experiment's merged output, exactly what the sequential
+/// [`crate::run_experiment_full`] returns.
+pub struct ExpOutput {
+    pub report: ExperimentReport,
+    pub text: String,
+    pub artifacts: Vec<(String, String)>,
+}
+
+/// Everything one registry execution produced: per-experiment outputs
+/// in registry order, plus the run's own scheduling self-metrics.
+pub struct RegistryRun {
+    pub outputs: Vec<ExpOutput>,
+    pub run: RunMetrics,
+}
+
+/// Run one experiment with `jobs` workers fanning out over its sweep
+/// units. `jobs <= 1` is the exact legacy sequential path.
+pub fn run_experiment_jobs(
+    exp: &Experiment,
+    quick: bool,
+    jobs: usize,
+) -> (ExperimentReport, String, Vec<(String, String)>) {
+    if jobs <= 1 {
+        return crate::run_experiment_full(exp, quick);
+    }
+    let mut sweep = Sweep::new(quick);
+    (exp.plan)(&mut sweep);
+    let Sweep { units, finalize, .. } = sweep;
+    let tasks: Vec<Task<_>> = units
+        .into_iter()
+        .map(|u| Task { cost: u.cost, run: Box::new(move || execute_unit(u, quick)) as Box<_> })
+        .collect();
+    let outcomes = run_tasks(jobs, tasks);
+    assemble(exp, quick, finalize, outcomes)
+}
+
+/// Run a whole registry slice with `jobs` workers shared across *all*
+/// experiments' units, merging each experiment deterministically.
+pub fn run_registry(reg: Vec<Experiment>, quick: bool, jobs: usize) -> RegistryRun {
+    scc_sim::telemetry::reset_peak_in_flight();
+    let wall = std::time::Instant::now();
+
+    let outputs: Vec<ExpOutput> = if jobs <= 1 {
+        reg.iter()
+            .map(|exp| {
+                let (report, text, artifacts) = crate::run_experiment_full(exp, quick);
+                ExpOutput { report, text, artifacts }
+            })
+            .collect()
+    } else {
+        // Plan every experiment, then flatten all units into ONE task
+        // list so workers drain the global longest-first queue — a
+        // heavyweight fig8b unit can overlap fig3's many light ones.
+        let mut tasks: Vec<Task<_>> = Vec::new();
+        let mut plans = Vec::with_capacity(reg.len());
+        for exp in &reg {
+            let mut sweep = Sweep::new(quick);
+            (exp.plan)(&mut sweep);
+            let Sweep { units, finalize, .. } = sweep;
+            plans.push((units.len(), finalize));
+            tasks.extend(units.into_iter().map(|u| Task {
+                cost: u.cost,
+                run: Box::new(move || execute_unit(u, quick)) as Box<_>,
+            }));
+        }
+        let mut rest = run_tasks(jobs, tasks);
+        // Unzip the flat outcome list back into per-experiment chunks
+        // (submission order == registry-then-declaration order) and
+        // finalize each on this thread, in registry order.
+        reg.iter()
+            .zip(plans)
+            .map(|(exp, (len, finalize))| {
+                let outcomes = rest.drain(..len).collect();
+                let (report, text, artifacts) = assemble(exp, quick, finalize, outcomes);
+                ExpOutput { report, text, artifacts }
+            })
+            .collect()
+    };
+
+    let wall_s = wall.elapsed().as_secs_f64();
+    let run = RunMetrics {
+        jobs: jobs as u64,
+        units: outputs.iter().map(|o| o.report.metrics.units).sum(),
+        wall_s,
+        seq_s: outputs.iter().map(|o| o.report.metrics.wall_s).sum(),
+        peak_in_flight: scc_sim::telemetry::peak_in_flight(),
+    };
+    RegistryRun { outputs, run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(ids: &[&str]) -> Vec<Experiment> {
+        crate::registry().into_iter().filter(|e| ids.contains(&e.id)).collect()
+    }
+
+    #[test]
+    fn single_experiment_parallel_matches_sequential() {
+        let reg = crate::registry();
+        let exp = reg.iter().find(|e| e.id == "linkstress").unwrap();
+        let (r1, t1, a1) = crate::run_experiment_full(exp, true);
+        let (r4, t4, a4) = run_experiment_jobs(exp, true, 4);
+        assert_eq!(t1, t4, "linkstress text must be byte-identical at jobs=4");
+        assert_eq!(a1, a4);
+        assert_eq!(r1.rows.len(), r4.rows.len());
+        for (a, b) in r1.rows.iter().zip(&r4.rows) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.sim_measured, b.sim_measured, "{}", a.point);
+        }
+    }
+
+    #[test]
+    fn registry_run_reports_scheduling_metrics() {
+        let out = run_registry(slice(&["fig5", "fig6"]), true, 2);
+        assert_eq!(out.outputs.len(), 2);
+        assert_eq!(out.run.jobs, 2);
+        assert!(out.run.units >= 2);
+        assert!(out.run.wall_s > 0.0 && out.run.seq_s > 0.0);
+        assert_eq!(out.run.units, out.outputs.iter().map(|o| o.report.metrics.units).sum::<u64>());
+    }
+}

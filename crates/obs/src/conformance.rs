@@ -87,9 +87,18 @@ impl ShapeCheck {
 }
 
 /// Host-side cost of producing one experiment's measurements.
+///
+/// The engine counters (`sim_runs`, `sim_events`, `heap_pushes`,
+/// `coalesced_steps`) are attributed per experiment by summing each
+/// sweep unit's own run stats, so they are exact and deterministic even
+/// when experiments execute concurrently. `wall_s` is the sum of the
+/// units' individual wall times — the *sequential-equivalent* cost —
+/// which keeps its meaning under a parallel runner (the whole-run wall
+/// clock lives in [`RunMetrics`] instead).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SelfMetrics {
-    /// Wall-clock seconds spent inside the experiment.
+    /// Sequential-equivalent wall-clock seconds: the sum over this
+    /// experiment's sweep units of each unit's own elapsed time.
     pub wall_s: f64,
     /// Simulator runs launched.
     pub sim_runs: u64,
@@ -99,13 +108,66 @@ pub struct SelfMetrics {
     pub heap_pushes: u64,
     /// Heap round-trips elided by the coalescing fast path.
     pub coalesced_steps: u64,
+    /// Independently schedulable sweep units the experiment decomposed
+    /// into (0 in reports predating the parallel runner).
+    pub units: u64,
 }
 
 impl SelfMetrics {
-    /// Engine throughput while this experiment ran.
+    /// Engine throughput while this experiment ran (against the
+    /// sequential-equivalent time).
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_s > 0.0 {
             self.sim_events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another metrics bundle into this one (used when merging
+    /// sweep units into an experiment report).
+    pub fn absorb(&mut self, other: &SelfMetrics) {
+        self.wall_s += other.wall_s;
+        self.sim_runs += other.sim_runs;
+        self.sim_events += other.sim_events;
+        self.heap_pushes += other.heap_pushes;
+        self.coalesced_steps += other.coalesced_steps;
+        self.units += other.units;
+    }
+}
+
+/// Whole-run self-metrics of one observatory invocation: how the
+/// parallel runner actually performed. Excluded from the drift gate and
+/// from `CONFORMANCE.md` (wall clock is host-dependent); carried in
+/// `BENCH_figures.json` so CI can track the speedup across PRs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Worker threads the runner was allowed (`--jobs`).
+    pub jobs: u64,
+    /// Sweep units executed across all experiments.
+    pub units: u64,
+    /// Actual wall-clock seconds for the whole registry run.
+    pub wall_s: f64,
+    /// Sequential-equivalent seconds (sum of per-unit wall times).
+    pub seq_s: f64,
+    /// High-water mark of concurrently executing simulations.
+    pub peak_in_flight: u64,
+}
+
+impl RunMetrics {
+    /// Measured speedup over the sequential-equivalent cost.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.seq_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Sweep units retired per wall-clock second.
+    pub fn units_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.units as f64 / self.wall_s
         } else {
             0.0
         }
@@ -140,11 +202,14 @@ pub struct ConformanceReport {
     /// refuses to compare across modes.
     pub quick: bool,
     pub experiments: Vec<ExperimentReport>,
+    /// Whole-run runner metrics (absent in reports predating the
+    /// parallel runner, and in hand-assembled partial reports).
+    pub run: Option<RunMetrics>,
 }
 
 impl ConformanceReport {
     pub fn new(quick: bool) -> ConformanceReport {
-        ConformanceReport { schema: SCHEMA_VERSION, quick, experiments: Vec::new() }
+        ConformanceReport { schema: SCHEMA_VERSION, quick, experiments: Vec::new(), run: None }
     }
 
     pub fn experiment(&self, id: &str) -> Option<&ExperimentReport> {
@@ -198,14 +263,29 @@ impl ConformanceReport {
                             .set("sim_events", Json::Int(m.sim_events as i64))
                             .set("heap_pushes", Json::Int(m.heap_pushes as i64))
                             .set("coalesced_steps", Json::Int(m.coalesced_steps as i64))
+                            .set("units", Json::Int(m.units as i64))
                             .set("events_per_sec", Json::Num(m.events_per_sec())),
                     )
             })
             .collect();
-        Json::obj()
+        let doc = Json::obj()
             .set("schema", Json::Int(self.schema))
             .set("quick", Json::Bool(self.quick))
-            .set("experiments", Json::Arr(experiments))
+            .set("experiments", Json::Arr(experiments));
+        match &self.run {
+            Some(r) => doc.set(
+                "run",
+                Json::obj()
+                    .set("jobs", Json::Int(r.jobs as i64))
+                    .set("units", Json::Int(r.units as i64))
+                    .set("wall_s", Json::Num(r.wall_s))
+                    .set("seq_s", Json::Num(r.seq_s))
+                    .set("peak_in_flight", Json::Int(r.peak_in_flight as i64))
+                    .set("speedup", Json::Num(r.speedup()))
+                    .set("units_per_sec", Json::Num(r.units_per_sec())),
+            ),
+            None => doc,
+        }
     }
 
     /// Parse a rendered report back (e.g. the committed CI baseline).
@@ -246,30 +326,46 @@ impl ConformanceReport {
                 sim_events: req_f64(m, "sim_events")? as u64,
                 heap_pushes: req_f64(m, "heap_pushes")? as u64,
                 coalesced_steps: req_f64(m, "coalesced_steps")? as u64,
+                // Absent in baselines written before the parallel runner.
+                units: m.get("units").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             };
             experiments.push(ExperimentReport { id, title, rows, shapes, metrics });
         }
-        Ok(ConformanceReport { schema, quick, experiments })
+        let run = match v.get("run") {
+            Some(r) => Some(RunMetrics {
+                jobs: req_f64(r, "jobs")? as u64,
+                units: req_f64(r, "units")? as u64,
+                wall_s: req_f64(r, "wall_s")?,
+                seq_s: req_f64(r, "seq_s")?,
+                peak_in_flight: req_f64(r, "peak_in_flight")? as u64,
+            }),
+            None => None,
+        };
+        Ok(ConformanceReport { schema, quick, experiments, run })
     }
 
     /// The human-readable drift report (`results/CONFORMANCE.md`).
+    ///
+    /// Deliberately deterministic: only engine counters (exact on the
+    /// deterministic simulator) appear, never wall-clock or derived
+    /// rates, so the rendered file is byte-identical across hosts and
+    /// across `--jobs` settings. Wall-clock self-metrics live in
+    /// `BENCH_figures.json` only.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         let shapes_total: usize = self.experiments.iter().map(|e| e.shapes.len()).sum();
         let shapes_fail: usize =
             self.experiments.iter().flat_map(|e| &e.shapes).filter(|s| !s.pass).count();
-        let wall: f64 = self.experiments.iter().map(|e| e.metrics.wall_s).sum();
         let events: u64 = self.experiments.iter().map(|e| e.metrics.sim_events).sum();
         let _ = writeln!(out, "# Conformance report\n");
         let _ = writeln!(
             out,
             "Mode: **{}** · {} experiments · {} shape checks ({} failing) · \
-             {:.1}s wall · {:.1}M engine events\n",
+             {:.1}M engine events\n",
             if self.quick { "quick" } else { "full" },
             self.experiments.len(),
             shapes_total,
             shapes_fail,
-            wall,
             events as f64 / 1e6,
         );
         for e in &self.experiments {
@@ -277,12 +373,11 @@ impl ConformanceReport {
             let m = &e.metrics;
             let _ = writeln!(
                 out,
-                "{:.2}s wall · {} sim runs · {:.2}M events · {:.1}M events/s · \
+                "{} sim runs · {} sweep units · {:.2}M events · \
                  {:.2}M heap pushes · {:.2}M coalesced\n",
-                m.wall_s,
                 m.sim_runs,
+                m.units,
                 m.sim_events as f64 / 1e6,
-                m.events_per_sec() / 1e6,
                 m.heap_pushes as f64 / 1e6,
                 m.coalesced_steps as f64 / 1e6,
             );
@@ -510,8 +605,10 @@ mod tests {
                 sim_events: 4_000_000,
                 heap_pushes: 3_000_000,
                 coalesced_steps: 1_000_000,
+                units: 3,
             },
         });
+        r.run = Some(RunMetrics { jobs: 4, units: 3, wall_s: 0.75, seq_s: 2.0, peak_in_flight: 4 });
         r
     }
 

@@ -58,7 +58,7 @@ pub mod whatif;
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
     drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
-    ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck, ARTIFACT_VERSION,
+    ExperimentReport, ExperimentRow, RunMetrics, SelfMetrics, ShapeCheck, ARTIFACT_VERSION,
 };
 pub use critpath::{
     critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,

@@ -887,6 +887,7 @@ where
 {
     let n = cfg.num_cores;
     assert!((1..=NUM_CORES).contains(&n), "num_cores must be in 1..=48");
+    let _in_flight = crate::telemetry::InFlightGuard::enter();
     let shared = Arc::new(Shared {
         engine: Mutex::new(Engine::new(cfg)),
         grants: (0..n).map(|_| ParkCell::new()).collect(),

@@ -211,6 +211,9 @@ pub struct PooledWorker {
 }
 
 static SPAWNED: AtomicU64 = AtomicU64::new(0);
+static REUSED: AtomicU64 = AtomicU64::new(0);
+static RETIRED: AtomicU64 = AtomicU64::new(0);
+static PEAK_POOLED: AtomicU64 = AtomicU64::new(0);
 
 impl PooledWorker {
     fn spawn() -> PooledWorker {
@@ -258,6 +261,18 @@ fn free_list() -> &'static Mutex<Vec<PooledWorker>> {
     POOL.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Maximum idle workers kept parked between runs. One full-chip run
+/// plus one concurrent half-chip run stay warm; anything beyond that —
+/// the transient high-water mark of a wide parallel sweep — is retired
+/// at checkin rather than parked forever. Override with
+/// `SCC_SIM_POOL_CAP` (0 disables pooling entirely).
+pub fn pool_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SCC_SIM_POOL_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(72)
+    })
+}
+
 /// Take `n` idle workers from the process-wide pool, spawning only the
 /// shortfall. Concurrent checkouts receive disjoint workers.
 pub fn checkout(n: usize) -> Vec<PooledWorker> {
@@ -266,21 +281,60 @@ pub fn checkout(n: usize) -> Vec<PooledWorker> {
         let keep = free.len().saturating_sub(n);
         free.split_off(keep)
     };
+    REUSED.fetch_add(workers.len() as u64, Ordering::Relaxed);
     while workers.len() < n {
         workers.push(PooledWorker::spawn());
     }
     workers
 }
 
-/// Return workers to the pool for the next `run_spmd`.
-pub fn checkin(workers: Vec<PooledWorker>) {
-    free_list().lock().unwrap_or_else(|e| e.into_inner()).extend(workers);
+/// Return workers to the pool for the next `run_spmd`. The free list is
+/// capped at [`pool_cap`]; surplus workers are retired (their threads
+/// exit) so a burst of concurrent sims does not pin threads for the
+/// rest of the process lifetime.
+pub fn checkin(mut workers: Vec<PooledWorker>) {
+    let surplus = {
+        let mut free = free_list().lock().unwrap_or_else(|e| e.into_inner());
+        let room = pool_cap().saturating_sub(free.len());
+        let surplus = workers.split_off(workers.len().min(room));
+        free.append(&mut workers);
+        PEAK_POOLED.fetch_max(free.len() as u64, Ordering::Relaxed);
+        surplus
+    };
+    RETIRED.fetch_add(surplus.len() as u64, Ordering::Relaxed);
+    drop(surplus); // each Drop closes the job cell; the thread exits
 }
 
 /// Total worker threads ever spawned (counts pool misses; a sweep of
 /// hundreds of runs should stay at ~48).
 pub fn workers_spawned() -> u64 {
     SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Lifetime pool counters, reported in `BENCH_engine.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads ever spawned (pool misses).
+    pub spawned: u64,
+    /// Checkout requests satisfied from the free list.
+    pub reused: u64,
+    /// Workers retired at checkin because the free list was at cap.
+    pub retired: u64,
+    /// High-water mark of parked idle workers.
+    pub peak_pooled: u64,
+    /// The free-list cap in effect ([`pool_cap`]).
+    pub cap: u64,
+}
+
+/// Read the current pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        spawned: SPAWNED.load(Ordering::Relaxed),
+        reused: REUSED.load(Ordering::Relaxed),
+        retired: RETIRED.load(Ordering::Relaxed),
+        peak_pooled: PEAK_POOLED.load(Ordering::Relaxed),
+        cap: pool_cap() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -398,5 +452,31 @@ mod tests {
         ws[0].submit(Box::new(|| ()));
         ws[0].wait().unwrap();
         checkin(ws);
+    }
+
+    #[test]
+    fn checkin_retires_workers_beyond_the_cap() {
+        let cap = pool_cap();
+        let before = pool_stats();
+        // A burst wider than the cap: however full the free list is
+        // (other tests run in parallel), room ≤ cap, so at least the
+        // overshoot must be retired rather than parked.
+        let ws = checkout(cap + 4);
+        for w in &ws {
+            w.submit(Box::new(|| ()));
+        }
+        for w in &ws {
+            w.wait().unwrap();
+        }
+        checkin(ws);
+        let after = pool_stats();
+        assert!(
+            after.retired >= before.retired + 4,
+            "checkin of cap+4 workers must retire ≥ 4 (retired {} -> {})",
+            before.retired,
+            after.retired
+        );
+        assert!(after.peak_pooled <= cap as u64, "free list may never exceed the cap");
+        assert_eq!(after.cap, cap as u64);
     }
 }

@@ -1,18 +1,35 @@
-//! Process-wide cumulative engine counters.
+//! Engine counters: process-wide cumulative totals plus a per-thread
+//! attribution scope.
 //!
 //! Every successful [`crate::run_spmd`] adds its [`SimStats`] engine
 //! counters to a set of global atomics (one relaxed add per *run*, not
-//! per event — invisible next to the run itself). Harnesses that drive
-//! many simulations through helpers which do not surface per-run stats
-//! (`measure_bcast`, `measure_p2p`, …) can still attribute host-side
-//! engine work to each of their phases by snapshotting before and
-//! after: the `observatory` binary uses this for its per-experiment
-//! self-metrics (events retired, heap operations, events/sec).
+//! per event — invisible next to the run itself) **and** to a
+//! thread-local accumulator owned by the calling thread.
+//!
+//! The global atomics are *process totals*: they observe everything the
+//! process simulated, whoever drove it, and are what `engine_perf`
+//! reports. They are useless for attribution the moment two harness
+//! threads run simulations concurrently — a before/after snapshot then
+//! charges one thread with the other's events. Harnesses that need
+//! per-phase attribution (the `observatory`'s per-experiment
+//! self-metrics) use the thread-local scope instead: call
+//! [`take_thread`] to drain the calling thread's accumulated totals,
+//! run the phase, call [`take_thread`] again — the delta is exactly the
+//! engine work of the runs *this thread* completed, regardless of what
+//! any other thread did in the meantime. `run_spmd` blocks its caller
+//! for the whole run and folds the stats in before returning, so a
+//! run's work is always charged to the thread that asked for it.
+//!
+//! The module also keeps an in-flight gauge: how many `run_spmd` calls
+//! are currently executing, and the high-water mark since the last
+//! [`reset_peak_in_flight`] — the "peak concurrent simulations" number
+//! the parallel sweep runner reports.
 //!
 //! Virtual-time results are unaffected — these counters observe the
 //! engine, they never feed back into it.
 
 use crate::chip::SimStats;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static RUNS: AtomicU64 = AtomicU64::new(0);
@@ -21,6 +38,13 @@ static OPS: AtomicU64 = AtomicU64::new(0);
 static HEAP_PUSHES: AtomicU64 = AtomicU64::new(0);
 static COALESCED_STEPS: AtomicU64 = AtomicU64::new(0);
 static HANDOFFS: AtomicU64 = AtomicU64::new(0);
+
+static IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+static PEAK_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_TOTALS: Cell<EngineTotals> = const { Cell::new(EngineTotals::ZERO) };
+}
 
 /// Totals accumulated since process start (or the difference of two
 /// snapshots, see [`EngineTotals::since`]).
@@ -41,6 +65,15 @@ pub struct EngineTotals {
 }
 
 impl EngineTotals {
+    pub const ZERO: EngineTotals = EngineTotals {
+        runs: 0,
+        events: 0,
+        ops: 0,
+        heap_pushes: 0,
+        coalesced_steps: 0,
+        handoffs: 0,
+    };
+
     /// Counter deltas between an `earlier` snapshot and this one.
     pub fn since(&self, earlier: &EngineTotals) -> EngineTotals {
         EngineTotals {
@@ -50,6 +83,29 @@ impl EngineTotals {
             heap_pushes: self.heap_pushes - earlier.heap_pushes,
             coalesced_steps: self.coalesced_steps - earlier.coalesced_steps,
             handoffs: self.handoffs - earlier.handoffs,
+        }
+    }
+
+    /// Element-wise sum of two totals.
+    pub fn plus(&self, other: &EngineTotals) -> EngineTotals {
+        EngineTotals {
+            runs: self.runs + other.runs,
+            events: self.events + other.events,
+            ops: self.ops + other.ops,
+            heap_pushes: self.heap_pushes + other.heap_pushes,
+            coalesced_steps: self.coalesced_steps + other.coalesced_steps,
+            handoffs: self.handoffs + other.handoffs,
+        }
+    }
+
+    fn of_run(stats: &SimStats) -> EngineTotals {
+        EngineTotals {
+            runs: 1,
+            events: stats.events,
+            ops: stats.ops,
+            heap_pushes: stats.heap_pushes,
+            coalesced_steps: stats.coalesced_steps,
+            handoffs: stats.handoffs,
         }
     }
 }
@@ -66,7 +122,17 @@ pub fn snapshot() -> EngineTotals {
     }
 }
 
-/// Fold one successful run's counters into the totals.
+/// Drain the calling thread's accumulated totals: returns everything
+/// the thread's completed `run_spmd` calls added since the previous
+/// `take_thread` on this thread (or thread start) and resets the
+/// accumulator to zero. Attribution-safe under any number of
+/// concurrently simulating threads.
+pub fn take_thread() -> EngineTotals {
+    THREAD_TOTALS.with(|t| t.replace(EngineTotals::ZERO))
+}
+
+/// Fold one successful run's counters into the process totals and the
+/// calling thread's attribution scope.
 pub(crate) fn add_run(stats: &SimStats) {
     RUNS.fetch_add(1, Ordering::Relaxed);
     EVENTS.fetch_add(stats.events, Ordering::Relaxed);
@@ -74,6 +140,42 @@ pub(crate) fn add_run(stats: &SimStats) {
     HEAP_PUSHES.fetch_add(stats.heap_pushes, Ordering::Relaxed);
     COALESCED_STEPS.fetch_add(stats.coalesced_steps, Ordering::Relaxed);
     HANDOFFS.fetch_add(stats.handoffs, Ordering::Relaxed);
+    THREAD_TOTALS.with(|t| t.set(t.get().plus(&EngineTotals::of_run(stats))));
+}
+
+/// RAII guard around one in-flight `run_spmd`; created at run start,
+/// dropped on every exit path (success, error, panic unwind).
+pub(crate) struct InFlightGuard;
+
+impl InFlightGuard {
+    pub(crate) fn enter() -> InFlightGuard {
+        let now = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        PEAK_IN_FLIGHT.fetch_max(now, Ordering::Relaxed);
+        InFlightGuard
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Simulations executing right now.
+pub fn in_flight() -> u64 {
+    IN_FLIGHT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of concurrently executing simulations since the
+/// last [`reset_peak_in_flight`].
+pub fn peak_in_flight() -> u64 {
+    PEAK_IN_FLIGHT.load(Ordering::Relaxed)
+}
+
+/// Restart the peak gauge (e.g. at the start of a sweep) at the
+/// current in-flight level.
+pub fn reset_peak_in_flight() {
+    PEAK_IN_FLIGHT.store(IN_FLIGHT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -95,5 +197,33 @@ mod tests {
         assert!(delta.runs >= 1);
         assert!(delta.events >= rep.stats.events);
         assert!(delta.ops >= rep.stats.ops);
+    }
+
+    #[test]
+    fn thread_scope_charges_exactly_the_callers_runs() {
+        let cfg = crate::SimConfig { num_cores: 2, mem_bytes: 4096, ..Default::default() };
+        let prog = |c: &mut crate::SimCore| {
+            use scc_hal::{MpbAddr, Rma};
+            if c.core().index() == 0 {
+                c.put_from_mpb(0, MpbAddr::new(scc_hal::CoreId(1), 0), 8).unwrap();
+            }
+        };
+        let _ = take_thread();
+        let rep = crate::run_spmd(&cfg, prog).unwrap();
+        let mine = take_thread();
+        assert_eq!(mine.runs, 1);
+        assert_eq!(mine.events, rep.stats.events);
+        assert_eq!(mine.ops, rep.stats.ops);
+        assert_eq!(mine.heap_pushes, rep.stats.heap_pushes);
+        // Drained: a second take sees nothing.
+        assert_eq!(take_thread(), EngineTotals::ZERO);
+    }
+
+    #[test]
+    fn peak_in_flight_tracks_at_least_one_run() {
+        reset_peak_in_flight();
+        let cfg = crate::SimConfig { num_cores: 1, mem_bytes: 4096, ..Default::default() };
+        crate::run_spmd(&cfg, |_| ()).unwrap();
+        assert!(peak_in_flight() >= 1);
     }
 }
