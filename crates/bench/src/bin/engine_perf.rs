@@ -10,27 +10,14 @@
 //! `BENCH_engine.json` in the working directory.)
 
 use oc_bcast::{Algorithm, Broadcaster};
-use scc_bench::quick;
+use scc_bench::{engine_artifact, quick, EngineSample};
 use scc_hal::{CoreId, MemRange, MpbAddr, Rma, RmaResult};
 use scc_rcce::MpbAllocator;
 use scc_sim::{handoff, run_spmd, SimConfig, SimStats};
-use std::fmt::Write as _;
 use std::time::Instant;
 
-struct Sample {
-    label: String,
-    wall_s: f64,
-    stats: SimStats,
-}
-
-impl Sample {
-    fn events_per_sec(&self) -> f64 {
-        self.stats.events as f64 / self.wall_s
-    }
-}
-
 /// Time one full `run_spmd` with the given workload.
-fn timed<F>(cfg: &SimConfig, label: &str, reps: u32, f: F) -> Sample
+fn timed<F>(cfg: &SimConfig, label: &str, reps: u32, f: F) -> EngineSample
 where
     F: Fn(&mut scc_sim::SimCore) -> RmaResult<()> + Send + Sync,
 {
@@ -43,17 +30,17 @@ where
         stats = rep.stats; // identical every rep (deterministic engine)
     }
     let wall_s = t0.elapsed().as_secs_f64() / reps as f64;
-    Sample { label: label.into(), wall_s, stats }
+    EngineSample { label: label.into(), wall_s, stats }
 }
 
 /// Fixed per-run cost at P = 48: worker dispatch, chip construction,
 /// start grants, teardown — no ops at all.
-fn null_run(reps: u32) -> Sample {
+fn null_run(reps: u32) -> EngineSample {
     let cfg = SimConfig { num_cores: 48, mem_bytes: 4096, ..SimConfig::default() };
     timed(&cfg, "null_p48", reps, |_| Ok(()))
 }
 
-fn raw_ops(reps: u32) -> Sample {
+fn raw_ops(reps: u32) -> EngineSample {
     let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, ..SimConfig::default() };
     let ops = 10_000usize;
     timed(&cfg, "raw_one_line_puts_10k", reps, move |core| {
@@ -66,7 +53,7 @@ fn raw_ops(reps: u32) -> Sample {
     })
 }
 
-fn bcast_point(lines: usize, reps: u32) -> Sample {
+fn bcast_point(lines: usize, reps: u32) -> EngineSample {
     // 256 KB of private memory per core is plenty for the largest
     // sweep point (4608 lines = 144 KB) and keeps chip construction
     // out of the measurement.
@@ -81,22 +68,6 @@ fn bcast_point(lines: usize, reps: u32) -> Sample {
         }
         bc.bcast(core, CoreId(0), MemRange::new(0, bytes))
     })
-}
-
-fn json_sample(out: &mut String, s: &Sample, indent: &str) {
-    let _ = write!(
-        out,
-        "{indent}{{\"label\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
-         \"heap_pushes\": {}, \"coalesced_steps\": {}, \"handoffs\": {}, \"lines_moved\": {}}}",
-        s.label,
-        s.wall_s,
-        s.stats.events,
-        s.events_per_sec(),
-        s.stats.heap_pushes,
-        s.stats.coalesced_steps,
-        s.stats.handoffs,
-        s.stats.lines_moved,
-    );
 }
 
 fn main() {
@@ -140,31 +111,7 @@ fn main() {
         pool.reused, pool.retired, pool.peak_pooled, pool.cap
     );
 
-    let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"engine_perf\",\n");
-    let _ = writeln!(out, "  \"quick\": {},", quick());
-    let _ = writeln!(out, "  \"reps\": {reps},");
-    out.push_str("  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json_sample(&mut out, s, "    ");
-        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
-         \"workers_spawned\": {}, \"workers_reused\": {}, \"workers_retired\": {}, \
-         \"peak_pooled\": {}, \"pool_cap\": {}}}",
-        total_wall,
-        total_events,
-        total_events as f64 / total_wall,
-        pool.spawned,
-        pool.reused,
-        pool.retired,
-        pool.peak_pooled,
-        pool.cap
-    );
-    out.push_str("}\n");
+    let out = engine_artifact(quick(), reps, &samples, &pool);
     std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
     println!("# wrote BENCH_engine.json");
 }

@@ -19,6 +19,14 @@
 //!     [--baseline PATH]        drift-gate against this baseline
 //!     [--write-baseline PATH]  also write the fresh report here
 //!     [--artifact-dir DIR]     where experiment sidecars land (".")
+//!     [--journeys]             also write the journey sidecars the
+//!                              `skew` experiment produces
+//!                              (BENCH_journeys.json, results/SKEW.md,
+//!                              results/movie_<id>.txt) and stamp the
+//!                              gate-ignored `journeys` block into the
+//!                              report; without the flag those sidecars
+//!                              are dropped so default runs leave no
+//!                              new files behind
 //!     [--explain]              on gate failure, re-run the drifted
 //!                              experiments' scenarios with recording
 //!                              on and write a drift explanation
@@ -39,8 +47,8 @@ use scc_bench::{
 };
 use scc_obs::report::validate_json;
 use scc_obs::{
-    drift_gate, flamegraph_collapsed, ConformanceReport, DiffReport, DriftReport, PhaseProfile,
-    RunHistograms,
+    drift_gate, flamegraph_collapsed, parse_journeys_artifact, ConformanceReport, DiffReport,
+    DriftReport, JourneysMetrics, Json, PhaseProfile, RunHistograms,
 };
 use scc_sim::SimParams;
 use std::fmt::Write as _;
@@ -56,6 +64,7 @@ struct Args {
     baseline: Option<String>,
     write_baseline: Option<String>,
     artifact_dir: String,
+    journeys: bool,
     explain: bool,
     drift: String,
     flame_dir: String,
@@ -73,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: None,
         artifact_dir: ".".to_string(),
+        journeys: false,
         explain: false,
         drift: "results/DRIFT.md".to_string(),
         flame_dir: "results".to_string(),
@@ -91,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--jobs needs a positive integer")?
             }
             "--list" => args.list = true,
+            "--journeys" => args.journeys = true,
             "--explain" => args.explain = true,
             "--only" => {
                 args.only =
@@ -108,6 +119,13 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The sidecars only `--journeys` runs write (and the only artifacts
+/// the flag gates): the journey book, the skew digest, and the
+/// per-scenario congestion movies.
+fn is_journey_artifact(rel: &str) -> bool {
+    rel == "BENCH_journeys.json" || rel == "results/SKEW.md" || rel.starts_with("results/movie_")
 }
 
 /// Write `content`, creating parent directories as needed.
@@ -159,6 +177,7 @@ fn main() -> ExitCode {
 
     let mut report = ConformanceReport::new(args.quick);
     let mut heatmap_text = None;
+    let mut journeys_metrics: Option<JourneysMetrics> = None;
     for out in run.outputs {
         let exp_report = out.report;
         eprintln!(
@@ -175,6 +194,31 @@ fn main() -> ExitCode {
             heatmap_text = Some(out.text);
         }
         for (rel, contents) in &out.artifacts {
+            if is_journey_artifact(rel) {
+                if !args.journeys {
+                    continue;
+                }
+                if rel == "BENCH_journeys.json" {
+                    journeys_metrics = match Json::parse(contents)
+                        .map_err(|e| format!("unparseable {rel}: {e}"))
+                        .and_then(|doc| parse_journeys_artifact(&doc))
+                    {
+                        Ok(books) => Some(JourneysMetrics {
+                            scenarios: books.len() as u64,
+                            journeys: books.iter().map(|(_, b)| b.journeys.len() as u64).sum(),
+                            max_delivery_us: books
+                                .iter()
+                                .flat_map(|(_, b)| b.journeys.iter())
+                                .map(|j| j.latency().as_us_f64())
+                                .fold(0.0, f64::max),
+                        }),
+                        Err(e) => {
+                            eprintln!("observatory: BUG: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+            }
             let path = format!("{}/{rel}", args.artifact_dir);
             if let Err(e) = write_file(&path, contents) {
                 eprintln!("observatory: {e}");
@@ -195,6 +239,7 @@ fn main() -> ExitCode {
         run.run.peak_in_flight,
     );
     report.run = Some(run.run);
+    report.journeys = journeys_metrics;
 
     // Serialize, self-validate, and write the artifacts.
     let json = report.to_json().render();

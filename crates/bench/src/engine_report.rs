@@ -1,0 +1,121 @@
+//! The versioned `BENCH_engine.json` envelope behind the `engine_perf`
+//! binary. The assembly lives in the library (not the binary) so the
+//! test suite can validate the envelope with
+//! `scc_obs::validate_artifact_version` — the same gate every other
+//! sidecar artifact (`BENCH_obs.json`, `BENCH_whatif.json`,
+//! `BENCH_journeys.json`) passes through.
+
+use scc_obs::ARTIFACT_VERSION;
+use scc_sim::handoff::PoolStats;
+use scc_sim::SimStats;
+use std::fmt::Write as _;
+
+/// One timed engine workload.
+pub struct EngineSample {
+    pub label: String,
+    /// Mean wall-clock seconds per repetition.
+    pub wall_s: f64,
+    pub stats: SimStats,
+}
+
+impl EngineSample {
+    pub fn events_per_sec(&self) -> f64 {
+        self.stats.events as f64 / self.wall_s
+    }
+}
+
+fn json_sample(out: &mut String, s: &EngineSample, indent: &str) {
+    let _ = write!(
+        out,
+        "{indent}{{\"label\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
+         \"heap_pushes\": {}, \"coalesced_steps\": {}, \"handoffs\": {}, \"lines_moved\": {}}}",
+        s.label,
+        s.wall_s,
+        s.stats.events,
+        s.events_per_sec(),
+        s.stats.heap_pushes,
+        s.stats.coalesced_steps,
+        s.stats.handoffs,
+        s.stats.lines_moved,
+    );
+}
+
+/// Render the `BENCH_engine.json` document: the `"version"` stamp
+/// (checked by [`scc_obs::validate_artifact_version`]), the run
+/// configuration, every sample, and the pool totals.
+pub fn engine_artifact(
+    quick: bool,
+    reps: u32,
+    samples: &[EngineSample],
+    pool: &PoolStats,
+) -> String {
+    let total_wall: f64 = samples.iter().map(|s| s.wall_s).sum();
+    let total_events: u64 = samples.iter().map(|s| s.stats.events).sum();
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"engine_perf\",\n");
+    let _ = writeln!(out, "  \"version\": {ARTIFACT_VERSION},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json_sample(&mut out, s, "    ");
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
+         \"workers_spawned\": {}, \"workers_reused\": {}, \"workers_retired\": {}, \
+         \"peak_pooled\": {}, \"pool_cap\": {}}}",
+        total_wall,
+        total_events,
+        if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 },
+        pool.spawned,
+        pool.reused,
+        pool.retired,
+        pool.peak_pooled,
+        pool.cap
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_obs::{validate_artifact_version, Json};
+
+    fn sample_doc() -> String {
+        let samples = vec![EngineSample {
+            label: "null_p48".into(),
+            wall_s: 0.001,
+            stats: SimStats { events: 96, ..SimStats::default() },
+        }];
+        let pool = PoolStats { spawned: 48, reused: 96, retired: 0, peak_pooled: 48, cap: 64 };
+        engine_artifact(true, 1, &samples, &pool)
+    }
+
+    #[test]
+    fn engine_artifact_parses_and_carries_the_version() {
+        let doc = Json::parse(&sample_doc()).expect("valid JSON");
+        validate_artifact_version(&doc).expect("version stamp");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("engine_perf"));
+        let samples = doc.get("samples").and_then(Json::as_arr).expect("samples");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].get("events").and_then(Json::as_i64), Some(96));
+        assert_eq!(
+            doc.get("totals").and_then(|t| t.get("workers_spawned")).and_then(Json::as_i64),
+            Some(48)
+        );
+    }
+
+    #[test]
+    fn stale_or_missing_version_is_rejected() {
+        let doc = Json::parse(&sample_doc()).unwrap();
+        let stale = doc.clone().set("version", Json::Int(999));
+        assert!(validate_artifact_version(&stale).unwrap_err().contains("999"));
+        // A pre-version document (the old envelope) must fail loudly.
+        let legacy = Json::obj().set("bench", Json::Str("engine_perf".into()));
+        assert!(validate_artifact_version(&legacy).unwrap_err().contains("no integer"));
+    }
+}

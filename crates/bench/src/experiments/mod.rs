@@ -34,6 +34,7 @@ mod fig8a;
 mod fig8b;
 mod heatmap;
 mod linkstress;
+mod skew;
 mod table1;
 mod table2;
 mod whatif;
@@ -296,6 +297,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "Causal what-if profiles — cost-class sensitivity",
             plan: whatif::plan,
         },
+        Experiment {
+            id: "skew",
+            title: "Message journeys — delivery skew & straggler attribution",
+            plan: skew::plan,
+        },
     ]
 }
 
@@ -438,7 +444,8 @@ mod tests {
         for (i, id) in ids.iter().enumerate() {
             assert!(!ids[..i].contains(id), "duplicate id {id}");
         }
-        for id in ["fig3", "fig8b", "table1", "table2", "linkstress", "ablation", "heatmap"] {
+        for id in ["fig3", "fig8b", "table1", "table2", "linkstress", "ablation", "heatmap", "skew"]
+        {
             assert!(ids.contains(&id), "missing {id}");
         }
     }

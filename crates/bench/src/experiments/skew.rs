@@ -1,0 +1,118 @@
+//! Message journeys: per-destination delivery skew across the paper's
+//! contention spectrum. One recorded 48-core broadcast per scenario —
+//! the flat-tree extreme (k=47) that saturates the root port, the
+//! paper's default operating point (k=7), and the binomial baseline —
+//! reconstructed into a [`JourneyBook`] whose per-destination leg
+//! dwells partition each delivery latency *exactly* (integer
+//! picoseconds; re-checked as a shape claim on every run).
+//!
+//! The finalize step derives the skew digests (`results/SKEW.md`), the
+//! versioned `BENCH_journeys.json` artifact, and one link-congestion
+//! movie per scenario (`results/movie_<id>.txt`). The observatory only
+//! writes these sidecars under `--journeys`; the rows and shape checks
+//! join `BENCH_figures.json` unconditionally.
+
+use super::{outln, Sweep};
+use crate::{record_run, Scenario};
+use oc_bcast::Algorithm;
+use scc_hal::Time;
+use scc_obs::{journeys_artifact, CongestionMovie, JourneyBook, SkewReport};
+use scc_sim::SimParams;
+
+/// Frames per congestion movie: enough to see the root-column burst
+/// travel without drowning the text artifact.
+const MOVIE_FRAMES: usize = 8;
+
+/// `(stable id, scenario)` pairs; the id names the movie artifact.
+fn scenarios(quick: bool) -> Vec<(&'static str, Scenario)> {
+    let lines = if quick { 32 } else { 96 };
+    vec![
+        ("oc_k47", Scenario::new(Algorithm::oc_with_k(47), 48, lines)),
+        ("oc_k7", Scenario::new(Algorithm::oc_with_k(7), 48, lines)),
+        ("binomial", Scenario::new(Algorithm::Binomial, 48, lines)),
+    ]
+}
+
+/// What one recorded scenario hands to finalize.
+struct Traced {
+    book: JourneyBook,
+    movie: String,
+}
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    for (id, sc) in scenarios(sweep.quick) {
+        sweep.value_unit_w(format!("journeys {id}"), sc.lines as u64, move |_| {
+            let (events, _makespan) =
+                record_run(&sc, SimParams::default()).expect("recorded broadcast");
+            Traced {
+                book: JourneyBook::from_events(&events),
+                movie: CongestionMovie::from_events(&events, MOVIE_FRAMES).render(&sc.label),
+            }
+        });
+    }
+
+    sweep.finalize(move |ctx, mut values| {
+        let scs = scenarios(ctx.quick);
+        outln!(
+            ctx,
+            "# per-destination delivery skew, 48-core broadcasts ({} cache lines from C0)",
+            scs[0].1.lines
+        );
+        let mut books: Vec<(String, JourneyBook)> = Vec::new();
+        let mut skews: Vec<SkewReport> = Vec::new();
+        for (id, sc) in &scs {
+            let traced = values.next_as::<Traced>();
+            let book = traced.book;
+
+            // The exactness invariants this module exists to guard.
+            let conserved = book.journeys.iter().all(|j| j.legs_total() == j.latency());
+            ctx.shape(
+                &format!("{id}: leg dwells partition every delivery latency"),
+                conserved,
+                format!("{} journeys, integer-ps conservation", book.journeys.len()),
+            );
+            let last = book.journeys.iter().map(|j| j.end).max().unwrap_or(Time::ZERO);
+            ctx.shape(
+                &format!("{id}: last delivery closes the makespan"),
+                last == book.makespan,
+                format!(
+                    "last delivery {:.3} us, makespan {:.3} us",
+                    last.as_us_f64(),
+                    book.makespan.as_us_f64()
+                ),
+            );
+            ctx.shape(
+                &format!("{id}: every non-root core completes a journey"),
+                book.journeys.len() >= sc.cores - 1,
+                format!("{} journeys for {} cores", book.journeys.len(), sc.cores),
+            );
+
+            let skew = SkewReport::from_book(&sc.label, &book).expect("non-empty book");
+            ctx.row(format!("{id} delivery p50"), None, None, skew.p50.as_us_f64(), 0.02, "us");
+            ctx.row(format!("{id} delivery p99"), None, None, skew.p99.as_us_f64(), 0.02, "us");
+            ctx.row(format!("{id} delivery max"), None, None, skew.max.as_us_f64(), 0.02, "us");
+            outln!(
+                ctx,
+                "{id:<10} {:>4} journeys  p50 {:>9.3}  p99 {:>9.3}  max {:>9.3} us  \
+                 straggler C{} ({})",
+                skew.count,
+                skew.p50.as_us_f64(),
+                skew.p99.as_us_f64(),
+                skew.max.as_us_f64(),
+                skew.straggler.core.index(),
+                skew.dominant_leg().map_or("matches median".to_string(), |(k, d)| format!(
+                    "{} +{:.3} us",
+                    k.name(),
+                    d.as_us_f64()
+                )),
+            );
+
+            ctx.artifact(format!("results/movie_{id}.txt"), traced.movie);
+            books.push((id.to_string(), book));
+            skews.push(skew);
+        }
+        outln!(ctx, "# every scenario: leg dwells sum exactly to delivery latency (integer ps)");
+        ctx.artifact("BENCH_journeys.json", journeys_artifact(&books).render());
+        ctx.artifact("results/SKEW.md", scc_obs::render_skew_markdown(&skews));
+    });
+}

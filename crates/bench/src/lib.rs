@@ -21,6 +21,7 @@
 //! | `ablation`  | design-choice ablations (DESIGN.md)           |
 //! | `heatmap`   | Section 5 — per-link mesh occupancy (obs)     |
 //! | `whatif`    | causal what-if profiles — cost-class sensitivity |
+//! | `skew`      | message journeys — delivery skew & stragglers (obs) |
 //!
 //! Latency is defined exactly as in the paper (Sections 5.2/6.1): the
 //! time from the source's call of the broadcast until the last core
@@ -33,9 +34,11 @@ use scc_obs::{CostClass, ObsEvent, WhatIfPoint, WhatIfProfile};
 use scc_rcce::{Barrier, MpbAllocator};
 use scc_sim::{run_spmd, SimConfig, SimError, SimParams};
 
+pub mod engine_report;
 pub mod experiments;
 pub mod pool;
 pub mod runner;
+pub use engine_report::{engine_artifact, EngineSample};
 pub use experiments::{
     registry, run_experiment, run_experiment_full, run_standalone, whatif_artifact, ExpCtx,
     Experiment, Sweep, Values,

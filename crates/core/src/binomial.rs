@@ -4,12 +4,17 @@
 //! moves the payload through off-chip memory.
 
 use crate::tree::{binomial_children, binomial_parent};
-use scc_hal::{spanned, CoreId, MemRange, Phase, Rma, RmaResult, Span};
+use scc_hal::{delivering, spanned, tagged, CoreId, MemRange, MsgId, Phase, Rma, RmaResult, Span};
 use scc_rcce::RcceComm;
 
 /// Collective binomial-tree broadcast. All cores must call with
 /// identical `root` and `msg`; the message travels through the
 /// recursive-halving tree using blocking send/receive pairs.
+///
+/// Journey annotations use epoch 0: the comm context is borrowed
+/// immutably, so there is no per-instance invocation counter to thread
+/// through (journey reconstruction pairs delivery windows per core in
+/// stream order, so the epoch is advisory).
 pub fn binomial_bcast<R: Rma>(
     c: &mut R,
     comm: &RcceComm,
@@ -24,25 +29,33 @@ pub fn binomial_bcast<R: Rma>(
     let rr = (me.index() + p - root.index()) % p;
     let abs = |rel: usize| CoreId(((root.index() + rel) % p) as u8);
 
-    if rr != 0 {
-        spanned(c, Span::of(Phase::Dissemination), |c| {
-            comm.recv(c, abs(binomial_parent(rr, p)), msg)
-        })?;
-    }
-    for (round, child) in binomial_children(rr, p).into_iter().enumerate() {
-        spanned(c, Span::new(Phase::Round, round as u32), |c| {
-            if rr == 0 {
-                // The root reads the application buffer from off-chip
-                // memory the first time; subsequent sends hit the cache.
-                comm.send(c, abs(child), msg)
-            } else {
-                // Forwarding a just-received message: hot in L1
-                // (Section 5.2.2's "reading from the L1 cache" assumption).
-                comm.send_cached(c, abs(child), msg)
-            }
-        })?;
-    }
-    Ok(())
+    delivering(c, 0, |c| {
+        if rr != 0 {
+            let par = abs(binomial_parent(rr, p));
+            spanned(c, Span::of(Phase::Dissemination), |c| {
+                tagged(c, MsgId::new(0, par, me, 0), |c| comm.recv(c, par, msg))
+            })?;
+        }
+        for (round, child) in binomial_children(rr, p).into_iter().enumerate() {
+            let dst = abs(child);
+            spanned(c, Span::new(Phase::Round, round as u32), |c| {
+                tagged(c, MsgId::new(0, me, dst, 0), |c| {
+                    if rr == 0 {
+                        // The root reads the application buffer from
+                        // off-chip memory the first time; subsequent
+                        // sends hit the cache.
+                        comm.send(c, dst, msg)
+                    } else {
+                        // Forwarding a just-received message: hot in L1
+                        // (Section 5.2.2's "reading from the L1 cache"
+                        // assumption).
+                        comm.send_cached(c, dst, msg)
+                    }
+                })
+            })?;
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]

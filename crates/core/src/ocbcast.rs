@@ -31,8 +31,8 @@
 use crate::topo::{TreeLayout, TreeStrategy};
 use crate::tree::NotifyGroup;
 use scc_hal::{
-    bytes_to_lines, spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaResult, Span,
-    CACHE_LINE_BYTES,
+    bytes_to_lines, delivering, spanned, tagged, CoreId, FlagValue, MemRange, MpbAddr, MsgId,
+    Phase, Rma, RmaResult, Span, CACHE_LINE_BYTES,
 };
 use scc_rcce::{MpbAllocator, MpbExhausted, MpbRegion};
 
@@ -92,6 +92,9 @@ pub struct OcBcast {
     bufs: [MpbRegion; 2],
     /// Sequence of the last chunk of the previous broadcast.
     seq: u32,
+    /// Invocation counter, stamped into [`MsgId`]s and delivery windows
+    /// so journeys of back-to-back broadcasts stay distinguishable.
+    epoch: u32,
 }
 
 impl OcBcast {
@@ -106,7 +109,7 @@ impl OcBcast {
         let done = alloc.alloc(cfg.k)?;
         let buf0 = alloc.alloc(cfg.chunk_lines)?;
         let buf1 = if cfg.double_buffer { alloc.alloc(cfg.chunk_lines)? } else { buf0 };
-        Ok(OcBcast { cfg, notify, done, bufs: [buf0, buf1], seq: 0 })
+        Ok(OcBcast { cfg, notify, done, bufs: [buf0, buf1], seq: 0, epoch: 0 })
     }
 
     /// Release the context's MPB lines.
@@ -141,6 +144,8 @@ impl OcBcast {
 
         let base = self.seq;
         self.seq += n_chunks as u32;
+        let epoch = self.epoch;
+        self.epoch += 1;
 
         let parent = tree.parent(me);
         let children = tree.children(me).to_vec();
@@ -151,86 +156,103 @@ impl OcBcast {
         let is_leaf = children.is_empty();
         let leaf_direct = is_leaf && self.cfg.leaf_direct;
 
-        for chunk in 0..n_chunks {
-            let seq = base + chunk as u32 + 1;
-            let buf = self.buf_for(chunk);
-            let byte_off = chunk * self.cfg.chunk_lines * CACHE_LINE_BYTES;
-            let len = (msg.len - byte_off).min(self.cfg.chunk_lines * CACHE_LINE_BYTES);
-            let lines = bytes_to_lines(len);
-            let part = msg.slice(byte_off, len);
+        delivering(c, epoch, |c| {
+            for chunk in 0..n_chunks {
+                let seq = base + chunk as u32 + 1;
+                let buf = self.buf_for(chunk);
+                let byte_off = chunk * self.cfg.chunk_lines * CACHE_LINE_BYTES;
+                let len = (msg.len - byte_off).min(self.cfg.chunk_lines * CACHE_LINE_BYTES);
+                let lines = bytes_to_lines(len);
+                let part = msg.slice(byte_off, len);
+                // First cache line of this chunk within the message.
+                let fl = (chunk * self.cfg.chunk_lines) as u32;
 
-            let ch = chunk as u32;
-            if me == root {
-                // Double buffering: chunk `c` may overwrite its buffer
-                // once the children are done with chunk `c - lag`.
-                spanned(c, Span::new(Phase::BufferWait, ch), |c| {
-                    self.wait_children_done(c, &children, base, seq, chunk)
-                })?;
-                spanned(c, Span::new(Phase::Dissemination, ch), |c| {
-                    c.put_from_mem(part, MpbAddr::new(me, buf.first_line))
-                })?;
-                spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
-                    self.notify_forward(c, own_group.as_ref(), me, seq)
-                })?;
-                // The root's copy is already in place; nothing to get.
-            } else {
-                // (0) learn that the chunk is in the parent's MPB.
-                spanned(c, Span::new(Phase::NotifyWait, ch), |c| {
-                    c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq)
-                })?;
-                // (i) forward the notification inside the parent's group.
-                spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
-                    self.notify_forward(c, parent_group.as_ref(), me, seq)
-                })?;
-                let par = parent.expect("non-root has a parent");
-                if leaf_direct {
-                    // Section 5.4 optimization: straight to memory.
-                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
-                        c.get_to_mem(MpbAddr::new(par, buf.first_line), part)
-                    })?;
-                    // (iii) tell the parent the buffer may be reused.
-                    spanned(c, Span::new(Phase::Ack, ch), |c| {
-                        self.signal_done(c, par, my_done_slot, seq)
-                    })?;
-                } else {
-                    // (ii) pull the chunk into our own MPB once our own
-                    // children are done with this buffer.
+                let ch = chunk as u32;
+                if me == root {
+                    // Double buffering: chunk `c` may overwrite its
+                    // buffer once the children are done with `c - lag`.
                     spanned(c, Span::new(Phase::BufferWait, ch), |c| {
                         self.wait_children_done(c, &children, base, seq, chunk)
                     })?;
                     spanned(c, Span::new(Phase::Dissemination, ch), |c| {
-                        c.get_to_mpb(MpbAddr::new(par, buf.first_line), buf.first_line, lines)
+                        tagged(c, MsgId::new(epoch, me, me, fl), |c| {
+                            c.put_from_mem(part, MpbAddr::new(me, buf.first_line))
+                        })
                     })?;
-                    // (iii) release the parent's buffer.
-                    spanned(c, Span::new(Phase::Ack, ch), |c| {
-                        self.signal_done(c, par, my_done_slot, seq)
-                    })?;
-                    // (iv) notify our own children.
                     spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
-                        self.notify_forward(c, own_group.as_ref(), me, seq)
+                        self.notify_forward(c, own_group.as_ref(), me, epoch, fl, seq)
                     })?;
-                    // (v) copy to private off-chip memory.
-                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
-                        c.get_to_mem(MpbAddr::new(me, buf.first_line), part)
+                    // The root's copy is already in place; nothing to get.
+                } else {
+                    // (0) learn that the chunk is in the parent's MPB.
+                    spanned(c, Span::new(Phase::NotifyWait, ch), |c| {
+                        c.flag_wait_local(self.notify.first_line, &mut |v| v.0 >= seq)
                     })?;
+                    // (i) forward the notification inside the parent's
+                    // group.
+                    spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                        self.notify_forward(c, parent_group.as_ref(), me, epoch, fl, seq)
+                    })?;
+                    let par = parent.expect("non-root has a parent");
+                    if leaf_direct {
+                        // Section 5.4 optimization: straight to memory.
+                        spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                            tagged(c, MsgId::new(epoch, par, me, fl), |c| {
+                                c.get_to_mem(MpbAddr::new(par, buf.first_line), part)
+                            })
+                        })?;
+                        // (iii) tell the parent the buffer may be reused.
+                        spanned(c, Span::new(Phase::Ack, ch), |c| {
+                            self.signal_done(c, par, my_done_slot, epoch, fl, seq)
+                        })?;
+                    } else {
+                        // (ii) pull the chunk into our own MPB once our
+                        // own children are done with this buffer.
+                        spanned(c, Span::new(Phase::BufferWait, ch), |c| {
+                            self.wait_children_done(c, &children, base, seq, chunk)
+                        })?;
+                        spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                            tagged(c, MsgId::new(epoch, par, me, fl), |c| {
+                                c.get_to_mpb(
+                                    MpbAddr::new(par, buf.first_line),
+                                    buf.first_line,
+                                    lines,
+                                )
+                            })
+                        })?;
+                        // (iii) release the parent's buffer.
+                        spanned(c, Span::new(Phase::Ack, ch), |c| {
+                            self.signal_done(c, par, my_done_slot, epoch, fl, seq)
+                        })?;
+                        // (iv) notify our own children.
+                        spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                            self.notify_forward(c, own_group.as_ref(), me, epoch, fl, seq)
+                        })?;
+                        // (v) copy to private off-chip memory.
+                        spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                            tagged(c, MsgId::new(epoch, me, me, fl), |c| {
+                                c.get_to_mem(MpbAddr::new(me, buf.first_line), part)
+                            })
+                        })?;
+                    }
                 }
             }
-        }
 
-        // Before returning, make sure nobody will still read our MPB:
-        // children must have consumed the final chunks. (This is what
-        // makes back-to-back broadcasts from different roots safe
-        // without a barrier.)
-        if !children.is_empty() {
-            let last_seq = base + n_chunks as u32;
-            spanned(c, Span::of(Phase::Drain), |c| {
-                for slot in 0..children.len() {
-                    c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= last_seq)?;
-                }
-                Ok(())
-            })?;
-        }
-        Ok(())
+            // Before returning, make sure nobody will still read our
+            // MPB: children must have consumed the final chunks. (This
+            // is what makes back-to-back broadcasts from different
+            // roots safe without a barrier.)
+            if !children.is_empty() {
+                let last_seq = base + n_chunks as u32;
+                spanned(c, Span::of(Phase::Drain), |c| {
+                    for slot in 0..children.len() {
+                        c.flag_wait_local(self.done.line(slot), &mut |v| v.0 >= last_seq)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        })
     }
 
     /// Total chunks a message of `bytes` occupies with this config.
@@ -282,11 +304,15 @@ impl OcBcast {
         c: &mut R,
         group: Option<&NotifyGroup>,
         me: CoreId,
+        epoch: u32,
+        first_line: u32,
         seq: u32,
     ) -> RmaResult<()> {
         let Some(group) = group else { return Ok(()) };
         for target in group.forwards(me) {
-            c.flag_put(MpbAddr::new(target, self.notify.first_line), FlagValue(seq))?;
+            tagged(c, MsgId::new(epoch, me, target, first_line), |c| {
+                c.flag_put(MpbAddr::new(target, self.notify.first_line), FlagValue(seq))
+            })?;
         }
         Ok(())
     }
@@ -296,10 +322,14 @@ impl OcBcast {
         c: &mut R,
         parent: CoreId,
         slot: Option<usize>,
+        epoch: u32,
+        first_line: u32,
         seq: u32,
     ) -> RmaResult<()> {
         let slot = slot.expect("non-root has a done slot");
-        c.flag_put(MpbAddr::new(parent, self.done.line(slot)), FlagValue(seq))
+        tagged(c, MsgId::new(epoch, c.core(), parent, first_line), |c| {
+            c.flag_put(MpbAddr::new(parent, self.done.line(slot)), FlagValue(seq))
+        })
     }
 }
 

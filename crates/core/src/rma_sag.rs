@@ -37,8 +37,8 @@
 
 use crate::scatter_allgather::slice_range;
 use scc_hal::{
-    bytes_to_lines, spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaResult, Span,
-    CACHE_LINE_BYTES,
+    bytes_to_lines, delivering, spanned, tagged, CoreId, FlagValue, MemRange, MpbAddr, MsgId,
+    Phase, Rma, RmaResult, Span, CACHE_LINE_BYTES,
 };
 use scc_rcce::{Barrier, MpbAllocator, MpbExhausted, MpbRegion};
 
@@ -53,6 +53,8 @@ pub struct RmaSag {
     bufs: [MpbRegion; 2],
     barrier: Barrier,
     seq: u32,
+    /// Invocation counter for journey annotations (see [`MsgId`]).
+    epoch: u32,
 }
 
 impl RmaSag {
@@ -70,7 +72,7 @@ impl RmaSag {
         let b0 = alloc.alloc(half_lines)?;
         let b1 = alloc.alloc(half_lines)?;
         let barrier = Barrier::new(alloc, num_cores)?;
-        Ok(RmaSag { notify, done, bufs: [b0, b1], barrier, seq: 0 })
+        Ok(RmaSag { notify, done, bufs: [b0, b1], barrier, seq: 0, epoch: 0 })
     }
 
     /// Default configuration: 96-line halves.
@@ -100,6 +102,9 @@ impl RmaSag {
     /// Producer side of one pipelined transfer: put `src` into `dst`'s
     /// halves chunk by chunk. `drain` waits for the final done flags
     /// (required when the next transfer goes to a different core).
+    /// `first_line` is the offset of `src` within the whole message in
+    /// cache lines (journey tags name absolute message lines).
+    #[allow(clippy::too_many_arguments)]
     fn push<R: Rma>(
         &self,
         c: &mut R,
@@ -108,9 +113,12 @@ impl RmaSag {
         seq_base: u32,
         drain: bool,
         last_half_seq: &mut [u32; 2],
+        epoch: u32,
+        first_line: u32,
     ) -> RmaResult<()> {
         let n = self.chunks_of(src.len);
         let chunk_bytes = self.chunk_bytes();
+        let me = c.core();
         let mut off = 0usize;
         for i in 0..n {
             let seq = seq_base + i as u32 + 1;
@@ -119,13 +127,16 @@ impl RmaSag {
                 c.flag_wait_local(self.done.line(h), &mut |v| v.0 >= last_half_seq[h])?;
             }
             let len = (src.len - off).min(chunk_bytes);
-            if len > 0 {
-                c.put_from_mem_cached(
-                    src.slice(off, len),
-                    MpbAddr::new(dst, self.bufs[h].first_line),
-                )?;
-            }
-            c.flag_put(MpbAddr::new(dst, self.notify.line(h)), FlagValue(seq))?;
+            let msg = MsgId::new(epoch, me, dst, first_line + (off / CACHE_LINE_BYTES) as u32);
+            tagged(c, msg, |c| {
+                if len > 0 {
+                    c.put_from_mem_cached(
+                        src.slice(off, len),
+                        MpbAddr::new(dst, self.bufs[h].first_line),
+                    )?;
+                }
+                c.flag_put(MpbAddr::new(dst, self.notify.line(h)), FlagValue(seq))
+            })?;
             last_half_seq[h] = seq;
             off += len;
         }
@@ -142,12 +153,15 @@ impl RmaSag {
     }
 
     /// Consumer side: receive a pipelined transfer from `src_core`.
+    /// `first_line` mirrors [`RmaSag::push`].
     fn pull<R: Rma>(
         &self,
         c: &mut R,
         src_core: CoreId,
         dst: MemRange,
         seq_base: u32,
+        epoch: u32,
+        first_line: u32,
     ) -> RmaResult<()> {
         let n = self.chunks_of(dst.len);
         let chunk_bytes = self.chunk_bytes();
@@ -158,10 +172,15 @@ impl RmaSag {
             let h = i % 2;
             c.flag_wait_local(self.notify.line(h), &mut |v| v.0 >= seq)?;
             let len = (dst.len - off).min(chunk_bytes);
+            let line = first_line + (off / CACHE_LINE_BYTES) as u32;
             if len > 0 {
-                c.get_to_mem(MpbAddr::new(me, self.bufs[h].first_line), dst.slice(off, len))?;
+                tagged(c, MsgId::new(epoch, src_core, me, line), |c| {
+                    c.get_to_mem(MpbAddr::new(me, self.bufs[h].first_line), dst.slice(off, len))
+                })?;
             }
-            c.flag_put(MpbAddr::new(src_core, self.done.line(h)), FlagValue(seq))?;
+            tagged(c, MsgId::new(epoch, me, src_core, line), |c| {
+                c.flag_put(MpbAddr::new(src_core, self.done.line(h)), FlagValue(seq))
+            })?;
             off += len;
         }
         Ok(())
@@ -182,6 +201,10 @@ impl RmaSag {
             let last = slice_range(msg, p, hi - 1);
             msg.slice(first.offset - msg.offset, last.end() - first.offset)
         };
+        // First cache line of a fragment within the whole message.
+        let first_line = |r: MemRange| ((r.offset - msg.offset) / CACHE_LINE_BYTES) as u32;
+        let epoch = self.epoch;
+        self.epoch += 1;
 
         // Deterministic sequence budget: scatter steps are numbered by
         // halving depth, allgather rounds after them; every transfer
@@ -194,67 +217,87 @@ impl RmaSag {
         self.seq = ag_base + (p as u32 - 1) * slice_chunks;
 
         // ---- one-sided scatter (recursive halving) --------------------
-        spanned(c, Span::of(Phase::Scatter), |c| {
-            let mut lo = 0usize;
-            let mut hi = p;
-            let mut step = 0u32;
-            let mut last_half_seq = [0u32; 2];
-            while hi - lo > 1 {
-                let mid = lo + (hi - lo).div_ceil(2);
-                let group = slices(mid, hi);
-                let seq_base = base + step * max_group_chunks;
-                if group.len > 0 {
-                    if rr == lo {
-                        // Changing receiver next step: drain.
-                        self.push(c, abs(mid), group, seq_base, true, &mut last_half_seq)?;
-                    } else if rr == mid {
-                        self.pull(c, abs(lo), group, seq_base)?;
+        delivering(c, epoch, |c| {
+            spanned(c, Span::of(Phase::Scatter), |c| {
+                let mut lo = 0usize;
+                let mut hi = p;
+                let mut step = 0u32;
+                let mut last_half_seq = [0u32; 2];
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    let group = slices(mid, hi);
+                    let seq_base = base + step * max_group_chunks;
+                    if group.len > 0 {
+                        if rr == lo {
+                            // Changing receiver next step: drain.
+                            self.push(
+                                c,
+                                abs(mid),
+                                group,
+                                seq_base,
+                                true,
+                                &mut last_half_seq,
+                                epoch,
+                                first_line(group),
+                            )?;
+                        } else if rr == mid {
+                            self.pull(c, abs(lo), group, seq_base, epoch, first_line(group))?;
+                        }
                     }
+                    if rr < mid {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                    step += 1;
                 }
-                if rr < mid {
-                    hi = mid;
-                } else {
-                    lo = mid;
+                Ok(())
+            })?;
+
+            // Phase boundary. One-sided writes are unsolicited: a core that
+            // finished its (short) scatter role would otherwise start
+            // pushing allgather chunks into a neighbour still waiting for
+            // its scatter reception, clobbering the shared buffer halves.
+            // The two-sided baseline is immune because its rendezvous
+            // matching orders the phases per pair; here a barrier does it.
+            spanned(c, Span::new(Phase::Barrier, 0), |c| self.barrier.wait(c))?;
+
+            // ---- one-sided ring allgather ---------------------------------
+            let left = abs((rr + p - 1) % p);
+            let right = abs((rr + 1) % p);
+            spanned(c, Span::of(Phase::Allgather), |c| {
+                let mut half_seq = [0u32; 2];
+                for r in 0..p - 1 {
+                    let out = slice_range(msg, p, (rr + r) % p);
+                    let inc = slice_range(msg, p, (rr + r + 1) % p);
+                    let seq_base = ag_base + r as u32 * slice_chunks;
+                    spanned(c, Span::new(Phase::Round, r as u32), |c| {
+                        if out.len > 0 {
+                            self.push(
+                                c,
+                                left,
+                                out,
+                                seq_base,
+                                false,
+                                &mut half_seq,
+                                epoch,
+                                first_line(out),
+                            )?;
+                        }
+                        if inc.len > 0 {
+                            self.pull(c, right, inc, seq_base, epoch, first_line(inc))?;
+                        }
+                        Ok(())
+                    })?;
                 }
-                step += 1;
-            }
+                Ok(())
+            })?;
+
+            // Collective boundary: nobody may reuse buffers/flags until
+            // every core has consumed its final chunks.
+            spanned(c, Span::new(Phase::Barrier, 1), |c| self.barrier.wait(c))?;
             Ok(())
-        })?;
-
-        // Phase boundary. One-sided writes are unsolicited: a core that
-        // finished its (short) scatter role would otherwise start
-        // pushing allgather chunks into a neighbour still waiting for
-        // its scatter reception, clobbering the shared buffer halves.
-        // The two-sided baseline is immune because its rendezvous
-        // matching orders the phases per pair; here a barrier does it.
-        spanned(c, Span::new(Phase::Barrier, 0), |c| self.barrier.wait(c))?;
-
-        // ---- one-sided ring allgather ---------------------------------
-        let left = abs((rr + p - 1) % p);
-        let right = abs((rr + 1) % p);
-        spanned(c, Span::of(Phase::Allgather), |c| {
-            let mut half_seq = [0u32; 2];
-            for r in 0..p - 1 {
-                let out = slice_range(msg, p, (rr + r) % p);
-                let inc = slice_range(msg, p, (rr + r + 1) % p);
-                let seq_base = ag_base + r as u32 * slice_chunks;
-                spanned(c, Span::new(Phase::Round, r as u32), |c| {
-                    if out.len > 0 {
-                        self.push(c, left, out, seq_base, false, &mut half_seq)?;
-                    }
-                    if inc.len > 0 {
-                        self.pull(c, right, inc, seq_base)?;
-                    }
-                    Ok(())
-                })?;
-            }
-            Ok(())
-        })?;
-
-        // Collective boundary: nobody may reuse buffers/flags until
-        // every core has consumed its final chunks.
-        spanned(c, Span::new(Phase::Barrier, 1), |c| self.barrier.wait(c))?;
-        Ok(())
+        })
     }
 }
 

@@ -8,7 +8,8 @@
 //! memory on both sides of every hop.
 
 use scc_hal::{
-    bytes_to_lines, spanned, CoreId, MemRange, Phase, Rma, RmaResult, Span, CACHE_LINE_BYTES,
+    bytes_to_lines, delivering, spanned, tagged, CoreId, MemRange, MsgId, Phase, Rma, RmaResult,
+    Span, CACHE_LINE_BYTES,
 };
 use scc_rcce::RcceComm;
 
@@ -52,64 +53,84 @@ pub fn scatter_allgather_bcast<R: Rma>(
         let last = slice_range(msg, p, hi - 1);
         msg.slice(first.offset - msg.offset, last.end() - first.offset)
     };
+    // First cache line of a fragment within the whole message (journey
+    // tags use epoch 0: the comm context carries no invocation counter).
+    let first_line = |r: MemRange| ((r.offset - msg.offset) / CACHE_LINE_BYTES) as u32;
 
     // ---- scatter phase: recursive halving on the rank range ----------
     // The holder of a range [lo, hi) is rank `lo`; it hands the upper
     // half to rank `mid` and recurses into the lower half. Every core
     // tracks the range it belongs to until it is alone in it.
-    spanned(c, Span::of(Phase::Scatter), |c| {
-        let mut lo = 0usize;
-        let mut hi = p;
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo).div_ceil(2);
-            if rr == lo {
-                // Root sends cold (reads the user buffer from memory);
-                // intermediate holders forward what they just received.
-                if rr == 0 {
-                    comm.send(c, abs(mid), slices(mid, hi))?;
-                } else {
-                    comm.send_cached(c, abs(mid), slices(mid, hi))?;
+    delivering(c, 0, |c| {
+        spanned(c, Span::of(Phase::Scatter), |c| {
+            let mut lo = 0usize;
+            let mut hi = p;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo).div_ceil(2);
+                if rr == lo {
+                    let part = slices(mid, hi);
+                    tagged(c, MsgId::new(0, me, abs(mid), first_line(part)), |c| {
+                        // Root sends cold (reads the user buffer from
+                        // memory); intermediate holders forward what they
+                        // just received.
+                        if rr == 0 {
+                            comm.send(c, abs(mid), part)
+                        } else {
+                            comm.send_cached(c, abs(mid), part)
+                        }
+                    })?;
+                } else if rr == mid {
+                    let part = slices(mid, hi);
+                    tagged(c, MsgId::new(0, abs(lo), me, first_line(part)), |c| {
+                        comm.recv(c, abs(lo), part)
+                    })?;
                 }
-            } else if rr == mid {
-                comm.recv(c, abs(lo), slices(mid, hi))?;
+                if rr < mid {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
             }
-            if rr < mid {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        })?;
 
-    // ---- allgather phase: P − 1 ring rounds ---------------------------
-    // In round r, core `rr` sends slice (rr + r) mod p to rr − 1 and
-    // receives slice (rr + r + 1) mod p from rr + 1 (the paper's "core
-    // i sends to core i − 1 the slices it received in the previous
-    // step"). With blocking rendezvous send/receive the op order
-    // matters: odd ranks send first while even ranks receive first, so
-    // all pair exchanges of a round proceed concurrently (a serial
-    // schedule would turn every round into a P-deep match cascade and
-    // cost ~P× the model's 2·(C_put + C_get) per round). With odd P the
-    // wrap pair shares a parity and serializes once per round — the
-    // standard, benign artifact of parity scheduling.
-    let left = abs((rr + p - 1) % p);
-    let right = abs((rr + 1) % p);
-    spanned(c, Span::of(Phase::Allgather), |c| {
-        for r in 0..p - 1 {
-            let out = slice_range(msg, p, (rr + r) % p);
-            let inc = slice_range(msg, p, (rr + r + 1) % p);
-            spanned(c, Span::new(Phase::Round, r as u32), |c| {
-                if rr.is_multiple_of(2) {
-                    comm.recv(c, right, inc)?;
-                    comm.send_cached(c, left, out)
-                } else {
-                    comm.send_cached(c, left, out)?;
-                    comm.recv(c, right, inc)
-                }
-            })?;
-        }
-        Ok(())
+        // ---- allgather phase: P − 1 ring rounds ---------------------------
+        // In round r, core `rr` sends slice (rr + r) mod p to rr − 1 and
+        // receives slice (rr + r + 1) mod p from rr + 1 (the paper's "core
+        // i sends to core i − 1 the slices it received in the previous
+        // step"). With blocking rendezvous send/receive the op order
+        // matters: odd ranks send first while even ranks receive first, so
+        // all pair exchanges of a round proceed concurrently (a serial
+        // schedule would turn every round into a P-deep match cascade and
+        // cost ~P× the model's 2·(C_put + C_get) per round). With odd P the
+        // wrap pair shares a parity and serializes once per round — the
+        // standard, benign artifact of parity scheduling.
+        let left = abs((rr + p - 1) % p);
+        let right = abs((rr + 1) % p);
+        spanned(c, Span::of(Phase::Allgather), |c| {
+            for r in 0..p - 1 {
+                let out = slice_range(msg, p, (rr + r) % p);
+                let inc = slice_range(msg, p, (rr + r + 1) % p);
+                spanned(c, Span::new(Phase::Round, r as u32), |c| {
+                    if rr.is_multiple_of(2) {
+                        tagged(c, MsgId::new(0, right, me, first_line(inc)), |c| {
+                            comm.recv(c, right, inc)
+                        })?;
+                        tagged(c, MsgId::new(0, me, left, first_line(out)), |c| {
+                            comm.send_cached(c, left, out)
+                        })
+                    } else {
+                        tagged(c, MsgId::new(0, me, left, first_line(out)), |c| {
+                            comm.send_cached(c, left, out)
+                        })?;
+                        tagged(c, MsgId::new(0, right, me, first_line(inc)), |c| {
+                            comm.recv(c, right, inc)
+                        })
+                    }
+                })?;
+            }
+            Ok(())
+        })
     })
 }
 

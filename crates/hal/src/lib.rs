@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod flags;
+pub mod msg;
 pub mod rma;
 pub mod span;
 pub mod topology;
@@ -28,6 +29,7 @@ pub mod units;
 
 pub use addr::{MemRange, MpbAddr};
 pub use flags::FlagValue;
+pub use msg::{delivering, tagged, MsgId};
 pub use rma::{Rma, RmaError, RmaExt, RmaResult};
 pub use span::{spanned, Phase, Span};
 pub use topology::{

@@ -19,6 +19,7 @@
 
 use crate::addr::{MemRange, MpbAddr};
 use crate::flags::FlagValue;
+use crate::msg::MsgId;
 use crate::span::Span;
 use crate::topology::CoreId;
 use crate::units::Time;
@@ -168,6 +169,19 @@ pub trait Rma {
     /// nest properly per core (LIFO); `span` repeats the phase for
     /// readability and sanity checks, it is not used for matching.
     fn span_end(&mut self, _span: Span) {}
+
+    /// Tag every subsequent timed operation as carrying `msg` (or clear
+    /// the tag with `None`). Prefer the [`crate::msg::tagged`] bracket,
+    /// which clears on the error path too.
+    fn msg_tag(&mut self, _msg: Option<MsgId>) {}
+
+    /// Mark the start of this core's participation in collective
+    /// invocation `epoch` — the opening of its delivery window.
+    fn delivery_begin(&mut self, _epoch: u32) {}
+
+    /// Mark this core as holding the full payload for `epoch` — the
+    /// close of its delivery window.
+    fn delivery_end(&mut self, _epoch: u32) {}
 }
 
 /// Convenience helpers shared by every `Rma` implementation.

@@ -115,6 +115,8 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             | ObsEvent::Wake { core, .. }
             | ObsEvent::SpanBegin { core, .. }
             | ObsEvent::SpanEnd { core, .. }
+            | ObsEvent::DeliveryBegin { core, .. }
+            | ObsEvent::DeliveryEnd { core, .. }
             | ObsEvent::Finish { core, .. } => {
                 cores.insert(core.index());
             }
@@ -147,7 +149,7 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
 
     for ev in events {
         match *ev {
-            ObsEvent::Op { core, kind, lines, start, end } => {
+            ObsEvent::Op { core, kind, lines, start, end, .. } => {
                 let args = format!("\"lines\":{lines}");
                 em.complete(0, core.index(), "op", kind.short(), start, end, &args);
             }
@@ -197,6 +199,10 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             ObsEvent::Finish { core, at } => {
                 em.instant(0, core.index(), "sched", "finish", at, "");
             }
+            // Delivery windows are a journey-level concept; the Chrome
+            // export keeps its committed shape and leaves them to the
+            // `journey`/`skew` reports.
+            ObsEvent::DeliveryBegin { .. } | ObsEvent::DeliveryEnd { .. } => {}
         }
     }
 
@@ -251,6 +257,7 @@ mod tests {
                 lines: 4,
                 start: ns(0),
                 end: ns(400),
+                msg: None,
             },
             ObsEvent::Wait {
                 core: CoreId(0),
@@ -289,6 +296,7 @@ mod tests {
                 lines: 1,
                 start: ns(0),
                 end: ns(30),
+                msg: None,
             },
             ObsEvent::Wait {
                 core: CoreId(0),
@@ -326,6 +334,7 @@ mod tests {
                 lines: 1,
                 start: ns(0),
                 end: ns(1),
+                msg: None,
             },
             ObsEvent::Op {
                 core: CoreId(0),
@@ -333,6 +342,7 @@ mod tests {
                 lines: 1,
                 start: ns(1),
                 end: ns(2),
+                msg: None,
             },
         ];
         assert_eq!(kinds_present(&events), vec![OpKind::PutFromMem, OpKind::FlagPut]);

@@ -174,6 +174,21 @@ impl RunMetrics {
     }
 }
 
+/// Journey-layer self-metrics of one observatory invocation
+/// (`--journeys`): how many delivery timelines were reconstructed and
+/// the worst delivery latency observed. Excluded from the drift gate —
+/// like [`RunMetrics`], this block describes the run's own tracing
+/// output, not paper conformance, so it must never trip CI.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JourneysMetrics {
+    /// Scenarios traced (one `JourneyBook` each).
+    pub scenarios: u64,
+    /// Delivery timelines reconstructed across all scenarios.
+    pub journeys: u64,
+    /// Worst per-destination delivery latency, µs (virtual time).
+    pub max_delivery_us: f64,
+}
+
 /// Everything one experiment produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -205,11 +220,20 @@ pub struct ConformanceReport {
     /// Whole-run runner metrics (absent in reports predating the
     /// parallel runner, and in hand-assembled partial reports).
     pub run: Option<RunMetrics>,
+    /// Journey-tracing summary (present only on `--journeys` runs;
+    /// absent in older baselines). Ignored by the drift gate.
+    pub journeys: Option<JourneysMetrics>,
 }
 
 impl ConformanceReport {
     pub fn new(quick: bool) -> ConformanceReport {
-        ConformanceReport { schema: SCHEMA_VERSION, quick, experiments: Vec::new(), run: None }
+        ConformanceReport {
+            schema: SCHEMA_VERSION,
+            quick,
+            experiments: Vec::new(),
+            run: None,
+            journeys: None,
+        }
     }
 
     pub fn experiment(&self, id: &str) -> Option<&ExperimentReport> {
@@ -272,7 +296,7 @@ impl ConformanceReport {
             .set("schema", Json::Int(self.schema))
             .set("quick", Json::Bool(self.quick))
             .set("experiments", Json::Arr(experiments));
-        match &self.run {
+        let doc = match &self.run {
             Some(r) => doc.set(
                 "run",
                 Json::obj()
@@ -283,6 +307,16 @@ impl ConformanceReport {
                     .set("peak_in_flight", Json::Int(r.peak_in_flight as i64))
                     .set("speedup", Json::Num(r.speedup()))
                     .set("units_per_sec", Json::Num(r.units_per_sec())),
+            ),
+            None => doc,
+        };
+        match &self.journeys {
+            Some(j) => doc.set(
+                "journeys",
+                Json::obj()
+                    .set("scenarios", Json::Int(j.scenarios as i64))
+                    .set("journeys", Json::Int(j.journeys as i64))
+                    .set("max_delivery_us", Json::Num(j.max_delivery_us)),
             ),
             None => doc,
         }
@@ -341,7 +375,15 @@ impl ConformanceReport {
             }),
             None => None,
         };
-        Ok(ConformanceReport { schema, quick, experiments, run })
+        let journeys = match v.get("journeys") {
+            Some(j) => Some(JourneysMetrics {
+                scenarios: req_f64(j, "scenarios")? as u64,
+                journeys: req_f64(j, "journeys")? as u64,
+                max_delivery_us: req_f64(j, "max_delivery_us")?,
+            }),
+            None => None,
+        };
+        Ok(ConformanceReport { schema, quick, experiments, run, journeys })
     }
 
     /// The human-readable drift report (`results/CONFORMANCE.md`).
@@ -609,6 +651,7 @@ mod tests {
             },
         });
         r.run = Some(RunMetrics { jobs: 4, units: 3, wall_s: 0.75, seq_s: 2.0, peak_in_flight: 4 });
+        r.journeys = Some(JourneysMetrics { scenarios: 2, journeys: 96, max_delivery_us: 260.125 });
         r
     }
 
@@ -635,6 +678,23 @@ mod tests {
         assert!(d.ok(), "{}", d.render());
         assert_eq!(d.rows_checked, 2);
         assert_eq!(d.shapes_checked, 1);
+    }
+
+    /// The journeys block is self-description, not conformance: wildly
+    /// different journey metrics (or the block appearing/disappearing
+    /// entirely) must never trip the gate.
+    #[test]
+    fn gate_ignores_journey_self_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.journeys = Some(JourneysMetrics { scenarios: 9, journeys: 9999, max_delivery_us: 1e9 });
+        assert!(drift_gate(&cur, &base).ok());
+        cur.journeys = None;
+        assert!(drift_gate(&cur, &base).ok());
+        // And a baseline without the block accepts a run with it.
+        let mut old_base = sample();
+        old_base.journeys = None;
+        assert!(drift_gate(&sample(), &old_base).ok());
     }
 
     #[test]

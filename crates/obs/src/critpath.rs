@@ -240,6 +240,8 @@ pub fn critical_path(events: &[ObsEvent]) -> Result<CriticalPath, CritPathError>
             | ObsEvent::Compute { core, .. }
             | ObsEvent::SpanBegin { core, .. }
             | ObsEvent::SpanEnd { core, .. }
+            | ObsEvent::DeliveryBegin { core, .. }
+            | ObsEvent::DeliveryEnd { core, .. }
             | ObsEvent::Finish { core, .. } => core.index() + 1,
             // A wake's `writer` is a core the walk may jump to, so it
             // must size the tables even if the writer logged nothing
@@ -415,7 +417,14 @@ mod tests {
     }
 
     fn op(core: u8, kind: OpKind, start: u64, end: u64) -> ObsEvent {
-        ObsEvent::Op { core: CoreId(core), kind, lines: 1, start: ns(start), end: ns(end) }
+        ObsEvent::Op {
+            core: CoreId(core),
+            kind,
+            lines: 1,
+            start: ns(start),
+            end: ns(end),
+            msg: None,
+        }
     }
 
     /// Core 0: put [0,100], flag [100,130]. Core 1: poll [0,10], parks,

@@ -251,7 +251,14 @@ mod tests {
     }
 
     fn op(core: u8, kind: OpKind, start: u64, end: u64) -> ObsEvent {
-        ObsEvent::Op { core: CoreId(core), kind, lines: 1, start: ns(start), end: ns(end) }
+        ObsEvent::Op {
+            core: CoreId(core),
+            kind,
+            lines: 1,
+            start: ns(start),
+            end: ns(end),
+            msg: None,
+        }
     }
 
     /// One core, one span around the op: the op's service lands in the

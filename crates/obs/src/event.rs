@@ -9,7 +9,7 @@
 //! of completion times per core but not on global total order of
 //! `start` fields.
 
-use scc_hal::{CoreId, LinkDir, Span, Time};
+use scc_hal::{CoreId, LinkDir, MsgId, Span, Time};
 use std::fmt;
 
 /// Coarse classification of a timed RMA operation.
@@ -107,8 +107,10 @@ impl fmt::Display for ResourceId {
 /// One structured simulation event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ObsEvent {
-    /// A timed RMA operation ran on `core` over `[start, end]`.
-    Op { core: CoreId, kind: OpKind, lines: usize, start: Time, end: Time },
+    /// A timed RMA operation ran on `core` over `[start, end]`. `msg`
+    /// names the logical message fragment the operation carried, when
+    /// the issuing collective tagged it (see [`scc_hal::msg`]).
+    Op { core: CoreId, kind: OpKind, lines: usize, start: Time, end: Time, msg: Option<MsgId> },
     /// One booking on a contended resource: issued by `core`, arrived
     /// at `arrival`, served over `[start, end]`. `start - arrival` is
     /// the queueing wait attributed to this packet. For router bookings
@@ -138,6 +140,12 @@ pub enum ObsEvent {
     SpanBegin { core: CoreId, span: Span, at: Time },
     /// The matching close. Spans nest per core (LIFO).
     SpanEnd { core: CoreId, span: Span, at: Time },
+    /// `core` entered collective invocation `epoch` — its delivery
+    /// window opened (see [`scc_hal::msg::delivering`]).
+    DeliveryBegin { core: CoreId, epoch: u32, at: Time },
+    /// `core` holds the full payload of `epoch` — its delivery window
+    /// closed. The last window close of a broadcast is its makespan.
+    DeliveryEnd { core: CoreId, epoch: u32, at: Time },
     /// `core`'s SPMD closure returned at virtual time `at`.
     Finish { core: CoreId, at: Time },
 }
@@ -153,6 +161,8 @@ impl ObsEvent {
             | ObsEvent::Handoff { at, .. }
             | ObsEvent::SpanBegin { at, .. }
             | ObsEvent::SpanEnd { at, .. }
+            | ObsEvent::DeliveryBegin { at, .. }
+            | ObsEvent::DeliveryEnd { at, .. }
             | ObsEvent::Finish { at, .. } => at,
             ObsEvent::Compute { end, .. } => end,
         }

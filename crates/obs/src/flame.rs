@@ -119,6 +119,8 @@ fn cores_of(ev: &ObsEvent) -> impl Iterator<Item = usize> {
         | ObsEvent::Compute { core, .. }
         | ObsEvent::SpanBegin { core, .. }
         | ObsEvent::SpanEnd { core, .. }
+        | ObsEvent::DeliveryBegin { core, .. }
+        | ObsEvent::DeliveryEnd { core, .. }
         | ObsEvent::Finish { core, .. } => (core.index(), None),
         ObsEvent::Wake { core, .. } => (core.index(), None),
         ObsEvent::Handoff { from, to, .. } => (from.index(), Some(to.index())),
@@ -168,6 +170,7 @@ mod tests {
                 lines: 1,
                 start: ns(0),
                 end: ns(50),
+                msg: None,
             },
             ObsEvent::Finish { core: CoreId(1), at: ns(50) },
         ];

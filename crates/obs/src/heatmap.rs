@@ -101,43 +101,17 @@ impl LinkHeatmap {
     /// ASCII rendering of the mesh: one cell per tile (row y=3 on top,
     /// matching the paper's chip diagrams), each showing the busy
     /// occupancy of its five output links as a single digit 0–9
-    /// normalized to the hottest link ('-' for exactly zero).
+    /// normalized to the hottest link ('-' for exactly zero). Layout
+    /// and digit rounding live in [`crate::grid`], shared with the
+    /// congestion movie.
     pub fn render_ascii(&self, title: &str) -> String {
         let max = self.busy.iter().copied().max().unwrap_or(Time::ZERO);
-        let digit = |t: Time| -> char {
-            if t == Time::ZERO {
-                '-'
-            } else if max == Time::ZERO {
-                '0'
-            } else {
-                // 1..=9: the hottest link always renders as 9.
-                let d = 1 + (t.as_ps() as u128 * 9 / max.as_ps() as u128).min(9) as u32;
-                char::from_digit(d.min(9), 10).unwrap()
-            }
-        };
         let mut out = String::new();
         let _ = writeln!(out, "link occupancy: {title}");
         let _ = writeln!(out, "cell = tile(x,y) E W N S eject  (busy 0-9, '-' = idle, max=9)");
-        for y in (0..TILE_ROWS).rev() {
-            let mut row1 = String::new();
-            let mut row2 = String::new();
-            for x in 0..TILE_COLS {
-                let t = Tile::new(x, y).index();
-                let _ = write!(row1, "+--({x},{y})--");
-                let _ = write!(
-                    row2,
-                    "| {}{}{}{}{} ",
-                    digit(self.busy(t, LinkDir::East)),
-                    digit(self.busy(t, LinkDir::West)),
-                    digit(self.busy(t, LinkDir::North)),
-                    digit(self.busy(t, LinkDir::South)),
-                    digit(self.busy(t, LinkDir::Eject)),
-                );
-            }
-            let _ = writeln!(out, "{row1}+");
-            let _ = writeln!(out, "{row2}|");
-        }
-        let _ = writeln!(out, "{}+", "+---------".repeat(TILE_COLS as usize));
+        out.push_str(&crate::grid::render_mesh(|t, dir| {
+            crate::grid::occupancy_digit(self.busy(t, dir), max)
+        }));
         let (pt, pd, pb) = self.peak();
         let _ = writeln!(out, "peak link: tile {pt} dir {pd} busy {:.3}us", pb.as_us_f64());
         out

@@ -1,0 +1,602 @@
+//! Message journeys: per-destination delivery timelines.
+//!
+//! A *journey* is one core's path through one collective invocation:
+//! it opens when the core enters the collective
+//! ([`ObsEvent::DeliveryBegin`], recorded by
+//! `scc_hal::msg::delivering`) and closes when the core holds the full
+//! payload ([`ObsEvent::DeliveryEnd`]). Between those instants every
+//! picosecond of the core's time is attributed to exactly one
+//! [`LegKind`] — injection service, per-hop router dwell, MPB-port
+//! service, flag-notify waiting, remote-read draining, queueing, or
+//! idle — by a boundary sweep over the recorded event stream. The
+//! attribution is *exact*: per journey, the leg dwells sum to the
+//! delivery latency in integer picoseconds, and the last delivery
+//! close of a broadcast is its makespan (both guarded by tests in
+//! `tests/observability.rs`).
+//!
+//! The sweep classifies each elementary time slice by precedence:
+//! resource service beats resource queueing beats op issue beats
+//! parked-on-flag beats an open wait-phase span beats idle. Overlaps
+//! (a pipelined put can hold a port and a router at once) therefore
+//! never double-count.
+
+use crate::conformance::ARTIFACT_VERSION;
+use crate::event::{ObsEvent, OpKind, ResourceId};
+use crate::report::Json;
+use scc_hal::{CoreId, Phase, Time};
+use std::collections::BTreeMap;
+
+/// Where one slice of a journey's time went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LegKind {
+    /// Op service on the core: issuing puts/gets/flag writes.
+    Inject,
+    /// Queueing for an MPB port.
+    PortWait,
+    /// MPB-port service.
+    PortService,
+    /// Queueing at a mesh router.
+    RouterWait,
+    /// Per-hop router dwell (link service).
+    RouterService,
+    /// Memory-controller queueing and service.
+    Memory,
+    /// Waiting to be notified: polls, parked-on-flag intervals, and
+    /// open notify/buffer/barrier wait phases.
+    FlagNotify,
+    /// Waiting for consumers to read: ack/drain phases.
+    Drain,
+    /// Unattributed time inside the delivery window.
+    Idle,
+}
+
+impl LegKind {
+    pub const COUNT: usize = 9;
+
+    /// Every leg kind, in report order.
+    pub const ALL: [LegKind; LegKind::COUNT] = [
+        LegKind::Inject,
+        LegKind::PortWait,
+        LegKind::PortService,
+        LegKind::RouterWait,
+        LegKind::RouterService,
+        LegKind::Memory,
+        LegKind::FlagNotify,
+        LegKind::Drain,
+        LegKind::Idle,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            LegKind::Inject => "inject",
+            LegKind::PortWait => "port-wait",
+            LegKind::PortService => "port-service",
+            LegKind::RouterWait => "router-wait",
+            LegKind::RouterService => "router-service",
+            LegKind::Memory => "memory",
+            LegKind::FlagNotify => "flag-notify",
+            LegKind::Drain => "drain",
+            LegKind::Idle => "idle",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<LegKind> {
+        LegKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    pub const fn index(self) -> usize {
+        match self {
+            LegKind::Inject => 0,
+            LegKind::PortWait => 1,
+            LegKind::PortService => 2,
+            LegKind::RouterWait => 3,
+            LegKind::RouterService => 4,
+            LegKind::Memory => 5,
+            LegKind::FlagNotify => 6,
+            LegKind::Drain => 7,
+            LegKind::Idle => 8,
+        }
+    }
+}
+
+/// One core's delivery timeline through one collective invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Journey {
+    pub core: CoreId,
+    pub epoch: u32,
+    /// The core entered the collective.
+    pub begin: Time,
+    /// The core holds the full payload.
+    pub end: Time,
+    /// Tagged transfers addressed to this core within the window.
+    pub transfers: usize,
+    /// Cache lines those transfers carried.
+    pub lines: usize,
+    legs: [Time; LegKind::COUNT],
+}
+
+impl Journey {
+    /// Delivery latency: window close minus window open.
+    pub fn latency(&self) -> Time {
+        self.end - self.begin
+    }
+
+    /// Exact dwell in one leg kind (integer picoseconds).
+    pub fn leg(&self, k: LegKind) -> Time {
+        self.legs[k.index()]
+    }
+
+    /// Sum of all leg dwells — always equals [`Journey::latency`].
+    pub fn legs_total(&self) -> Time {
+        self.legs.iter().copied().sum()
+    }
+}
+
+/// All journeys of a recorded run.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct JourneyBook {
+    /// Journeys ordered by (window close, core) of reconstruction —
+    /// i.e. the order the delivery windows closed in the stream.
+    pub journeys: Vec<Journey>,
+    /// The run's makespan: the latest `Finish` (falling back to the
+    /// latest event when the stream has no `Finish`).
+    pub makespan: Time,
+}
+
+/// Per-core raw material for the classification sweep.
+#[derive(Default)]
+struct CoreLanes {
+    /// `(start, end, kind)` of every timed op.
+    ops: Vec<(u64, u64, OpKind)>,
+    /// `(arrival, start, end, resource)` of every booking.
+    waits: Vec<(u64, u64, u64, ResourceId)>,
+    /// `park .. wake` intervals; an unwoken park extends to `u64::MAX`
+    /// and is clipped by the window.
+    parks: Vec<(u64, u64)>,
+    /// `(start, end, phase, depth)` of closed wait-phase spans.
+    spans: Vec<(u64, u64, Phase, usize)>,
+    /// Open span stack: `(phase, start, depth)`.
+    stack: Vec<(Phase, u64)>,
+}
+
+/// Wait-ish phases map to a leg; payload phases don't claim time.
+fn span_leg(phase: Phase) -> Option<LegKind> {
+    match phase {
+        Phase::NotifyWait | Phase::BufferWait | Phase::Barrier => Some(LegKind::FlagNotify),
+        Phase::Ack | Phase::Drain => Some(LegKind::Drain),
+        _ => None,
+    }
+}
+
+impl JourneyBook {
+    /// Reconstruct every journey from a recorded event stream.
+    pub fn from_events(events: &[ObsEvent]) -> JourneyBook {
+        // Pass 1: delivery windows, per-core lanes, makespan.
+        let mut open: BTreeMap<u8, (u32, Time)> = BTreeMap::new();
+        let mut windows: Vec<(CoreId, u32, Time, Time)> = Vec::new();
+        let mut lanes: BTreeMap<u8, CoreLanes> = BTreeMap::new();
+        let mut finish = Time::ZERO;
+        let mut latest = Time::ZERO;
+        let mut any_finish = false;
+        for ev in events {
+            latest = latest.max(ev.at());
+            match *ev {
+                ObsEvent::DeliveryBegin { core, epoch, at } => {
+                    open.insert(core.0, (epoch, at));
+                }
+                ObsEvent::DeliveryEnd { core, epoch, at } => {
+                    if let Some((e, b)) = open.remove(&core.0) {
+                        if e == epoch {
+                            windows.push((core, epoch, b, at));
+                        }
+                    }
+                }
+                ObsEvent::Op { core, kind, start, end, .. } => {
+                    lanes.entry(core.0).or_default().ops.push((start.as_ps(), end.as_ps(), kind));
+                }
+                ObsEvent::Wait { core, resource, arrival, start, end, .. } => {
+                    lanes.entry(core.0).or_default().waits.push((
+                        arrival.as_ps(),
+                        start.as_ps(),
+                        end.as_ps(),
+                        resource,
+                    ));
+                }
+                ObsEvent::Park { core, at, .. } => {
+                    lanes.entry(core.0).or_default().parks.push((at.as_ps(), u64::MAX));
+                }
+                ObsEvent::Wake { core, at, .. } => {
+                    let lane = lanes.entry(core.0).or_default();
+                    if let Some(p) = lane.parks.last_mut() {
+                        if p.1 == u64::MAX {
+                            p.1 = at.as_ps();
+                        }
+                    }
+                }
+                ObsEvent::SpanBegin { core, span, at } => {
+                    lanes.entry(core.0).or_default().stack.push((span.phase, at.as_ps()));
+                }
+                ObsEvent::SpanEnd { core, at, .. } => {
+                    let lane = lanes.entry(core.0).or_default();
+                    if let Some((phase, start)) = lane.stack.pop() {
+                        let depth = lane.stack.len();
+                        lane.spans.push((start, at.as_ps(), phase, depth));
+                    }
+                }
+                ObsEvent::Finish { at, .. } => {
+                    finish = finish.max(at);
+                    any_finish = true;
+                }
+                _ => {}
+            }
+        }
+        let makespan = if any_finish { finish } else { latest };
+
+        // Pass 2: classify each window and count its tagged transfers.
+        let empty = CoreLanes::default();
+        let mut journeys: Vec<Journey> = windows
+            .iter()
+            .map(|&(core, epoch, begin, end)| {
+                let lane = lanes.get(&core.0).unwrap_or(&empty);
+                Journey {
+                    core,
+                    epoch,
+                    begin,
+                    end,
+                    transfers: 0,
+                    lines: 0,
+                    legs: classify(lane, begin.as_ps(), end.as_ps()),
+                }
+            })
+            .collect();
+        for ev in events {
+            if let ObsEvent::Op { lines, end, msg: Some(m), .. } = *ev {
+                if let Some(j) = journeys.iter_mut().find(|j| {
+                    j.core == m.dest && j.epoch == m.epoch && j.begin <= end && end <= j.end
+                }) {
+                    j.transfers += 1;
+                    j.lines += lines;
+                }
+            }
+        }
+        JourneyBook { journeys, makespan }
+    }
+
+    /// Serialize (one scenario's worth — the versioned artifact
+    /// envelope around several books is [`journeys_artifact`]).
+    pub fn to_json(&self) -> Json {
+        let journeys = self
+            .journeys
+            .iter()
+            .map(|j| {
+                let mut legs = Json::obj();
+                for k in LegKind::ALL {
+                    legs = legs.set(k.name(), Json::Int(j.leg(k).as_ps() as i64));
+                }
+                Json::obj()
+                    .set("core", Json::Int(i64::from(j.core.0)))
+                    .set("epoch", Json::Int(i64::from(j.epoch)))
+                    .set("begin_ps", Json::Int(j.begin.as_ps() as i64))
+                    .set("end_ps", Json::Int(j.end.as_ps() as i64))
+                    .set("transfers", Json::Int(j.transfers as i64))
+                    .set("lines", Json::Int(j.lines as i64))
+                    .set("legs", legs)
+            })
+            .collect();
+        Json::obj()
+            .set("makespan_ps", Json::Int(self.makespan.as_ps() as i64))
+            .set("journeys", Json::Arr(journeys))
+    }
+
+    /// Strict inverse of [`JourneyBook::to_json`].
+    pub fn from_json(v: &Json) -> Result<JourneyBook, String> {
+        let int = |v: &Json, key: &str| -> Result<i64, String> {
+            v.get(key).and_then(Json::as_i64).ok_or_else(|| format!("missing integer key '{key}'"))
+        };
+        let makespan = Time::from_ps(int(v, "makespan_ps")? as u64);
+        let items = v
+            .get("journeys")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing 'journeys' array".to_string())?;
+        let mut journeys = Vec::with_capacity(items.len());
+        for item in items {
+            let legs_obj = item.get("legs").ok_or_else(|| "journey missing 'legs'".to_string())?;
+            let mut legs = [Time::ZERO; LegKind::COUNT];
+            for k in LegKind::ALL {
+                legs[k.index()] = Time::from_ps(int(legs_obj, k.name())? as u64);
+            }
+            journeys.push(Journey {
+                core: CoreId(u8::try_from(int(item, "core")?).map_err(|e| e.to_string())?),
+                epoch: u32::try_from(int(item, "epoch")?).map_err(|e| e.to_string())?,
+                begin: Time::from_ps(int(item, "begin_ps")? as u64),
+                end: Time::from_ps(int(item, "end_ps")? as u64),
+                transfers: int(item, "transfers")? as usize,
+                lines: int(item, "lines")? as usize,
+                legs,
+            });
+        }
+        Ok(JourneyBook { journeys, makespan })
+    }
+}
+
+/// The boundary sweep: partition `[begin, end)` into elementary slices
+/// at every interval edge and give each slice to the
+/// highest-precedence covering interval. Exactness is structural — the
+/// slices tile the window, so the per-leg sums cannot drift from
+/// `end - begin`.
+fn classify(lane: &CoreLanes, begin: u64, end: u64) -> [Time; LegKind::COUNT] {
+    let mut legs = [Time::ZERO; LegKind::COUNT];
+    if end <= begin {
+        return legs;
+    }
+    let clip = |s: u64, e: u64| -> Option<(u64, u64)> {
+        let (s, e) = (s.max(begin), e.min(end));
+        (s < e).then_some((s, e))
+    };
+    let mut bounds: Vec<u64> = vec![begin, end];
+    let mut edge = |s: u64, e: u64| {
+        if let Some((s, e)) = clip(s, e) {
+            bounds.push(s);
+            bounds.push(e);
+        }
+    };
+    for &(a, s, e, _) in &lane.waits {
+        edge(a, s);
+        edge(s, e);
+    }
+    for &(s, e, _) in &lane.ops {
+        edge(s, e);
+    }
+    for &(s, e) in &lane.parks {
+        edge(s, e);
+    }
+    for &(s, e, phase, _) in &lane.spans {
+        if span_leg(phase).is_some() {
+            edge(s, e);
+        }
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let n = bounds.len() - 1;
+    let mut rank = vec![u8::MAX; n];
+    let mut kind = vec![LegKind::Idle; n];
+    // Span slices resolve by innermost-open wins, tracked separately.
+    let mut span_depth = vec![-1i64; n];
+    let mut span_kind = vec![LegKind::Idle; n];
+    {
+        let mut paint = |s: u64, e: u64, r: u8, k: LegKind| {
+            if let Some((s, e)) = clip(s, e) {
+                let lo = bounds.partition_point(|&x| x < s);
+                let hi = bounds.partition_point(|&x| x < e);
+                for j in lo..hi {
+                    if r < rank[j] {
+                        rank[j] = r;
+                        kind[j] = k;
+                    }
+                }
+            }
+        };
+        for &(a, s, e, res) in &lane.waits {
+            let (service, queue) = match res {
+                ResourceId::Port(_) => (LegKind::PortService, LegKind::PortWait),
+                ResourceId::Router(_) => (LegKind::RouterService, LegKind::RouterWait),
+                ResourceId::Mc(_) => (LegKind::Memory, LegKind::Memory),
+            };
+            paint(s, e, 0, service);
+            paint(a, s, 1, queue);
+        }
+        for &(s, e, k) in &lane.ops {
+            let leg = if k == OpKind::FlagRead { LegKind::FlagNotify } else { LegKind::Inject };
+            paint(s, e, 2, leg);
+        }
+        for &(s, e) in &lane.parks {
+            paint(s, e, 3, LegKind::FlagNotify);
+        }
+    }
+    for &(s, e, phase, depth) in &lane.spans {
+        let Some(k) = span_leg(phase) else { continue };
+        if let Some((s, e)) = clip(s, e) {
+            let lo = bounds.partition_point(|&x| x < s);
+            let hi = bounds.partition_point(|&x| x < e);
+            for j in lo..hi {
+                if depth as i64 > span_depth[j] {
+                    span_depth[j] = depth as i64;
+                    span_kind[j] = k;
+                }
+            }
+        }
+    }
+    for j in 0..n {
+        let k = if rank[j] != u8::MAX {
+            kind[j]
+        } else if span_depth[j] >= 0 {
+            span_kind[j]
+        } else {
+            LegKind::Idle
+        };
+        legs[k.index()] += Time::from_ps(bounds[j + 1] - bounds[j]);
+    }
+    legs
+}
+
+/// The versioned `BENCH_journeys.json` envelope: one entry per
+/// scenario, validated by `scc_obs::validate_artifact_version`.
+pub fn journeys_artifact(scenarios: &[(String, JourneyBook)]) -> Json {
+    let arr = scenarios
+        .iter()
+        .map(|(id, book)| book.to_json().set("id", Json::Str(id.clone())))
+        .collect();
+    Json::obj()
+        .set("version", Json::Int(ARTIFACT_VERSION))
+        .set("bench", Json::Str("journeys".into()))
+        .set("scenarios", Json::Arr(arr))
+}
+
+/// Strict inverse of [`journeys_artifact`] (checks the version first).
+pub fn parse_journeys_artifact(doc: &Json) -> Result<Vec<(String, JourneyBook)>, String> {
+    crate::conformance::validate_artifact_version(doc)?;
+    let arr = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing 'scenarios' array".to_string())?;
+    arr.iter()
+        .map(|v| {
+            let id = v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "scenario missing 'id'".to_string())?;
+            Ok((id.to_string(), JourneyBook::from_json(v)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hal::{MsgId, Span};
+
+    fn ps(v: u64) -> Time {
+        Time::from_ps(v)
+    }
+
+    fn window(core: u8, epoch: u32, b: u64, e: u64) -> [ObsEvent; 2] {
+        [
+            ObsEvent::DeliveryBegin { core: CoreId(core), epoch, at: ps(b) },
+            ObsEvent::DeliveryEnd { core: CoreId(core), epoch, at: ps(e) },
+        ]
+    }
+
+    #[test]
+    fn leg_names_round_trip_and_are_unique() {
+        for k in LegKind::ALL {
+            assert_eq!(LegKind::from_name(k.name()), Some(k));
+            assert_eq!(LegKind::ALL[k.index()], k);
+        }
+        let mut names: Vec<&str> = LegKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LegKind::COUNT);
+    }
+
+    #[test]
+    fn sweep_partitions_the_window_exactly() {
+        let [b, e] = window(0, 0, 100, 1000);
+        let events = vec![
+            b,
+            // An op [100,400) with a router booking [150,300) whose
+            // queue wait is [120,150); port service [300,350).
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::PutFromMem,
+                lines: 4,
+                start: ps(100),
+                end: ps(400),
+                msg: Some(MsgId::new(0, CoreId(0), CoreId(0), 0)),
+            },
+            ObsEvent::Wait {
+                core: CoreId(0),
+                resource: ResourceId::Router(3),
+                arrival: ps(120),
+                start: ps(150),
+                end: ps(300),
+                link: None,
+            },
+            ObsEvent::Wait {
+                core: CoreId(0),
+                resource: ResourceId::Port(1),
+                arrival: ps(300),
+                start: ps(300),
+                end: ps(350),
+                link: None,
+            },
+            // A poll [500,600), then parked [600,800).
+            ObsEvent::Op {
+                core: CoreId(0),
+                kind: OpKind::FlagRead,
+                lines: 1,
+                start: ps(500),
+                end: ps(600),
+                msg: None,
+            },
+            ObsEvent::Park { core: CoreId(0), line: 0, at: ps(600) },
+            ObsEvent::Wake { core: CoreId(0), line: 0, at: ps(800), writer: CoreId(1) },
+            e,
+            ObsEvent::Finish { core: CoreId(0), at: ps(1000) },
+        ];
+        let book = JourneyBook::from_events(&events);
+        assert_eq!(book.journeys.len(), 1);
+        let j = &book.journeys[0];
+        assert_eq!(j.latency(), ps(900));
+        assert_eq!(j.legs_total(), j.latency(), "legs must tile the window");
+        // [100,120) inject, [120,150) router wait, [150,300) router
+        // service, [300,350) port service, [350,400) inject,
+        // [400,500) idle, [500,600) poll, [600,800) parked,
+        // [800,1000) idle.
+        assert_eq!(j.leg(LegKind::Inject), ps(20 + 50));
+        assert_eq!(j.leg(LegKind::RouterWait), ps(30));
+        assert_eq!(j.leg(LegKind::RouterService), ps(150));
+        assert_eq!(j.leg(LegKind::PortService), ps(50));
+        assert_eq!(j.leg(LegKind::FlagNotify), ps(100 + 200));
+        assert_eq!(j.leg(LegKind::Idle), ps(100 + 200));
+        assert_eq!(j.transfers, 1);
+        assert_eq!(j.lines, 4);
+        assert_eq!(book.makespan, ps(1000));
+    }
+
+    #[test]
+    fn wait_spans_claim_otherwise_idle_time() {
+        let [b, e] = window(2, 7, 0, 500);
+        let events = vec![
+            b,
+            ObsEvent::SpanBegin { core: CoreId(2), span: Span::of(Phase::Drain), at: ps(0) },
+            // Nested deeper: a notify wait inside the drain claims its
+            // sub-interval (innermost wins).
+            ObsEvent::SpanBegin { core: CoreId(2), span: Span::of(Phase::NotifyWait), at: ps(100) },
+            ObsEvent::SpanEnd { core: CoreId(2), span: Span::of(Phase::NotifyWait), at: ps(200) },
+            ObsEvent::SpanEnd { core: CoreId(2), span: Span::of(Phase::Drain), at: ps(400) },
+            e,
+        ];
+        let book = JourneyBook::from_events(&events);
+        let j = &book.journeys[0];
+        assert_eq!(j.epoch, 7);
+        assert_eq!(j.leg(LegKind::Drain), ps(300));
+        assert_eq!(j.leg(LegKind::FlagNotify), ps(100));
+        assert_eq!(j.leg(LegKind::Idle), ps(100));
+        assert_eq!(j.legs_total(), ps(500));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let [b0, e0] = window(0, 0, 0, 700);
+        let [b1, e1] = window(1, 0, 10, 900);
+        let events = vec![
+            b0,
+            b1,
+            ObsEvent::Op {
+                core: CoreId(1),
+                kind: OpKind::GetToMem,
+                lines: 96,
+                start: ps(100),
+                end: ps(880),
+                msg: Some(MsgId::new(0, CoreId(0), CoreId(1), 0)),
+            },
+            e0,
+            e1,
+            ObsEvent::Finish { core: CoreId(1), at: ps(900) },
+        ];
+        let book = JourneyBook::from_events(&events);
+        let artifact = journeys_artifact(&[("unit".to_string(), book.clone())]);
+        let parsed = Json::parse(&artifact.render()).unwrap();
+        let back = parse_journeys_artifact(&parsed).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, "unit");
+        assert_eq!(back[0].1, book);
+    }
+
+    #[test]
+    fn artifact_version_is_checked() {
+        let doc = journeys_artifact(&[]).set("version", Json::Int(999));
+        assert!(parse_journeys_artifact(&doc).is_err());
+    }
+}

@@ -37,7 +37,17 @@
 //!   checks, host self-metrics, and the CI drift gate that compares a
 //!   run against a committed baseline;
 //! * [`heatmap`] — per-directed-link mesh occupancy maps whose per-tile
-//!   sums exactly partition the simulator's per-tile router aggregates.
+//!   sums exactly partition the simulator's per-tile router aggregates;
+//! * [`grid`] — the one 6×4 mesh-grid renderer (layout + digit
+//!   rounding) shared by the heatmap and the congestion movie;
+//! * [`journey`] — per-destination delivery timelines: each core's
+//!   delivery window, exactly partitioned into typed legs (inject,
+//!   router dwell, port service, flag notify, drain, …);
+//! * [`skew`] — the delivery-time distribution, straggler
+//!   identification, and per-leg root-cause attribution vs the median
+//!   journey (`results/SKEW.md`);
+//! * [`movie`] — the link heatmap sliced into equal time frames, a
+//!   congestion timeline (`results/movie_*.txt`).
 //!
 //! The simulator (`scc-sim`) records into this crate's [`Recorder`];
 //! collectives annotate phases through `scc_hal::Rma::span_begin`; the
@@ -49,16 +59,21 @@ pub mod critpath;
 pub mod diff;
 pub mod event;
 pub mod flame;
+pub mod grid;
 pub mod heatmap;
 pub mod hist;
+pub mod journey;
+pub mod movie;
 pub mod report;
 pub mod series;
+pub mod skew;
 pub mod whatif;
 
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
     drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
-    ExperimentReport, ExperimentRow, RunMetrics, SelfMetrics, ShapeCheck, ARTIFACT_VERSION,
+    ExperimentReport, ExperimentRow, JourneysMetrics, RunMetrics, SelfMetrics, ShapeCheck,
+    ARTIFACT_VERSION,
 };
 pub use critpath::{
     critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,
@@ -68,6 +83,9 @@ pub use event::{EventLog, ObsEvent, OpKind, Recorder, ResourceId};
 pub use flame::flamegraph_collapsed;
 pub use heatmap::LinkHeatmap;
 pub use hist::{LatencyHistogram, RunHistograms};
+pub use journey::{journeys_artifact, parse_journeys_artifact, Journey, JourneyBook, LegKind};
+pub use movie::CongestionMovie;
 pub use report::{validate_json, Json};
 pub use series::{UtilBucket, UtilizationSeries};
+pub use skew::{render_skew_markdown, SkewReport};
 pub use whatif::{CostClass, WhatIfPoint, WhatIfProfile};

@@ -49,7 +49,7 @@ use crate::ops::{self, Effect, Op};
 use crate::params::SimParams;
 use crate::trace::OpTrace;
 use scc_hal::{
-    CoreId, FlagValue, MemRange, MpbAddr, Rma, RmaError, RmaResult, Span, Time, NUM_CORES,
+    CoreId, FlagValue, MemRange, MpbAddr, MsgId, Rma, RmaError, RmaResult, Span, Time, NUM_CORES,
 };
 use scc_obs::{EventLog, ObsEvent};
 use std::cell::{Cell, RefCell};
@@ -149,7 +149,12 @@ pub struct SimReport<R> {
 // ---- messages ----------------------------------------------------------
 
 enum Request {
-    Op(Op),
+    /// A timed operation; `msg` is the message tag active on the
+    /// issuing core (always `None` when recording is off).
+    Op {
+        op: Op,
+        msg: Option<MsgId>,
+    },
     Park {
         line: usize,
     },
@@ -213,6 +218,7 @@ struct PendingOp {
     op: Op,
     remaining: usize,
     issued: Time,
+    msg: Option<MsgId>,
 }
 
 impl Ord for Event {
@@ -392,14 +398,14 @@ impl Engine {
                 };
                 self.ready(g)
             }
-            Request::Op(op) => {
+            Request::Op { op, msg } => {
                 if let Err(e) = ops::validate(&self.chip, CoreId(core as u8), &op) {
                     return self.ready(Grant::Rejected { err: e, buf: None });
                 }
                 self.chip.stats.ops += 1;
                 let overhead = ops::op_overhead(&self.chip, &op);
                 let remaining = ops::total_lines(&op);
-                self.pending[core] = Some(PendingOp { op, remaining, issued: self.now });
+                self.pending[core] = Some(PendingOp { op, remaining, issued: self.now, msg });
                 self.push(self.now + overhead, EventKind::Step(core));
                 Ok(Submitted::Blocked)
             }
@@ -475,6 +481,7 @@ impl Engine {
                         lines: ops::total_lines(&done.op),
                         start: done.issued,
                         end: self.now,
+                        msg: done.msg,
                     });
                 }
                 self.record(ObsEvent::Op {
@@ -483,6 +490,7 @@ impl Engine {
                     lines: ops::total_lines(&done.op),
                     start: done.issued,
                     end: self.now,
+                    msg: done.msg,
                 });
                 return Some(self.apply_op(i, &done.op));
             }
@@ -625,6 +633,10 @@ pub struct SimCore {
     recording: bool,
     now: Cell<Time>,
     parked_line: Cell<usize>,
+    /// Message tag applied to subsequent timed ops ([`Rma::msg_tag`]).
+    /// Only ever set while recording, so untraced runs carry `None`
+    /// with zero bookkeeping.
+    cur_msg: Cell<Option<MsgId>>,
     /// Reusable payload buffer for untimed memory requests; it rides
     /// along in the request and comes back in the grant, so steady
     /// state does no allocation per call.
@@ -690,7 +702,7 @@ impl SimCore {
     }
 
     fn op(&self, op: Op) -> RmaResult<Grant> {
-        self.rpc(Request::Op(op))
+        self.rpc(Request::Op { op, msg: self.cur_msg.get() })
     }
 
     fn wait_start(&self) -> RmaResult<()> {
@@ -744,6 +756,19 @@ impl SimCore {
             ObsEvent::SpanBegin { core: self.id, span, at }
         } else {
             ObsEvent::SpanEnd { core: self.id, span, at }
+        };
+        self.shared.lock_engine().record(ev);
+    }
+
+    /// Deposit a delivery-window boundary. Same discipline as
+    /// [`record_span`](Self::record_span): untimed, stamped with this
+    /// core's clock, only reached while recording.
+    fn record_delivery(&self, begin: bool, epoch: u32) {
+        let at = self.now.get();
+        let ev = if begin {
+            ObsEvent::DeliveryBegin { core: self.id, epoch, at }
+        } else {
+            ObsEvent::DeliveryEnd { core: self.id, epoch, at }
         };
         self.shared.lock_engine().record(ev);
     }
@@ -854,6 +879,24 @@ impl Rma for SimCore {
             self.record_span(false, span);
         }
     }
+
+    fn msg_tag(&mut self, msg: Option<MsgId>) {
+        if self.recording {
+            self.cur_msg.set(msg);
+        }
+    }
+
+    fn delivery_begin(&mut self, epoch: u32) {
+        if self.recording {
+            self.record_delivery(true, epoch);
+        }
+    }
+
+    fn delivery_end(&mut self, epoch: u32) {
+        if self.recording {
+            self.record_delivery(false, epoch);
+        }
+    }
 }
 
 /// Tears the whole run down if the SPMD closure panics, so the other
@@ -911,6 +954,7 @@ where
                 recording,
                 now: Cell::new(Time::ZERO),
                 parked_line: Cell::new(0),
+                cur_msg: Cell::new(None),
                 scratch: RefCell::new(Vec::new()),
                 shared: Arc::clone(&shared),
             };

@@ -5,7 +5,7 @@
 //! event stream (queue waits, park/wake, phase spans) lives in
 //! `scc-obs`; this module keeps the lightweight per-op view.
 
-use scc_hal::{CoreId, Time};
+use scc_hal::{CoreId, MsgId, Time};
 
 pub use scc_obs::OpKind;
 
@@ -17,6 +17,9 @@ pub struct OpTrace {
     pub lines: usize,
     pub start: Time,
     pub end: Time,
+    /// Message fragment the op carried, when the collective tagged it
+    /// (see [`scc_hal::msg`]). Not rendered by the Gantt view.
+    pub msg: Option<MsgId>,
 }
 
 /// Per-core, per-kind aggregate of a trace.
@@ -112,6 +115,7 @@ mod tests {
             lines: 1,
             start: Time::from_ns(start),
             end: Time::from_ns(end),
+            msg: None,
         }
     }
 

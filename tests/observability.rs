@@ -5,12 +5,13 @@
 
 use oc_bcast::{Algorithm, Broadcaster, OcConfig};
 use scc_hal::{
-    spanned, CoreId, FlagValue, MemRange, MpbAddr, Phase, Rma, RmaExt, RmaResult, Span, Time,
+    delivering, spanned, tagged, CoreId, FlagValue, MemRange, MpbAddr, MsgId, Phase, Rma, RmaExt,
+    RmaResult, Span, Time,
 };
 use scc_model::{ModelParams, P2p};
 use scc_obs::{
     chrome_trace_json, critical_path, kinds_present, validate_json, CostClass, DiffReport,
-    ObsEvent, OpKind, PhaseProfile, RunHistograms, SegmentKind,
+    JourneyBook, ObsEvent, OpKind, PhaseProfile, RunHistograms, SegmentKind,
 };
 use scc_rcce::MpbAllocator;
 use scc_sim::{run_spmd, SimConfig, SimParams, SimReport};
@@ -234,6 +235,91 @@ fn differential_critical_path_conserves_makespan_exactly() {
     assert!(dom.delta_ps() > 0);
     let md = diff.render_markdown();
     assert!(md.contains("conservative attribution"), "{md}");
+}
+
+/// Tentpole conservation law on a real contended run: reconstructing
+/// journeys from a 48-core flat-tree OC-Bcast (the port-saturating
+/// extreme), every journey's leg dwells must sum *exactly* to its
+/// delivery latency in integer picoseconds, the last delivery close
+/// must equal the broadcast makespan, and every non-root destination
+/// must have received tagged transfers inside its window.
+#[test]
+fn journey_legs_conserve_delivery_latency_on_contended_broadcast() {
+    let rep = record_bcast(48, Algorithm::OcBcast(OcConfig::with_k(47)), 96);
+    for r in &rep.results {
+        r.as_ref().unwrap();
+    }
+    let events = rep.events.as_deref().expect("recording enabled");
+    let book = JourneyBook::from_events(events);
+    assert_eq!(book.journeys.len(), 48, "one journey per participating core");
+    assert_eq!(book.makespan, rep.makespan);
+    for j in &book.journeys {
+        assert_eq!(
+            j.legs_total(),
+            j.latency(),
+            "C{} epoch {}: legs must tile the delivery window exactly",
+            j.core.index(),
+            j.epoch
+        );
+        if j.core != CoreId(0) {
+            assert!(j.transfers > 0, "C{} received no tagged transfers", j.core.index());
+            assert!(j.lines >= 96, "C{} journeys must carry the payload", j.core.index());
+        }
+    }
+    let last = book.journeys.iter().map(|j| j.end).max().unwrap();
+    assert_eq!(last, rep.makespan, "the last delivery close is the makespan");
+    // Contention actually showed up in the attribution: somebody spent
+    // time queueing for the saturated root port.
+    let port_wait: Time = book.journeys.iter().map(|j| j.leg(scc_obs::LegKind::PortWait)).sum();
+    assert!(port_wait > Time::ZERO, "flat tree at 48 cores must queue at the root port");
+}
+
+/// Satellite: on an uncontended two-core exchange the receiver's
+/// delivery latency equals the hand-computed LogP-model time
+/// `C^mem_put(m, d_mem, d) + C^mpb_put(1, d) + C^mpb_r(1)` — the same
+/// formula the critical-path test pins, now read off a journey.
+#[test]
+fn delivery_latency_matches_logp_model_on_uncontended_exchange() {
+    let m = 8usize;
+    let flag_line = m;
+    let cfg = SimConfig { num_cores: 2, mem_bytes: 4096, record: true, ..SimConfig::default() };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        if c.core().index() == 0 {
+            c.mem_write(0, &vec![0x3Cu8; m * 32])?;
+            tagged(c, MsgId::new(0, CoreId(0), CoreId(1), 0), |c| {
+                c.put_from_mem(MemRange::new(0, m * 32), MpbAddr::new(CoreId(1), 0))
+            })?;
+            c.flag_put(MpbAddr::new(CoreId(1), flag_line), FlagValue(1))?;
+        } else {
+            delivering(c, 0, |c| c.flag_wait_eq(flag_line, FlagValue(1)))?;
+        }
+        Ok(())
+    })
+    .expect("simulation");
+    let events = rep.events.as_deref().expect("recording enabled");
+    let book = JourneyBook::from_events(events);
+    assert_eq!(book.journeys.len(), 1, "only the receiver opened a window");
+    let j = &book.journeys[0];
+    assert_eq!(j.core, CoreId(1));
+    assert_eq!(j.begin, Time::ZERO);
+    assert_eq!(j.end, rep.makespan, "the receiver's delivery closes the run");
+    assert_eq!(j.legs_total(), j.latency());
+    assert_eq!((j.transfers, j.lines), (1, m), "the tagged bulk put lands in the window");
+
+    let model = P2p::new(ModelParams::paper());
+    let d = CoreId(0).mpb_distance(CoreId(1));
+    let d_mem = CoreId(0).mem_distance();
+    let expect = model.c_put_mem(m, d_mem, d) + model.c_put_mpb(1, d) + model.c_mpb_r(1);
+    assert!(
+        (j.latency().as_us_f64() - expect).abs() < 1e-6,
+        "delivery latency {} must equal the model's {expect:.6} us",
+        j.latency()
+    );
+    // Uncontended: the whole wait is flag-notify (poll + park), with no
+    // queueing legs at all.
+    assert_eq!(j.leg(scc_obs::LegKind::PortWait), Time::ZERO);
+    assert_eq!(j.leg(scc_obs::LegKind::RouterWait), Time::ZERO);
+    assert!(j.leg(scc_obs::LegKind::FlagNotify) > Time::ZERO);
 }
 
 /// The Chrome exporter produces valid JSON with per-core tracks, phase
