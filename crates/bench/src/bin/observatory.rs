@@ -27,6 +27,12 @@
 //!                              report; without the flag those sidecars
 //!                              are dropped so default runs leave no
 //!                              new files behind
+//!     [--faults]               also write the fault-degradation
+//!                              sidecars the `faults` experiment
+//!                              produces (BENCH_faults.json,
+//!                              results/FAULTS.md) and stamp the
+//!                              gate-ignored `faults` block into the
+//!                              report; gated exactly like --journeys
 //!     [--explain]              on gate failure, re-run the drifted
 //!                              experiments' scenarios with recording
 //!                              on and write a drift explanation
@@ -47,8 +53,9 @@ use scc_bench::{
 };
 use scc_obs::report::validate_json;
 use scc_obs::{
-    drift_gate, flamegraph_collapsed, parse_journeys_artifact, ConformanceReport, DiffReport,
-    DriftReport, JourneysMetrics, Json, PhaseProfile, RunHistograms,
+    drift_gate, flamegraph_collapsed, parse_faults_artifact, parse_journeys_artifact,
+    ConformanceReport, DiffReport, DriftReport, FaultsMetrics, JourneysMetrics, Json, PhaseProfile,
+    RunHistograms,
 };
 use scc_sim::SimParams;
 use std::fmt::Write as _;
@@ -65,6 +72,7 @@ struct Args {
     write_baseline: Option<String>,
     artifact_dir: String,
     journeys: bool,
+    faults: bool,
     explain: bool,
     drift: String,
     flame_dir: String,
@@ -83,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         write_baseline: None,
         artifact_dir: ".".to_string(),
         journeys: false,
+        faults: false,
         explain: false,
         drift: "results/DRIFT.md".to_string(),
         flame_dir: "results".to_string(),
@@ -102,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => args.list = true,
             "--journeys" => args.journeys = true,
+            "--faults" => args.faults = true,
             "--explain" => args.explain = true,
             "--only" => {
                 args.only =
@@ -126,6 +136,12 @@ fn parse_args() -> Result<Args, String> {
 /// per-scenario congestion movies.
 fn is_journey_artifact(rel: &str) -> bool {
     rel == "BENCH_journeys.json" || rel == "results/SKEW.md" || rel.starts_with("results/movie_")
+}
+
+/// The sidecars only `--faults` runs write: the degradation-curve
+/// artifact and its human digest.
+fn is_faults_artifact(rel: &str) -> bool {
+    rel == "BENCH_faults.json" || rel == "results/FAULTS.md"
 }
 
 /// Write `content`, creating parent directories as needed.
@@ -178,6 +194,7 @@ fn main() -> ExitCode {
     let mut report = ConformanceReport::new(args.quick);
     let mut heatmap_text = None;
     let mut journeys_metrics: Option<JourneysMetrics> = None;
+    let mut faults_metrics: Option<FaultsMetrics> = None;
     for out in run.outputs {
         let exp_report = out.report;
         eprintln!(
@@ -219,6 +236,36 @@ fn main() -> ExitCode {
                     };
                 }
             }
+            if is_faults_artifact(rel) {
+                if !args.faults {
+                    continue;
+                }
+                if rel == "BENCH_faults.json" {
+                    faults_metrics = match Json::parse(contents)
+                        .map_err(|e| format!("unparseable {rel}: {e}"))
+                        .and_then(|doc| parse_faults_artifact(&doc))
+                    {
+                        Ok(curves) => Some(FaultsMetrics {
+                            scenarios: curves.len() as u64,
+                            points: curves.iter().map(|c| c.points.len() as u64).sum(),
+                            injected_faults: curves
+                                .iter()
+                                .flat_map(|c| c.points.iter())
+                                .map(|p| p.faults)
+                                .sum(),
+                            recoveries: curves
+                                .iter()
+                                .flat_map(|c| c.points.iter())
+                                .map(|p| p.recoveries)
+                                .sum(),
+                        }),
+                        Err(e) => {
+                            eprintln!("observatory: BUG: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+            }
             let path = format!("{}/{rel}", args.artifact_dir);
             if let Err(e) = write_file(&path, contents) {
                 eprintln!("observatory: {e}");
@@ -240,6 +287,7 @@ fn main() -> ExitCode {
     );
     report.run = Some(run.run);
     report.journeys = journeys_metrics;
+    report.faults = faults_metrics;
 
     // Serialize, self-validate, and write the artifacts.
     let json = report.to_json().render();

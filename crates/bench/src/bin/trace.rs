@@ -75,6 +75,13 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Write an artifact, exiting nonzero with the path and OS error on
+/// failure (a missing results dir or a read-only checkout must not
+/// surface as a panic backtrace).
+fn write_artifact(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
 fn algorithm(o: &Opts) -> Algorithm {
     match o.collective.as_str() {
         "ocbcast" => Algorithm::OcBcast(OcConfig::with_k(o.k)),
@@ -157,19 +164,20 @@ fn main() {
     );
 
     // ---- artifacts -----------------------------------------------------
-    std::fs::create_dir_all(&o.out).expect("create output dir");
+    std::fs::create_dir_all(&o.out)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", o.out)));
     let chrome = chrome_trace_json(events);
     validate_json(&chrome).expect("chrome trace JSON is valid");
     let trace_path = format!("{}/trace_{label}.json", o.out);
-    std::fs::write(&trace_path, &chrome).expect("write chrome trace");
+    write_artifact(&trace_path, &chrome);
 
     let series = UtilizationSeries::build(events, rep.makespan, o.buckets);
     let csv_path = format!("{}/util_{label}.csv", o.out);
-    std::fs::write(&csv_path, series.to_csv()).expect("write utilization CSV");
+    write_artifact(&csv_path, &series.to_csv());
 
     let flame = flamegraph_collapsed(events, &label);
     let flame_path = format!("{}/flame_{label}.txt", o.out);
-    std::fs::write(&flame_path, &flame).expect("write collapsed flamegraph");
+    write_artifact(&flame_path, &flame);
 
     let us = |t: Time| Json::Num(t.as_us_f64());
     let mut peak = Json::obj();
@@ -209,7 +217,7 @@ fn main() {
         );
     let rendered = bench.render();
     validate_json(&rendered).expect("BENCH_obs.json is valid");
-    std::fs::write("BENCH_obs.json", rendered + "\n").expect("write BENCH_obs.json");
+    write_artifact("BENCH_obs.json", &(rendered + "\n"));
 
     println!();
     println!("# wrote {trace_path} (open in ui.perfetto.dev)");

@@ -1,0 +1,284 @@
+//! Degradation under injected faults: the reliable collectives
+//! (timeout/retry/ack — `oc_bcast::reliable`) swept across the
+//! deterministic fault plan's drop/delay rates on the full 48-core
+//! chip. Every operating point must deliver the verified payload to
+//! all 47 destinations; what the sweep measures is the *price* of that
+//! guarantee — per-destination delivered latency (p50/p99/max) and the
+//! makespan as the injected rate rises, next to the recovery counters
+//! (timeouts, probes, recoveries, re-notifies) that explain it.
+//!
+//! The finalize step derives `BENCH_faults.json` and the human digest
+//! `results/FAULTS.md`. The observatory only writes those sidecars
+//! under `--faults`; the rows and shape checks join
+//! `BENCH_figures.json` unconditionally. Faults are seeded and drawn
+//! in deterministic event order, so every artifact is byte-identical
+//! at any `--jobs` count.
+
+use super::{outln, Sweep};
+use oc_bcast::{OcBcast, OcConfig, RelStats, Reliability, ReliableBinomial};
+use scc_hal::{CoreId, MemRange, Rma, RmaExt, RmaResult, Time};
+use scc_obs::{faults_artifact, render_faults_markdown, FaultCurve, FaultPoint, LatencyHistogram};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, FaultPlan, SimConfig};
+
+/// The paper's full chip; fault tolerance is only interesting at scale.
+const CORES: usize = 48;
+const ROOT: CoreId = CoreId(0);
+
+/// Transfers hit by the delay fault stall this long.
+const DELAY: Time = Time(5_000_000); // 5 µs
+
+/// The sweep's reliability policy: [`Reliability::standard`] with the
+/// timeout raised above the longest *legitimate* fault-free wait —
+/// the reliable binomial's deepest rank waits ~450 µs for its first
+/// line at 96 cache lines on 48 cores. Tuning the timeout under that
+/// bound makes the policy fire on healthy waits (the full sweep showed
+/// 42 spurious timeouts at rate 0); above it, every timeout the table
+/// reports is fault-caused, which is what the fault-free shape check
+/// pins.
+fn policy() -> Reliability {
+    Reliability { timeout: Time::from_us_f64(600.0), ..Reliability::standard() }
+}
+
+/// Which reliable protocol a scenario drives.
+#[derive(Clone, Copy)]
+enum Proto {
+    /// Reliable OC-Bcast with the given fan-out.
+    Oc(usize),
+    /// The reliable binomial-tree baseline.
+    Binomial,
+}
+
+impl Proto {
+    fn label(self) -> String {
+        match self {
+            Proto::Oc(k) => format!("k={k}"),
+            Proto::Binomial => "binomial".to_string(),
+        }
+    }
+}
+
+/// Same contention spectrum as the `skew` experiment: the flat-tree
+/// extreme, the paper's default operating point, and the baseline.
+fn scenarios() -> Vec<(&'static str, Proto)> {
+    vec![("oc_k47", Proto::Oc(47)), ("oc_k7", Proto::Oc(7)), ("binomial", Proto::Binomial)]
+}
+
+/// Remote-notification drop rates, ppm; transfers are delayed at half
+/// the drop rate so both fault classes stress every point.
+fn rates(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![0, 50_000]
+    } else {
+        vec![0, 20_000, 50_000, 100_000]
+    }
+}
+
+fn msg_lines(quick: bool) -> usize {
+    if quick {
+        32
+    } else {
+        96
+    }
+}
+
+/// What one (scenario, rate) unit measures.
+struct Measured {
+    /// Per-destination delivered latencies, root's call to each
+    /// destination's verified return (unsorted, core order).
+    latencies: Vec<Time>,
+    /// Destinations whose received payload verified byte-for-byte.
+    delivered: u64,
+    makespan: Time,
+    faults: u64,
+    lost: Time,
+    /// Recovery counters summed over every core.
+    rel: RelStats,
+}
+
+/// Run one reliable broadcast under the given drop rate and collect
+/// the delivered-latency distribution plus the recovery counters.
+fn run_point(proto: Proto, lines: usize, drop_ppm: u32) -> Measured {
+    let bytes = lines * 32;
+    let cfg = SimConfig {
+        num_cores: CORES,
+        mem_bytes: (bytes.next_power_of_two()).max(1 << 20),
+        faults: FaultPlan {
+            drop_notification_ppm: drop_ppm,
+            delay_ppm: drop_ppm / 2,
+            delay: DELAY,
+            ..FaultPlan::default()
+        },
+        ..SimConfig::default()
+    };
+    // Deliberately no barrier before the broadcast: the plain barrier
+    // signals through remote flag puts — exactly what the fault plan
+    // drops — so under injected faults it would deadlock before the
+    // reliable protocol even starts. Setup is deterministic and near
+    // symmetric, and latency is measured from the root's call time
+    // (the paper's definition), so alignment is unnecessary.
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<(Time, Time, bool, RelStats)> {
+        let mut alloc = MpbAllocator::new();
+        let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+        let r = MemRange::new(0, bytes);
+        if c.core() == ROOT {
+            c.mem_write(0, &payload)?;
+        }
+        let (t0, t1, stats) = match proto {
+            Proto::Oc(k) => {
+                let mut bc = OcBcast::new_reliable(&mut alloc, OcConfig::with_k(k), policy())
+                    .expect("MPB layout fits");
+                let t0 = c.now();
+                bc.bcast_reliable(c, ROOT, r)?;
+                (t0, c.now(), bc.rel_stats().unwrap_or_default())
+            }
+            Proto::Binomial => {
+                let mut bc = ReliableBinomial::new(&mut alloc, c.num_cores(), policy())
+                    .expect("MPB layout fits");
+                let t0 = c.now();
+                bc.bcast(c, ROOT, r)?;
+                (t0, c.now(), bc.stats())
+            }
+        };
+        Ok((t0, t1, c.mem_to_vec(r)? == payload, stats))
+    })
+    .expect("fault sweep run");
+    let per: Vec<(Time, Time, bool, RelStats)> =
+        rep.results.into_iter().map(|r| r.expect("reliable bcast must complete")).collect();
+    let root_call = per[ROOT.index()].0;
+    let mut m = Measured {
+        latencies: Vec::with_capacity(CORES - 1),
+        delivered: 0,
+        makespan: rep.makespan,
+        faults: rep.stats.faults,
+        lost: rep.stats.fault_lost,
+        rel: RelStats::default(),
+    };
+    for (i, (_, t1, ok, stats)) in per.iter().enumerate() {
+        m.rel.timeouts += stats.timeouts;
+        m.rel.probes += stats.probes;
+        m.rel.recoveries += stats.recoveries;
+        m.rel.renotifies += stats.renotifies;
+        if i != ROOT.index() {
+            m.latencies.push(*t1 - root_call);
+            m.delivered += u64::from(*ok);
+        }
+    }
+    m
+}
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    let lines = msg_lines(sweep.quick);
+    for (id, proto) in scenarios() {
+        for rate in rates(sweep.quick) {
+            // Heavier rates do more recovery work — weight them so the
+            // longest-task-first scheduler starts them early.
+            let cost = lines as u64 * (1 + u64::from(rate) / 25_000);
+            sweep.value_unit_w(format!("faults {id} drop={rate}ppm"), cost, move |_| {
+                run_point(proto, lines, rate)
+            });
+        }
+    }
+
+    sweep.finalize(move |ctx, mut values| {
+        let rates = rates(ctx.quick);
+        let lines = msg_lines(ctx.quick);
+        outln!(
+            ctx,
+            "# reliable broadcast under injected faults, {CORES} cores, {lines} cache lines"
+        );
+        outln!(ctx, "# drop = remote-notification loss (ppm); transfers delayed {DELAY} at drop/2");
+        let mut curves: Vec<FaultCurve> = Vec::new();
+        for (id, proto) in scenarios() {
+            let mut curve = FaultCurve {
+                id: id.to_string(),
+                label: format!("{} {CORES}c {lines}cl", proto.label()),
+                cores: CORES as u64,
+                points: Vec::new(),
+            };
+            for &rate in &rates {
+                let m = values.next_as::<Measured>();
+                let mut hist = LatencyHistogram::new();
+                for &l in &m.latencies {
+                    hist.record(l);
+                }
+                let p = FaultPoint {
+                    drop_ppm: u64::from(rate),
+                    delay_ppm: u64::from(rate / 2),
+                    delivered: m.delivered,
+                    p50: hist.quantile(0.50).expect("latencies"),
+                    p99: hist.quantile(0.99).expect("latencies"),
+                    max: hist.quantile(1.0).expect("latencies"),
+                    makespan: m.makespan,
+                    faults: m.faults,
+                    lost: m.lost,
+                    timeouts: m.rel.timeouts,
+                    probes: m.rel.probes,
+                    recoveries: m.rel.recoveries,
+                    renotifies: m.rel.renotifies,
+                };
+                ctx.row(
+                    format!("{id} drop={rate}ppm delivery p50"),
+                    None,
+                    None,
+                    p.p50.as_us_f64(),
+                    0.02,
+                    "us",
+                );
+                ctx.row(
+                    format!("{id} drop={rate}ppm delivery p99"),
+                    None,
+                    None,
+                    p.p99.as_us_f64(),
+                    0.02,
+                    "us",
+                );
+                ctx.row(
+                    format!("{id} drop={rate}ppm makespan"),
+                    None,
+                    None,
+                    p.makespan.as_us_f64(),
+                    0.02,
+                    "us",
+                );
+                outln!(
+                    ctx,
+                    "{id:<10} drop {rate:>6}ppm  p50 {:>9.3}  p99 {:>9.3}  makespan {:>9.3} us  \
+                     {:>4} faults  {:>3} recoveries",
+                    p.p50.as_us_f64(),
+                    p.p99.as_us_f64(),
+                    p.makespan.as_us_f64(),
+                    p.faults,
+                    p.recoveries,
+                );
+                curve.points.push(p);
+            }
+
+            let all_delivered = curve.points.iter().all(|p| p.delivered == (CORES - 1) as u64);
+            ctx.shape(
+                &format!("{id}: every destination verifies delivery at every fault rate"),
+                all_delivered,
+                format!("{} destinations x {} rates", CORES - 1, curve.points.len()),
+            );
+            let clean = &curve.points[0];
+            ctx.shape(
+                &format!("{id}: the fault-free point injects nothing and recovers nothing"),
+                clean.faults == 0 && clean.timeouts == 0 && clean.recoveries == 0,
+                format!("{} faults, {} timeouts at rate 0", clean.faults, clean.timeouts),
+            );
+            let top = curve.points.last().expect("at least one rate");
+            ctx.shape(
+                &format!("{id}: faults fire and are absorbed at the top rate"),
+                top.faults > 0 && top.recoveries > 0,
+                format!(
+                    "drop {}ppm: {} faults, {} timeouts, {} recoveries",
+                    top.drop_ppm, top.faults, top.timeouts, top.recoveries
+                ),
+            );
+            curves.push(curve);
+        }
+        outln!(ctx, "# every point: payload verified on all {} destinations", CORES - 1);
+        ctx.artifact("BENCH_faults.json", faults_artifact(&curves).render());
+        ctx.artifact("results/FAULTS.md", render_faults_markdown(&curves));
+    });
+}

@@ -26,6 +26,7 @@ use scc_obs::{ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck};
 use std::any::Any;
 
 mod ablation;
+mod faults;
 mod fig3;
 mod fig4;
 mod fig5;
@@ -302,6 +303,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "Message journeys — delivery skew & straggler attribution",
             plan: skew::plan,
         },
+        Experiment {
+            id: "faults",
+            title: "Reliable broadcast — degradation under injected faults",
+            plan: faults::plan,
+        },
     ]
 }
 
@@ -418,18 +424,25 @@ pub fn run_experiment(exp: &Experiment, quick: bool) -> (ExperimentReport, Strin
 /// Entry point of the thin wrapper binaries: run the experiment
 /// (respecting `--jobs N` / `SCC_JOBS`, default all host cores — safe
 /// because the output is byte-identical at any job count), print its
-/// classic text, and die (like the old inline `assert!`s did) if any
-/// paper shape claim failed.
+/// classic text, and exit nonzero — naming every failing claim on
+/// stderr instead of panicking — if any paper shape claim failed. An
+/// unknown id exits 2 listing the registry.
 pub fn run_standalone(id: &str) {
-    let exp = registry()
-        .into_iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    let reg = registry();
+    let Some(exp) = reg.into_iter().find(|e| e.id == id) else {
+        let known: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        eprintln!("{id}: unknown experiment id (known: {})", known.join(", "));
+        std::process::exit(2);
+    };
     let jobs = crate::pool::jobs_from_args(std::env::args().skip(1));
     let (report, out, _artifacts) = crate::runner::run_experiment_jobs(&exp, crate::quick(), jobs);
     print!("{out}");
-    for s in &report.shapes {
-        assert!(s.pass, "[{id}] shape check `{}` failed: {}", s.name, s.detail);
+    let failed: Vec<_> = report.shapes.iter().filter(|s| !s.pass).collect();
+    for s in &failed {
+        eprintln!("[{id}] shape check `{}` failed: {}", s.name, s.detail);
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
     }
 }
 

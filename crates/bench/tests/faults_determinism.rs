@@ -1,0 +1,52 @@
+//! The fault sweep's determinism guarantee: injected faults are drawn
+//! from a seeded generator in deterministic event order, so the
+//! `faults` experiment — recovery counters, delivered-latency
+//! percentiles, and both sidecar artifacts — is byte-identical at any
+//! `--jobs` count, and every shape check passes.
+
+use scc_bench::{registry, run_registry, Experiment};
+use scc_obs::parse_faults_artifact;
+use scc_obs::Json;
+
+fn faults_only() -> Vec<Experiment> {
+    registry().into_iter().filter(|e| e.id == "faults").collect()
+}
+
+#[test]
+fn faults_artifacts_are_byte_identical_at_any_jobs_count() {
+    let seq = run_registry(faults_only(), true, 1);
+    let par = run_registry(faults_only(), true, 4);
+
+    assert_eq!(seq.outputs.len(), 1);
+    assert_eq!(par.outputs.len(), 1);
+    let (s, p) = (&seq.outputs[0], &par.outputs[0]);
+
+    assert_eq!(s.text, p.text, "faults: text diverged between --jobs 1 and --jobs 4");
+    assert_eq!(s.artifacts, p.artifacts, "faults: artifacts diverged between job counts");
+
+    // Both sidecars exist, parse strictly, and describe verified
+    // delivery to all 47 destinations at every injected rate.
+    let names: Vec<&str> = s.artifacts.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"BENCH_faults.json"), "missing sidecar: {names:?}");
+    assert!(names.contains(&"results/FAULTS.md"), "missing sidecar: {names:?}");
+
+    let raw = &s.artifacts.iter().find(|(n, _)| n == "BENCH_faults.json").unwrap().1;
+    let curves = parse_faults_artifact(&Json::parse(raw).expect("sidecar is valid JSON"))
+        .expect("sidecar parses strictly");
+    assert_eq!(curves.len(), 3, "oc_k47, oc_k7, binomial");
+    for c in &curves {
+        assert!(!c.points.is_empty(), "{}: empty curve", c.id);
+        for pt in &c.points {
+            assert_eq!(pt.delivered, 47, "{} drop={}ppm: lost a destination", c.id, pt.drop_ppm);
+        }
+        let top = c.points.last().unwrap();
+        assert!(top.faults > 0, "{}: top rate injected nothing", c.id);
+        assert!(top.recoveries > 0, "{}: faults fired but nothing recovered", c.id);
+    }
+
+    // The shape checks the experiment declares must all hold.
+    for sh in &s.report.shapes {
+        assert!(sh.pass, "shape failed: {} ({})", sh.name, sh.detail);
+    }
+    assert!(s.report.shapes.len() >= 9, "3 scenarios x 3 shapes");
+}

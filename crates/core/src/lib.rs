@@ -55,6 +55,7 @@ pub mod bcast;
 pub mod binomial;
 pub mod collectives;
 pub mod ocbcast;
+pub mod reliable;
 pub mod rma_sag;
 pub mod scatter_allgather;
 pub mod topo;
@@ -65,6 +66,7 @@ pub use bcast::{Algorithm, Broadcaster};
 pub use binomial::binomial_bcast;
 pub use collectives::{oc_allgather, oc_allreduce, OcReduce, ReduceOp};
 pub use ocbcast::{OcBcast, OcConfig};
+pub use reliable::{RelStats, Reliability, ReliableBinomial};
 pub use rma_sag::RmaSag;
 pub use scatter_allgather::scatter_allgather_bcast;
 pub use topo::{TreeLayout, TreeStrategy};

@@ -28,6 +28,7 @@
 //! are always strictly smaller than any sequence they could be
 //! mistaken for.
 
+use crate::reliable::{probe_remote_flag, wait_ge_or_recover, RelStats, Reliability};
 use crate::topo::{TreeLayout, TreeStrategy};
 use crate::tree::NotifyGroup;
 use scc_hal::{
@@ -95,6 +96,28 @@ pub struct OcBcast {
     /// Invocation counter, stamped into [`MsgId`]s and delivery windows
     /// so journeys of back-to-back broadcasts stay distinguishable.
     epoch: u32,
+    /// Recovery machinery, present only on contexts built with
+    /// [`OcBcast::new_reliable`].
+    rel: Option<OcRel>,
+}
+
+/// Extra MPB state of a reliable OC-Bcast context. The three lines are
+/// locally published progress mirrors and a probe landing zone; see
+/// [`crate::reliable`] for the recovery principle.
+#[derive(Clone, Debug)]
+struct OcRel {
+    policy: Reliability,
+    /// Local publish: sequence of the newest chunk available in our
+    /// own payload buffers. A child whose notification was lost probes
+    /// this on its tree parent.
+    avail: MpbRegion,
+    /// Local publish: sequence of the newest chunk we acknowledged to
+    /// our parent. A parent whose done flag was lost probes this on
+    /// the child.
+    consumed: MpbRegion,
+    /// Landing line for probes.
+    scratch: MpbRegion,
+    stats: RelStats,
 }
 
 impl OcBcast {
@@ -109,7 +132,32 @@ impl OcBcast {
         let done = alloc.alloc(cfg.k)?;
         let buf0 = alloc.alloc(cfg.chunk_lines)?;
         let buf1 = if cfg.double_buffer { alloc.alloc(cfg.chunk_lines)? } else { buf0 };
-        Ok(OcBcast { cfg, notify, done, bufs: [buf0, buf1], seq: 0, epoch: 0 })
+        Ok(OcBcast { cfg, notify, done, bufs: [buf0, buf1], seq: 0, epoch: 0, rel: None })
+    }
+
+    /// Like [`OcBcast::new`] plus the recovery state [`bcast_reliable`]
+    /// needs: three extra flag lines (available-progress mirror,
+    /// consumed-progress mirror, probe scratch). The plain layout is
+    /// allocated first, so a reliable context with a disabled policy
+    /// produces bit-identical broadcasts to a plain one.
+    ///
+    /// `leaf_direct` is unsupported here: a direct-to-memory leaf has
+    /// no MPB copy of the chunk, so it could not republish progress
+    /// for its parent's probes.
+    ///
+    /// [`bcast_reliable`]: OcBcast::bcast_reliable
+    pub fn new_reliable(
+        alloc: &mut MpbAllocator,
+        cfg: OcConfig,
+        policy: Reliability,
+    ) -> Result<OcBcast, MpbExhausted> {
+        assert!(!cfg.leaf_direct, "leaf_direct is unsupported on the reliable path");
+        let mut bc = OcBcast::new(alloc, cfg)?;
+        let avail = alloc.alloc(1)?;
+        let consumed = alloc.alloc(1)?;
+        let scratch = alloc.alloc(1)?;
+        bc.rel = Some(OcRel { policy, avail, consumed, scratch, stats: RelStats::default() });
+        Ok(bc)
     }
 
     /// Release the context's MPB lines.
@@ -119,6 +167,11 @@ impl OcBcast {
         alloc.free(self.bufs[0]);
         if self.cfg.double_buffer {
             alloc.free(self.bufs[1]);
+        }
+        if let Some(rel) = self.rel {
+            alloc.free(rel.avail);
+            alloc.free(rel.consumed);
+            alloc.free(rel.scratch);
         }
     }
 
@@ -253,6 +306,242 @@ impl OcBcast {
             }
             Ok(())
         })
+    }
+
+    /// What the recovery machinery did so far on this core (`None` on
+    /// contexts built with [`OcBcast::new`]).
+    pub fn rel_stats(&self) -> Option<RelStats> {
+        self.rel.as_ref().map(|r| r.stats)
+    }
+
+    /// Reliable collective broadcast: the paper's protocol with a
+    /// deadline on every flag wait and probe-based recovery from lost
+    /// notifications and done flags (see [`crate::reliable`]).
+    ///
+    /// On a context without recovery state, or with a disabled policy,
+    /// this delegates to [`OcBcast::bcast`] — the failure-free fast
+    /// path stays byte-identical. Otherwise the five per-chunk steps
+    /// run with these changes:
+    ///
+    /// * after storing a chunk in its own buffer, a core locally
+    ///   publishes its *avail* mirror; after releasing the parent's
+    ///   buffer, its *consumed* mirror — local puts cannot be lost;
+    /// * a notify wait that times out probes the tree parent's avail
+    ///   mirror, bypassing the (lossy) notification relay tree — the
+    ///   route-around that also covers a relay core slowed past the
+    ///   deadline;
+    /// * a done wait (buffer gate or final drain) that times out
+    ///   probes the child's consumed mirror and, while it lags,
+    ///   re-sends the child's notification with our avail high-water
+    ///   mark (monotone flags make the re-send idempotent; the
+    ///   buffer-parity gate guarantees a chunk a child still waits for
+    ///   was never overwritten).
+    ///
+    /// A clean collective return implies every core drained its
+    /// children's acks for the final chunk: delivery to all
+    /// destinations is verified, not assumed.
+    pub fn bcast_reliable<R: Rma>(
+        &mut self,
+        c: &mut R,
+        root: CoreId,
+        msg: MemRange,
+    ) -> RmaResult<()> {
+        let Some(rel) = self.rel.clone() else { return self.bcast(c, root, msg) };
+        if !rel.policy.enabled {
+            return self.bcast(c, root, msg);
+        }
+        let p = c.num_cores();
+        if msg.len == 0 || p <= 1 {
+            return Ok(());
+        }
+        let total_lines = bytes_to_lines(msg.len);
+        let n_chunks = total_lines.div_ceil(self.cfg.chunk_lines);
+        let tree = TreeLayout::build(self.cfg.strategy, p, self.cfg.k, root);
+        let me = c.core();
+
+        let base = self.seq;
+        self.seq += n_chunks as u32;
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        let parent = tree.parent(me);
+        let children = tree.children(me).to_vec();
+        let parent_group = parent
+            .and_then(|par| NotifyGroup::new(par, tree.children(par), self.cfg.notify_fanout));
+        let own_group = NotifyGroup::new(me, &children, self.cfg.notify_fanout);
+        let my_done_slot = tree.child_index(me);
+
+        let policy = rel.policy;
+        let avail_line = rel.avail.first_line;
+        let consumed_line = rel.consumed.first_line;
+        let scratch = rel.scratch.first_line;
+        let mut stats = RelStats::default();
+        // Sequence of the newest chunk in our own buffers, mirrored on
+        // the avail line; what we can honestly re-notify children with.
+        let mut my_avail = base;
+
+        let res = delivering(c, epoch, |c| {
+            for chunk in 0..n_chunks {
+                let seq = base + chunk as u32 + 1;
+                let buf = self.buf_for(chunk);
+                let byte_off = chunk * self.cfg.chunk_lines * CACHE_LINE_BYTES;
+                let len = (msg.len - byte_off).min(self.cfg.chunk_lines * CACHE_LINE_BYTES);
+                let lines = bytes_to_lines(len);
+                let part = msg.slice(byte_off, len);
+                let fl = (chunk * self.cfg.chunk_lines) as u32;
+
+                let ch = chunk as u32;
+                if me == root {
+                    spanned(c, Span::new(Phase::BufferWait, ch), |c| {
+                        self.wait_children_done_rel(
+                            c,
+                            &children,
+                            base,
+                            seq,
+                            chunk,
+                            &policy,
+                            &mut stats,
+                            consumed_line,
+                            scratch,
+                            my_avail,
+                        )
+                    })?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        tagged(c, MsgId::new(epoch, me, me, fl), |c| {
+                            c.put_from_mem(part, MpbAddr::new(me, buf.first_line))
+                        })
+                    })?;
+                    c.flag_put(MpbAddr::new(me, avail_line), FlagValue(seq))?;
+                    my_avail = seq;
+                    spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                        self.notify_forward(c, own_group.as_ref(), me, epoch, fl, seq)
+                    })?;
+                } else {
+                    let par = parent.expect("non-root has a parent");
+                    // (0) learn the chunk is in the parent's MPB — or,
+                    // if the notification was lost, find out by
+                    // probing the parent's avail mirror directly.
+                    spanned(c, Span::new(Phase::NotifyWait, ch), |c| {
+                        wait_ge_or_recover(
+                            c,
+                            &policy,
+                            &mut stats,
+                            self.notify.first_line,
+                            seq,
+                            |c, stats| {
+                                Ok(probe_remote_flag(c, stats, par, avail_line, scratch)? >= seq)
+                            },
+                        )
+                    })?;
+                    spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                        self.notify_forward(c, parent_group.as_ref(), me, epoch, fl, seq)
+                    })?;
+                    spanned(c, Span::new(Phase::BufferWait, ch), |c| {
+                        self.wait_children_done_rel(
+                            c,
+                            &children,
+                            base,
+                            seq,
+                            chunk,
+                            &policy,
+                            &mut stats,
+                            consumed_line,
+                            scratch,
+                            my_avail,
+                        )
+                    })?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        tagged(c, MsgId::new(epoch, par, me, fl), |c| {
+                            c.get_to_mpb(MpbAddr::new(par, buf.first_line), buf.first_line, lines)
+                        })
+                    })?;
+                    c.flag_put(MpbAddr::new(me, avail_line), FlagValue(seq))?;
+                    my_avail = seq;
+                    spanned(c, Span::new(Phase::Ack, ch), |c| {
+                        self.signal_done(c, par, my_done_slot, epoch, fl, seq)
+                    })?;
+                    c.flag_put(MpbAddr::new(me, consumed_line), FlagValue(seq))?;
+                    spanned(c, Span::new(Phase::NotifyForward, ch), |c| {
+                        self.notify_forward(c, own_group.as_ref(), me, epoch, fl, seq)
+                    })?;
+                    spanned(c, Span::new(Phase::Dissemination, ch), |c| {
+                        tagged(c, MsgId::new(epoch, me, me, fl), |c| {
+                            c.get_to_mem(MpbAddr::new(me, buf.first_line), part)
+                        })
+                    })?;
+                }
+            }
+
+            // Verified drain: children must have acknowledged the
+            // final chunks before our buffers may be reused.
+            if !children.is_empty() {
+                let last_seq = base + n_chunks as u32;
+                spanned(c, Span::of(Phase::Drain), |c| {
+                    for (slot, &child) in children.iter().enumerate() {
+                        let line = self.done.line(slot);
+                        let notify_line = self.notify.first_line;
+                        wait_ge_or_recover(c, &policy, &mut stats, line, last_seq, |c, stats| {
+                            let got = probe_remote_flag(c, stats, child, consumed_line, scratch)?;
+                            if got >= last_seq {
+                                return Ok(true);
+                            }
+                            stats.renotifies += 1;
+                            c.flag_put(MpbAddr::new(child, notify_line), FlagValue(my_avail))?;
+                            Ok(false)
+                        })?;
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        });
+        if let Some(r) = self.rel.as_mut() {
+            r.stats.accumulate(stats);
+        }
+        res
+    }
+
+    /// Reliable variant of [`OcBcast::wait_children_done`]: a done
+    /// wait that times out probes the child's consumed mirror; while
+    /// the child lags, its notification is re-sent with our avail
+    /// high-water mark (it may never have heard of the chunks it must
+    /// consume).
+    #[allow(clippy::too_many_arguments)]
+    fn wait_children_done_rel<R: Rma>(
+        &self,
+        c: &mut R,
+        children: &[CoreId],
+        base: u32,
+        seq: u32,
+        chunk: usize,
+        policy: &Reliability,
+        stats: &mut RelStats,
+        consumed_line: usize,
+        scratch: usize,
+        my_avail: u32,
+    ) -> RmaResult<()> {
+        if children.is_empty() {
+            return Ok(());
+        }
+        let lag = if self.cfg.double_buffer { 2 } else { 1 };
+        if chunk < lag {
+            return Ok(());
+        }
+        let required = seq - lag as u32;
+        debug_assert!(required > base);
+        let notify_line = self.notify.first_line;
+        for (slot, &child) in children.iter().enumerate() {
+            wait_ge_or_recover(c, policy, stats, self.done.line(slot), required, |c, stats| {
+                let got = probe_remote_flag(c, stats, child, consumed_line, scratch)?;
+                if got >= required {
+                    return Ok(true);
+                }
+                stats.renotifies += 1;
+                c.flag_put(MpbAddr::new(child, notify_line), FlagValue(my_avail))?;
+                Ok(false)
+            })?;
+        }
+        Ok(())
     }
 
     /// Total chunks a message of `bytes` occupies with this config.
@@ -491,6 +780,113 @@ mod tests {
         for r in rep.results {
             assert_eq!(r.unwrap(), scc_hal::Time::ZERO);
         }
+    }
+
+    /// Run one *reliable* broadcast under the given fault plan and
+    /// assert every core ends up with the message (ack-verified by
+    /// protocol, byte-verified here).
+    fn check_bcast_reliable(
+        sim: &SimConfig,
+        oc: OcConfig,
+        root: u8,
+        len: usize,
+    ) -> crate::reliable::RelStats {
+        use crate::reliable::{RelStats, Reliability};
+        let p = sim.num_cores;
+        let msg = pattern(len, root);
+        let expect = msg.clone();
+        let rep = run_spmd(sim, move |c| -> RmaResult<(Vec<u8>, RelStats)> {
+            let mut alloc = MpbAllocator::new();
+            let mut bc = OcBcast::new_reliable(&mut alloc, oc, Reliability::standard()).unwrap();
+            let r = MemRange::new(0, msg.len());
+            if c.core() == CoreId(root) {
+                c.mem_write(0, &msg)?;
+            }
+            bc.bcast_reliable(c, CoreId(root), r)?;
+            Ok((c.mem_to_vec(r)?, bc.rel_stats().unwrap()))
+        })
+        .unwrap_or_else(|e| panic!("reliable p={p} k={} len={len}: {e}", oc.k));
+        let mut total = RelStats::default();
+        for (i, r) in rep.results.iter().enumerate() {
+            let (got, stats) = r.as_ref().unwrap();
+            assert_eq!(got, &expect, "core {i} (p={p}, k={}, len={len})", oc.k);
+            total.accumulate(*stats);
+        }
+        total
+    }
+
+    #[test]
+    fn reliable_failure_free_matches_plain_delivery() {
+        check_bcast_reliable(&cfg(12), OcConfig::default(), 0, 3 * 96 * 32 + 5);
+        check_bcast_reliable(&cfg(48), OcConfig::with_k(47), 3, 2000);
+    }
+
+    #[test]
+    fn reliable_survives_lost_notifications() {
+        use scc_sim::FaultPlan;
+        for k in [7usize, 47] {
+            let sim = SimConfig {
+                faults: FaultPlan { drop_notification_ppm: 50_000, ..FaultPlan::default() },
+                ..cfg(48)
+            };
+            let stats = check_bcast_reliable(&sim, OcConfig::with_k(k), 0, 4 * 96 * 32);
+            assert!(stats.recoveries > 0, "k={k}: fault run must exercise recovery: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn reliable_survives_delays_and_slow_cores() {
+        use scc_hal::Time;
+        use scc_sim::{FaultPlan, SlowWindow};
+        let sim = SimConfig {
+            faults: FaultPlan {
+                drop_notification_ppm: 20_000,
+                delay_ppm: 80_000,
+                delay: Time::from_us_f64(30.0),
+                slow: vec![SlowWindow {
+                    core: CoreId(1),
+                    from: Time::ZERO,
+                    until: Time::from_us_f64(50_000.0),
+                    extra: Time::from_us_f64(4.0),
+                }],
+                ..FaultPlan::default()
+            },
+            ..cfg(24)
+        };
+        check_bcast_reliable(&sim, OcConfig::default(), 0, 5 * 96 * 32 + 13);
+    }
+
+    /// A reliable context with a *disabled* policy must produce the
+    /// exact same broadcast as a plain context: same delivered bytes,
+    /// same virtual makespan.
+    #[test]
+    fn disabled_policy_is_byte_identical_to_plain() {
+        use crate::reliable::Reliability;
+        let len = 2 * 96 * 32 + 9;
+        let run = |reliable: bool| {
+            let rep = run_spmd(&cfg(12), move |c| -> RmaResult<()> {
+                let mut alloc = MpbAllocator::new();
+                let r = MemRange::new(0, len);
+                if c.core().index() == 0 {
+                    c.mem_write(0, &pattern(len, 2))?;
+                }
+                if reliable {
+                    let mut bc = OcBcast::new_reliable(
+                        &mut alloc,
+                        OcConfig::default(),
+                        Reliability::default(),
+                    )
+                    .unwrap();
+                    bc.bcast_reliable(c, CoreId(0), r)
+                } else {
+                    let mut bc = OcBcast::new(&mut alloc, OcConfig::default()).unwrap();
+                    bc.bcast(c, CoreId(0), r)
+                }
+            })
+            .unwrap();
+            rep.makespan
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

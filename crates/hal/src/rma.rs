@@ -42,6 +42,11 @@ pub enum RmaError {
     /// The simulator detected that every live core is blocked on a flag
     /// that nobody can ever write — a protocol bug in a collective.
     Deadlock { core: CoreId, line: usize },
+    /// A deadline-aware flag wait ([`Rma::flag_wait_local_until`])
+    /// reached its deadline before the predicate held. Unlike the other
+    /// variants this one *is* used for flow control: reliable
+    /// collectives catch it and run their recovery path.
+    Timeout { core: CoreId, line: usize, deadline: Time },
     /// Engine-specific failure (e.g. a panicked peer thread).
     Engine(String),
 }
@@ -60,6 +65,9 @@ impl fmt::Debug for RmaError {
             RmaError::EmptyTransfer => write!(f, "zero-length RMA transfer"),
             RmaError::Deadlock { core, line } => {
                 write!(f, "deadlock: {core} waits forever on its MPB flag line {line}")
+            }
+            RmaError::Timeout { core, line, deadline } => {
+                write!(f, "timeout: {core} gave up waiting on MPB flag line {line} at {deadline}")
             }
             RmaError::Engine(msg) => write!(f, "engine error: {msg}"),
         }
@@ -143,6 +151,33 @@ pub trait Rma {
         pred: &mut dyn FnMut(FlagValue) -> bool,
     ) -> RmaResult<FlagValue>;
 
+    /// Deadline-aware variant of [`Rma::flag_wait_local`]: poll until
+    /// `pred` holds *or* the core's clock reaches `deadline`, in which
+    /// case [`RmaError::Timeout`] is returned. This is what keeps a
+    /// lost doorbell from hanging a run forever: reliable collectives
+    /// catch the timeout and probe/retry instead of spinning.
+    ///
+    /// The default implementation is a plain poll loop — each failed
+    /// poll costs one local MPB read, so the clock always advances and
+    /// the loop always terminates. Engines with a park/wake scheduler
+    /// override it to park with a timer instead of busy-polling.
+    fn flag_wait_local_until(
+        &mut self,
+        line: usize,
+        pred: &mut dyn FnMut(FlagValue) -> bool,
+        deadline: Time,
+    ) -> RmaResult<FlagValue> {
+        loop {
+            let v = self.flag_read_local(line)?;
+            if pred(v) {
+                return Ok(v);
+            }
+            if self.now() >= deadline {
+                return Err(RmaError::Timeout { core: self.core(), line, deadline });
+            }
+        }
+    }
+
     // ---- private memory host access (untimed; setup & verification) --
 
     /// Write application data into private memory. This models the data
@@ -197,6 +232,27 @@ pub trait RmaExt: Rma {
     /// later chunk's notification first).
     fn flag_wait_ge(&mut self, line: usize, value: FlagValue) -> RmaResult<FlagValue> {
         self.flag_wait_local(line, &mut |v| v >= value)
+    }
+
+    /// Deadline-aware [`RmaExt::flag_wait_eq`].
+    fn flag_wait_eq_until(
+        &mut self,
+        line: usize,
+        value: FlagValue,
+        deadline: Time,
+    ) -> RmaResult<()> {
+        self.flag_wait_local_until(line, &mut |v| v == value, deadline)?;
+        Ok(())
+    }
+
+    /// Deadline-aware [`RmaExt::flag_wait_ge`].
+    fn flag_wait_ge_until(
+        &mut self,
+        line: usize,
+        value: FlagValue,
+        deadline: Time,
+    ) -> RmaResult<FlagValue> {
+        self.flag_wait_local_until(line, &mut |v| v >= value, deadline)
     }
 
     /// Read a whole message back out of private memory (untimed), for

@@ -117,7 +117,8 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             | ObsEvent::SpanEnd { core, .. }
             | ObsEvent::DeliveryBegin { core, .. }
             | ObsEvent::DeliveryEnd { core, .. }
-            | ObsEvent::Finish { core, .. } => {
+            | ObsEvent::Finish { core, .. }
+            | ObsEvent::Fault { core, .. } => {
                 cores.insert(core.index());
             }
             ObsEvent::Handoff { from, to, .. } => {
@@ -198,6 +199,10 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             }
             ObsEvent::Finish { core, at } => {
                 em.instant(0, core.index(), "sched", "finish", at, "");
+            }
+            ObsEvent::Fault { core, kind, at, lost } => {
+                let args = format!("\"lost_us\":{}", us(lost));
+                em.instant(0, core.index(), "fault", kind.name(), at, &args);
             }
             // Delivery windows are a journey-level concept; the Chrome
             // export keeps its committed shape and leaves them to the

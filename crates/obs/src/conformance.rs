@@ -189,6 +189,23 @@ pub struct JourneysMetrics {
     pub max_delivery_us: f64,
 }
 
+/// Fault-layer self-metrics of one observatory invocation
+/// (`--faults`): how much fault injection and recovery work the
+/// degradation sweep performed. Excluded from the drift gate for the
+/// same reason as [`JourneysMetrics`] — it describes the run's own
+/// tracing output, not paper conformance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultsMetrics {
+    /// Scenarios swept (one degradation curve each).
+    pub scenarios: u64,
+    /// Total (scenario, fault-rate) operating points measured.
+    pub points: u64,
+    /// Faults the engine injected across all points.
+    pub injected_faults: u64,
+    /// Timeout-triggered recoveries the reliable protocols performed.
+    pub recoveries: u64,
+}
+
 /// Everything one experiment produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -223,6 +240,9 @@ pub struct ConformanceReport {
     /// Journey-tracing summary (present only on `--journeys` runs;
     /// absent in older baselines). Ignored by the drift gate.
     pub journeys: Option<JourneysMetrics>,
+    /// Fault-sweep summary (present only on `--faults` runs; absent in
+    /// older baselines). Ignored by the drift gate.
+    pub faults: Option<FaultsMetrics>,
 }
 
 impl ConformanceReport {
@@ -233,6 +253,7 @@ impl ConformanceReport {
             experiments: Vec::new(),
             run: None,
             journeys: None,
+            faults: None,
         }
     }
 
@@ -310,13 +331,24 @@ impl ConformanceReport {
             ),
             None => doc,
         };
-        match &self.journeys {
+        let doc = match &self.journeys {
             Some(j) => doc.set(
                 "journeys",
                 Json::obj()
                     .set("scenarios", Json::Int(j.scenarios as i64))
                     .set("journeys", Json::Int(j.journeys as i64))
                     .set("max_delivery_us", Json::Num(j.max_delivery_us)),
+            ),
+            None => doc,
+        };
+        match &self.faults {
+            Some(f) => doc.set(
+                "faults",
+                Json::obj()
+                    .set("scenarios", Json::Int(f.scenarios as i64))
+                    .set("points", Json::Int(f.points as i64))
+                    .set("injected_faults", Json::Int(f.injected_faults as i64))
+                    .set("recoveries", Json::Int(f.recoveries as i64)),
             ),
             None => doc,
         }
@@ -383,7 +415,16 @@ impl ConformanceReport {
             }),
             None => None,
         };
-        Ok(ConformanceReport { schema, quick, experiments, run, journeys })
+        let faults = match v.get("faults") {
+            Some(f) => Some(FaultsMetrics {
+                scenarios: req_f64(f, "scenarios")? as u64,
+                points: req_f64(f, "points")? as u64,
+                injected_faults: req_f64(f, "injected_faults")? as u64,
+                recoveries: req_f64(f, "recoveries")? as u64,
+            }),
+            None => None,
+        };
+        Ok(ConformanceReport { schema, quick, experiments, run, journeys, faults })
     }
 
     /// The human-readable drift report (`results/CONFORMANCE.md`).
@@ -652,6 +693,8 @@ mod tests {
         });
         r.run = Some(RunMetrics { jobs: 4, units: 3, wall_s: 0.75, seq_s: 2.0, peak_in_flight: 4 });
         r.journeys = Some(JourneysMetrics { scenarios: 2, journeys: 96, max_delivery_us: 260.125 });
+        r.faults =
+            Some(FaultsMetrics { scenarios: 3, points: 12, injected_faults: 40, recoveries: 31 });
         r
     }
 
@@ -694,6 +737,26 @@ mod tests {
         // And a baseline without the block accepts a run with it.
         let mut old_base = sample();
         old_base.journeys = None;
+        assert!(drift_gate(&sample(), &old_base).ok());
+    }
+
+    /// Same contract for the fault-sweep block: self-description, not
+    /// conformance — arbitrary drift (or absence) never trips the gate.
+    #[test]
+    fn gate_ignores_faults_self_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.faults = Some(FaultsMetrics {
+            scenarios: 99,
+            points: 9999,
+            injected_faults: u64::MAX,
+            recoveries: 0,
+        });
+        assert!(drift_gate(&cur, &base).ok());
+        cur.faults = None;
+        assert!(drift_gate(&cur, &base).ok());
+        let mut old_base = sample();
+        old_base.faults = None;
         assert!(drift_gate(&sample(), &old_base).ok());
     }
 

@@ -242,7 +242,8 @@ pub fn critical_path(events: &[ObsEvent]) -> Result<CriticalPath, CritPathError>
             | ObsEvent::SpanEnd { core, .. }
             | ObsEvent::DeliveryBegin { core, .. }
             | ObsEvent::DeliveryEnd { core, .. }
-            | ObsEvent::Finish { core, .. } => core.index() + 1,
+            | ObsEvent::Finish { core, .. }
+            | ObsEvent::Fault { core, .. } => core.index() + 1,
             // A wake's `writer` is a core the walk may jump to, so it
             // must size the tables even if the writer logged nothing
             // else (malformed or truncated streams must not panic).

@@ -104,6 +104,41 @@ impl fmt::Display for ResourceId {
     }
 }
 
+/// Classification of an injected fault (see `scc_sim`'s `FaultPlan`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A remote doorbell/notification flag write was dropped in
+    /// transit: the transfer's time was spent but the flag line never
+    /// changed at the destination.
+    LostNotification,
+    /// A transfer's cache line was held inside the mesh for an extra
+    /// delay before completing.
+    LinkDelay,
+    /// The issuing core was inside a slowdown window and paid extra
+    /// per-op overhead.
+    CoreSlow,
+}
+
+impl FaultKind {
+    /// Every kind, in rendering order.
+    pub const ALL: [FaultKind; 3] =
+        [FaultKind::LostNotification, FaultKind::LinkDelay, FaultKind::CoreSlow];
+
+    pub const fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LostNotification => "lost-notification",
+            FaultKind::LinkDelay => "link-delay",
+            FaultKind::CoreSlow => "core-slow",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One structured simulation event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ObsEvent {
@@ -148,6 +183,11 @@ pub enum ObsEvent {
     DeliveryEnd { core: CoreId, epoch: u32, at: Time },
     /// `core`'s SPMD closure returned at virtual time `at`.
     Finish { core: CoreId, at: Time },
+    /// The fault plan injected a fault against an operation of `core`
+    /// at `at`; `lost` is the extra virtual time the fault cost the op
+    /// directly (zero for a dropped notification — its cost is the
+    /// recovery traffic, which shows up as ordinary ops).
+    Fault { core: CoreId, kind: FaultKind, at: Time, lost: Time },
 }
 
 impl ObsEvent {
@@ -163,7 +203,8 @@ impl ObsEvent {
             | ObsEvent::SpanEnd { at, .. }
             | ObsEvent::DeliveryBegin { at, .. }
             | ObsEvent::DeliveryEnd { at, .. }
-            | ObsEvent::Finish { at, .. } => at,
+            | ObsEvent::Finish { at, .. }
+            | ObsEvent::Fault { at, .. } => at,
             ObsEvent::Compute { end, .. } => end,
         }
     }

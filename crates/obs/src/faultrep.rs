@@ -1,0 +1,284 @@
+//! Degradation curves under injected faults: the structured record
+//! behind `BENCH_faults.json` and `results/FAULTS.md`.
+//!
+//! One [`FaultCurve`] per broadcast scenario, one [`FaultPoint`] per
+//! injected fault rate: how the *reliable* collectives' delivered
+//! latency (per-destination p50/p99/max and the makespan) degrades as
+//! remote notifications are dropped and transfers delayed, plus the
+//! recovery-layer counters (timeouts, probes, recoveries, re-notifies)
+//! that explain the slowdown. Everything is integer picoseconds and
+//! exact counts, so the artifact is byte-identical across hosts and
+//! `--jobs` settings — the same determinism contract as the journey
+//! book.
+
+use crate::conformance::ARTIFACT_VERSION;
+use crate::report::Json;
+use scc_hal::Time;
+use std::fmt::Write as _;
+
+/// One operating point of one scenario: a fault rate and what the
+/// reliable broadcast delivered there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Injected drop probability for remote notification flags, ppm.
+    pub drop_ppm: u64,
+    /// Injected transfer-delay probability, ppm.
+    pub delay_ppm: u64,
+    /// Destinations that returned with a verified payload.
+    pub delivered: u64,
+    /// Per-destination delivered-latency percentiles (nearest-rank).
+    pub p50: Time,
+    pub p99: Time,
+    /// Worst per-destination delivered latency.
+    pub max: Time,
+    /// Engine makespan of the run (includes the root's drain).
+    pub makespan: Time,
+    /// Faults the engine actually injected, and the virtual time they
+    /// directly stole (drop detection lag is accounted by the recovery
+    /// counters below, not here).
+    pub faults: u64,
+    pub lost: Time,
+    /// Recovery-layer counters summed over every core.
+    pub timeouts: u64,
+    pub probes: u64,
+    pub recoveries: u64,
+    pub renotifies: u64,
+}
+
+/// One scenario's degradation curve, rate points in ascending order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCurve {
+    /// Stable id, e.g. `"oc_k7"` — names the row keys and CI diffs.
+    pub id: String,
+    /// Human label, e.g. `"k=7 48c 96cl"`.
+    pub label: String,
+    pub cores: u64,
+    pub points: Vec<FaultPoint>,
+}
+
+fn ps(t: Time) -> Json {
+    Json::Int(t.as_ps() as i64)
+}
+
+fn count(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    let raw = v.get(key).and_then(Json::as_i64).ok_or(format!("missing integer '{key}'"))?;
+    u64::try_from(raw).map_err(|_| format!("key '{key}' must be non-negative, got {raw}"))
+}
+
+fn req_time(v: &Json, key: &str) -> Result<Time, String> {
+    Ok(Time::from_ps(req_u64(v, key)?))
+}
+
+/// The versioned `BENCH_faults.json` envelope, validated by
+/// [`crate::validate_artifact_version`].
+pub fn faults_artifact(curves: &[FaultCurve]) -> Json {
+    let arr = curves
+        .iter()
+        .map(|c| {
+            let points = c
+                .points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("drop_ppm", count(p.drop_ppm))
+                        .set("delay_ppm", count(p.delay_ppm))
+                        .set("delivered", count(p.delivered))
+                        .set("p50_ps", ps(p.p50))
+                        .set("p99_ps", ps(p.p99))
+                        .set("max_ps", ps(p.max))
+                        .set("makespan_ps", ps(p.makespan))
+                        .set("faults", count(p.faults))
+                        .set("lost_ps", ps(p.lost))
+                        .set("timeouts", count(p.timeouts))
+                        .set("probes", count(p.probes))
+                        .set("recoveries", count(p.recoveries))
+                        .set("renotifies", count(p.renotifies))
+                })
+                .collect();
+            Json::obj()
+                .set("id", Json::Str(c.id.clone()))
+                .set("label", Json::Str(c.label.clone()))
+                .set("cores", count(c.cores))
+                .set("points", Json::Arr(points))
+        })
+        .collect();
+    Json::obj()
+        .set("version", Json::Int(ARTIFACT_VERSION))
+        .set("bench", Json::Str("faults".into()))
+        .set("scenarios", Json::Arr(arr))
+}
+
+/// Strict inverse of [`faults_artifact`] (checks the version first).
+pub fn parse_faults_artifact(doc: &Json) -> Result<Vec<FaultCurve>, String> {
+    crate::conformance::validate_artifact_version(doc)?;
+    let arr = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing 'scenarios' array".to_string())?;
+    arr.iter()
+        .map(|v| {
+            let id = v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "scenario missing string 'id'".to_string())?
+                .to_string();
+            let label = v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("scenario '{id}' missing string 'label'"))?
+                .to_string();
+            let cores = req_u64(v, "cores")?;
+            let points = v
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("scenario '{id}' missing 'points' array"))?
+                .iter()
+                .map(|p| {
+                    Ok(FaultPoint {
+                        drop_ppm: req_u64(p, "drop_ppm")?,
+                        delay_ppm: req_u64(p, "delay_ppm")?,
+                        delivered: req_u64(p, "delivered")?,
+                        p50: req_time(p, "p50_ps")?,
+                        p99: req_time(p, "p99_ps")?,
+                        max: req_time(p, "max_ps")?,
+                        makespan: req_time(p, "makespan_ps")?,
+                        faults: req_u64(p, "faults")?,
+                        lost: req_time(p, "lost_ps")?,
+                        timeouts: req_u64(p, "timeouts")?,
+                        probes: req_u64(p, "probes")?,
+                        recoveries: req_u64(p, "recoveries")?,
+                        renotifies: req_u64(p, "renotifies")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(FaultCurve { id, label, cores, points })
+        })
+        .collect()
+}
+
+/// The human digest (`results/FAULTS.md`): one degradation table per
+/// scenario, delivered latency and recovery work vs injected rate.
+pub fn render_faults_markdown(curves: &[FaultCurve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Degradation under injected faults\n");
+    let _ = writeln!(
+        out,
+        "Reliable broadcasts (timeout/retry/ack) under the deterministic \
+         fault plan: remote notification flags dropped with probability \
+         `drop`, transfers delayed with probability `delay`. Every point \
+         delivers the verified payload to every destination; the table \
+         shows what that guarantee costs as the fault rate rises. \
+         Latencies are per-destination delivery times (virtual µs)."
+    );
+    for c in curves {
+        let _ = writeln!(out, "\n## {} (`{}`, {} cores)\n", c.label, c.id, c.cores);
+        let _ = writeln!(
+            out,
+            "| drop ppm | delay ppm | delivered | p50 µs | p99 µs | max µs | \
+             makespan µs | faults | timeouts | probes | recoveries | re-notifies |"
+        );
+        let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for p in &c.points {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} | {} | {} |",
+                p.drop_ppm,
+                p.delay_ppm,
+                p.delivered,
+                p.p50.as_us_f64(),
+                p.p99.as_us_f64(),
+                p.max.as_us_f64(),
+                p.makespan.as_us_f64(),
+                p.faults,
+                p.timeouts,
+                p.probes,
+                p.recoveries,
+                p.renotifies,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_json;
+
+    fn sample() -> Vec<FaultCurve> {
+        vec![
+            FaultCurve {
+                id: "oc_k7".into(),
+                label: "k=7 48c 96cl".into(),
+                cores: 48,
+                points: vec![
+                    FaultPoint {
+                        delivered: 47,
+                        p50: Time::from_us_f64(60.5),
+                        p99: Time::from_us_f64(81.25),
+                        max: Time::from_us_f64(82.0),
+                        makespan: Time::from_us_f64(90.125),
+                        ..FaultPoint::default()
+                    },
+                    FaultPoint {
+                        drop_ppm: 50_000,
+                        delay_ppm: 25_000,
+                        delivered: 47,
+                        p50: Time::from_us_f64(75.0),
+                        p99: Time::from_us_f64(140.5),
+                        max: Time::from_us_f64(151.0),
+                        makespan: Time::from_us_f64(170.75),
+                        faults: 12,
+                        lost: Time::from_us_f64(33.0),
+                        timeouts: 9,
+                        probes: 9,
+                        recoveries: 7,
+                        renotifies: 2,
+                    },
+                ],
+            },
+            FaultCurve {
+                id: "binomial".into(),
+                label: "binomial 48c 96cl".into(),
+                cores: 48,
+                points: vec![FaultPoint { delivered: 47, ..FaultPoint::default() }],
+            },
+        ]
+    }
+
+    #[test]
+    fn artifact_round_trips_losslessly() {
+        let curves = sample();
+        let text = faults_artifact(&curves).render();
+        validate_json(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(parse_faults_artifact(&doc).unwrap(), curves);
+    }
+
+    #[test]
+    fn parse_rejects_bad_version_and_junk() {
+        let doc = Json::obj().set("version", Json::Int(ARTIFACT_VERSION + 1));
+        assert!(parse_faults_artifact(&doc).unwrap_err().contains("!= supported"));
+        let doc = Json::obj().set("version", Json::Int(ARTIFACT_VERSION));
+        assert!(parse_faults_artifact(&doc).unwrap_err().contains("scenarios"));
+        // Negative counts are parse errors, never silent wraps.
+        let mut good = faults_artifact(&sample()).render();
+        good = good.replace("\"faults\":12", "\"faults\":-12");
+        let doc = Json::parse(&good).unwrap();
+        let err = parse_faults_artifact(&doc).unwrap_err();
+        assert!(err.contains("faults") && err.contains("-12"), "{err}");
+    }
+
+    #[test]
+    fn markdown_digest_lists_every_point() {
+        let md = render_faults_markdown(&sample());
+        assert!(md.contains("# Degradation under injected faults"));
+        assert!(md.contains("## k=7 48c 96cl (`oc_k7`, 48 cores)"));
+        assert!(md.contains("| 50000 | 25000 | 47 |"));
+        assert!(md.contains("binomial"));
+    }
+}

@@ -121,7 +121,8 @@ fn cores_of(ev: &ObsEvent) -> impl Iterator<Item = usize> {
         | ObsEvent::SpanEnd { core, .. }
         | ObsEvent::DeliveryBegin { core, .. }
         | ObsEvent::DeliveryEnd { core, .. }
-        | ObsEvent::Finish { core, .. } => (core.index(), None),
+        | ObsEvent::Finish { core, .. }
+        | ObsEvent::Fault { core, .. } => (core.index(), None),
         ObsEvent::Wake { core, .. } => (core.index(), None),
         ObsEvent::Handoff { from, to, .. } => (from.index(), Some(to.index())),
     };

@@ -288,12 +288,26 @@ impl JourneyBook {
             .set("journeys", Json::Arr(journeys))
     }
 
-    /// Strict inverse of [`JourneyBook::to_json`].
+    /// Strict inverse of [`JourneyBook::to_json`]. Every integer field
+    /// is range-checked — a negative count or timestamp (hand-edited
+    /// or corrupted artifact) is a typed parse error, not a silently
+    /// wrapped huge value.
     pub fn from_json(v: &Json) -> Result<JourneyBook, String> {
         let int = |v: &Json, key: &str| -> Result<i64, String> {
             v.get(key).and_then(Json::as_i64).ok_or_else(|| format!("missing integer key '{key}'"))
         };
-        let makespan = Time::from_ps(int(v, "makespan_ps")? as u64);
+        let ps = |v: &Json, key: &str| -> Result<Time, String> {
+            let raw = int(v, key)?;
+            let ps = u64::try_from(raw)
+                .map_err(|_| format!("key '{key}' must be a non-negative time, got {raw}"))?;
+            Ok(Time::from_ps(ps))
+        };
+        let count = |v: &Json, key: &str| -> Result<usize, String> {
+            let raw = int(v, key)?;
+            usize::try_from(raw)
+                .map_err(|_| format!("key '{key}' must be a non-negative count, got {raw}"))
+        };
+        let makespan = ps(v, "makespan_ps")?;
         let items = v
             .get("journeys")
             .and_then(Json::as_arr)
@@ -303,15 +317,19 @@ impl JourneyBook {
             let legs_obj = item.get("legs").ok_or_else(|| "journey missing 'legs'".to_string())?;
             let mut legs = [Time::ZERO; LegKind::COUNT];
             for k in LegKind::ALL {
-                legs[k.index()] = Time::from_ps(int(legs_obj, k.name())? as u64);
+                legs[k.index()] = ps(legs_obj, k.name())?;
             }
             journeys.push(Journey {
-                core: CoreId(u8::try_from(int(item, "core")?).map_err(|e| e.to_string())?),
-                epoch: u32::try_from(int(item, "epoch")?).map_err(|e| e.to_string())?,
-                begin: Time::from_ps(int(item, "begin_ps")? as u64),
-                end: Time::from_ps(int(item, "end_ps")? as u64),
-                transfers: int(item, "transfers")? as usize,
-                lines: int(item, "lines")? as usize,
+                core: CoreId(
+                    u8::try_from(int(item, "core")?)
+                        .map_err(|_| "key 'core' out of range".to_string())?,
+                ),
+                epoch: u32::try_from(int(item, "epoch")?)
+                    .map_err(|_| "key 'epoch' out of range".to_string())?,
+                begin: ps(item, "begin_ps")?,
+                end: ps(item, "end_ps")?,
+                transfers: count(item, "transfers")?,
+                lines: count(item, "lines")?,
                 legs,
             });
         }
@@ -598,5 +616,25 @@ mod tests {
     fn artifact_version_is_checked() {
         let doc = journeys_artifact(&[]).set("version", Json::Int(999));
         assert!(parse_journeys_artifact(&doc).is_err());
+    }
+
+    /// Regression: negative integers in a journeys artifact used to be
+    /// cast with `as`, wrapping silently into huge counts. They must be
+    /// typed parse errors instead.
+    #[test]
+    fn negative_integers_are_parse_errors_not_wraps() {
+        let [b, e] = window(0, 0, 0, 700);
+        let book = JourneyBook::from_events(&[b, e]);
+        let good = book.to_json();
+        assert!(JourneyBook::from_json(&good).is_ok());
+        for key in ["transfers", "lines", "begin_ps", "end_ps"] {
+            let mut items = good.get("journeys").and_then(Json::as_arr).unwrap().to_vec();
+            items[0] = items[0].clone().set(key, Json::Int(-3));
+            let bad = good.clone().set("journeys", Json::Arr(items));
+            let err = JourneyBook::from_json(&bad).unwrap_err();
+            assert!(err.contains(key) && err.contains("-3"), "key {key}: {err}");
+        }
+        let bad = good.set("makespan_ps", Json::Int(-1));
+        assert!(JourneyBook::from_json(&bad).is_err());
     }
 }

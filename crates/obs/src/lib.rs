@@ -47,7 +47,9 @@
 //!   identification, and per-leg root-cause attribution vs the median
 //!   journey (`results/SKEW.md`);
 //! * [`movie`] — the link heatmap sliced into equal time frames, a
-//!   congestion timeline (`results/movie_*.txt`).
+//!   congestion timeline (`results/movie_*.txt`);
+//! * [`faultrep`] — degradation curves of the reliable collectives
+//!   under injected faults (`BENCH_faults.json`, `results/FAULTS.md`).
 //!
 //! The simulator (`scc-sim`) records into this crate's [`Recorder`];
 //! collectives annotate phases through `scc_hal::Rma::span_begin`; the
@@ -58,6 +60,7 @@ pub mod conformance;
 pub mod critpath;
 pub mod diff;
 pub mod event;
+pub mod faultrep;
 pub mod flame;
 pub mod grid;
 pub mod heatmap;
@@ -72,14 +75,17 @@ pub mod whatif;
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
     drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
-    ExperimentReport, ExperimentRow, JourneysMetrics, RunMetrics, SelfMetrics, ShapeCheck,
-    ARTIFACT_VERSION,
+    ExperimentReport, ExperimentRow, FaultsMetrics, JourneysMetrics, RunMetrics, SelfMetrics,
+    ShapeCheck, ARTIFACT_VERSION,
 };
 pub use critpath::{
     critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,
 };
 pub use diff::{DiffCell, DiffReport, PhaseProfile};
-pub use event::{EventLog, ObsEvent, OpKind, Recorder, ResourceId};
+pub use event::{EventLog, FaultKind, ObsEvent, OpKind, Recorder, ResourceId};
+pub use faultrep::{
+    faults_artifact, parse_faults_artifact, render_faults_markdown, FaultCurve, FaultPoint,
+};
 pub use flame::flamegraph_collapsed;
 pub use heatmap::LinkHeatmap;
 pub use hist::{LatencyHistogram, RunHistograms};

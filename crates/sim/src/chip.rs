@@ -165,6 +165,13 @@ pub struct SimStats {
     /// [`router_busy`](SimStats::router_busy); same layout and same
     /// partition invariant as [`link_wait`](SimStats::link_wait).
     pub link_busy: Vec<Time>,
+    /// Faults injected by the run's [`crate::fault::FaultPlan`]
+    /// (always zero with an empty plan).
+    pub faults: u64,
+    /// Virtual time the injected faults cost their ops directly (delay
+    /// and slowdown faults; a lost notification's cost is the recovery
+    /// traffic, which is ordinary op time).
+    pub fault_lost: Time,
 }
 
 impl SimStats {

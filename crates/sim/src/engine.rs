@@ -44,6 +44,7 @@
 //! disabled (see `SimConfig::coalesce`).
 
 use crate::chip::{Chip, SimStats};
+use crate::fault::{FaultPlan, FaultState};
 use crate::handoff::{self, ParkCell, Slot};
 use crate::ops::{self, Effect, Op};
 use crate::params::SimParams;
@@ -51,7 +52,7 @@ use crate::trace::OpTrace;
 use scc_hal::{
     CoreId, FlagValue, MemRange, MpbAddr, MsgId, Rma, RmaError, RmaResult, Span, Time, NUM_CORES,
 };
-use scc_obs::{EventLog, ObsEvent};
+use scc_obs::{EventLog, FaultKind, ObsEvent};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -82,6 +83,11 @@ pub struct SimConfig {
     /// default; virtual times and [`SimStats`] are identical either
     /// way (see the `obs_equivalence` test).
     pub record: bool,
+    /// Deterministic fault schedule (see [`crate::fault`]). The
+    /// default plan is empty: no faults, no RNG, and — guarded by the
+    /// `fault_plan_empty_is_identity` test — bit-identical stats and
+    /// virtual times to builds that predate the field.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -93,6 +99,7 @@ impl Default for SimConfig {
             trace: false,
             coalesce: true,
             record: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -157,6 +164,10 @@ enum Request {
     },
     Park {
         line: usize,
+        /// With a deadline, the engine schedules a timer that unparks
+        /// the core when it fires first; the waiter then re-reads the
+        /// flag and surfaces [`RmaError::Timeout`] itself.
+        deadline: Option<Time>,
     },
     Compute(Time),
     /// Untimed private-memory write; `buf` is the core's reusable
@@ -212,6 +223,11 @@ enum EventKind {
     /// Advance the core's pending op by one cache line, or — once all
     /// lines are done — apply its effects and resume the core.
     Step(usize),
+    /// A park deadline fired for the core. The token is the park
+    /// generation it was armed for: a timer whose token no longer
+    /// matches (the core was woken, or re-parked since) is stale and
+    /// ignored.
+    Timeout(usize, u64),
 }
 
 struct PendingOp {
@@ -263,6 +279,12 @@ struct Engine {
     now: Time,
     pending: Vec<Option<PendingOp>>,
     parked: Vec<Option<usize>>,
+    /// Park generation per core; a deadline timer captures the value
+    /// at arming time and fires only if it still matches.
+    park_seq: Vec<u64>,
+    /// Fault-injection state; `None` for an empty plan, so the default
+    /// path pays a single never-taken branch per hook.
+    faults: Option<FaultState>,
     /// Cores whose next `Resume` must deliver `Grant::Deadlock`.
     deadlock_notified: Vec<bool>,
     finished: Vec<bool>,
@@ -291,6 +313,8 @@ impl Engine {
             now: Time::ZERO,
             pending: (0..n).map(|_| None).collect(),
             parked: vec![None; n],
+            park_seq: vec![0; n],
+            faults: (!cfg.faults.is_empty()).then(|| FaultState::new(cfg.faults.clone())),
             deadlock_notified: vec![false; n],
             finished: vec![false; n],
             end_times: vec![Time::ZERO; n],
@@ -348,7 +372,7 @@ impl Engine {
                 self.push(at, EventKind::Resume(core));
                 Ok(Submitted::Blocked)
             }
-            Request::Park { line } => {
+            Request::Park { line, deadline } => {
                 if line >= scc_hal::MPB_LINES_PER_CORE {
                     return self.ready(Grant::Rejected {
                         err: RmaError::MpbOutOfRange {
@@ -361,6 +385,14 @@ impl Engine {
                 self.chip.stats.parks += 1;
                 self.record(ObsEvent::Park { core: CoreId(core as u8), line, at: self.now });
                 self.parked[core] = Some(line);
+                self.park_seq[core] += 1;
+                if let Some(dl) = deadline {
+                    // The timer keeps the queue non-empty, so a core
+                    // waiting with a deadline can never trip the
+                    // deadlock detector — it wakes and recovers.
+                    let token = self.park_seq[core];
+                    self.push(dl.max(self.now), EventKind::Timeout(core, token));
+                }
                 Ok(Submitted::Blocked)
             }
             Request::MemRead { offset, len, mut buf } => {
@@ -403,7 +435,24 @@ impl Engine {
                     return self.ready(Grant::Rejected { err: e, buf: None });
                 }
                 self.chip.stats.ops += 1;
-                let overhead = ops::op_overhead(&self.chip, &op);
+                let mut overhead = ops::op_overhead(&self.chip, &op);
+                if self.faults.is_some() {
+                    let extra = self
+                        .faults
+                        .as_ref()
+                        .map_or(Time::ZERO, |f| f.slow_extra(CoreId(core as u8), self.now));
+                    if extra > Time::ZERO {
+                        self.chip.stats.faults += 1;
+                        self.chip.stats.fault_lost += extra;
+                        self.record(ObsEvent::Fault {
+                            core: CoreId(core as u8),
+                            kind: FaultKind::CoreSlow,
+                            at: self.now,
+                            lost: extra,
+                        });
+                        overhead += extra;
+                    }
+                }
                 let remaining = ops::total_lines(&op);
                 self.pending[core] = Some(PendingOp { op, remaining, issued: self.now, msg });
                 self.push(self.now + overhead, EventKind::Step(core));
@@ -453,6 +502,25 @@ impl Engine {
                         return self.granted(i, g);
                     }
                 }
+                EventKind::Timeout(i, token) => {
+                    if self.park_seq[i] == token {
+                        if let Some(line) = self.parked[i].take() {
+                            // Timer-driven wake: the waiter re-reads
+                            // the flag and reports the timeout itself.
+                            // Close the park interval with a self-wake
+                            // so leg accounting stays tiled.
+                            self.record(ObsEvent::Wake {
+                                core: CoreId(i as u8),
+                                line,
+                                at: self.now,
+                                writer: CoreId(i as u8),
+                            });
+                            return self.granted(i, Grant::Go { now: self.now });
+                        }
+                    }
+                    // Stale timer: a write woke the core first (or it
+                    // re-parked since). Nothing to do.
+                }
             }
         }
     }
@@ -495,7 +563,24 @@ impl Engine {
                 return Some(self.apply_op(i, &done.op));
             }
             p.remaining -= 1;
-            let line_done = ops::simulate_line(&mut self.chip, CoreId(i as u8), &p.op, self.now);
+            let mut line_done =
+                ops::simulate_line(&mut self.chip, CoreId(i as u8), &p.op, self.now);
+            if self.faults.is_some() {
+                if let Some(d) = self.faults.as_mut().and_then(FaultState::line_delay) {
+                    self.chip.stats.faults += 1;
+                    self.chip.stats.fault_lost += d;
+                    self.record(ObsEvent::Fault {
+                        core: CoreId(i as u8),
+                        kind: FaultKind::LinkDelay,
+                        at: line_done,
+                        lost: d,
+                    });
+                    // The delay is applied before the coalesce peek,
+                    // so both scheduling paths see the same completion
+                    // instant and the run stays deterministic.
+                    line_done += d;
+                }
+            }
             let fast =
                 self.coalesce && self.queue.peek().is_none_or(|Reverse(head)| line_done < head.at);
             if fast {
@@ -512,6 +597,26 @@ impl Engine {
     }
 
     fn apply_op(&mut self, core: usize, op: &Op) -> Grant {
+        if self.faults.is_some() {
+            // Lost notification: only *remote* flag deposits traverse a
+            // mesh link and can be dropped. The transfer's time was
+            // already charged; the deposit simply never happens, so no
+            // parked waiter wakes and no flag line changes.
+            if let Op::FlagPut { dst, .. } = op {
+                if dst.core.index() != core
+                    && self.faults.as_mut().is_some_and(FaultState::drop_notification)
+                {
+                    self.chip.stats.faults += 1;
+                    self.record(ObsEvent::Fault {
+                        core: CoreId(core as u8),
+                        kind: FaultKind::LostNotification,
+                        at: self.now,
+                        lost: Time::ZERO,
+                    });
+                    return Grant::Go { now: self.now };
+                }
+            }
+        }
         match ops::apply(&mut self.chip, CoreId(core as u8), op) {
             Effect::None => Grant::Go { now: self.now },
             Effect::Flag(value) => Grant::Flag { now: self.now, value },
@@ -833,7 +938,26 @@ impl Rma for SimCore {
                 return Ok(v);
             }
             self.parked_line.set(line);
-            self.rpc(Request::Park { line })?;
+            self.rpc(Request::Park { line, deadline: None })?;
+        }
+    }
+
+    fn flag_wait_local_until(
+        &mut self,
+        line: usize,
+        pred: &mut dyn FnMut(FlagValue) -> bool,
+        deadline: Time,
+    ) -> RmaResult<FlagValue> {
+        loop {
+            let v = self.flag_read_local(line)?;
+            if pred(v) {
+                return Ok(v);
+            }
+            if self.now() >= deadline {
+                return Err(RmaError::Timeout { core: self.id, line, deadline });
+            }
+            self.parked_line.set(line);
+            self.rpc(Request::Park { line, deadline: Some(deadline) })?;
         }
     }
 

@@ -1,0 +1,199 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes which faults the engine injects into a
+//! run: transient loss of remote doorbell/notification writes, extra
+//! in-flight delay of individual transfer lines, and per-core slowdown
+//! windows. Everything is driven by a seeded [splitmix64] counter that
+//! the engine advances in deterministic event order, so a given plan
+//! reproduces the *same* faults on every run, on every host, at any
+//! `--jobs` — faulty runs are as replayable as clean ones.
+//!
+//! The plan is zero-cost when empty: the engine holds an
+//! `Option<FaultState>` that is `None` for an empty plan, so the only
+//! overhead on the default path is a never-taken branch per hook (the
+//! `fault_plan_empty_is_identity` test pins virtual times and
+//! [`crate::SimStats`] bit-identical to a run without the field).
+//!
+//! Faults model *transport* failures, not memory corruption:
+//!
+//! * **Lost notification** — a [`FlagPut`](crate::ops::Op::FlagPut)
+//!   whose destination is a *remote* MPB spends its full transfer time
+//!   but the deposit never lands; nobody parked on the line is woken.
+//!   Local flag writes (a core publishing progress in its own MPB)
+//!   never traverse a mesh link and are never dropped — which is what
+//!   makes probe-based recovery in `scc-core`'s reliable collectives
+//!   sound.
+//! * **Link delay** — a simulated transfer line completes `delay`
+//!   later than the contention model says; the data still arrives.
+//! * **Core slowdown** — ops issued by a listed core inside a virtual
+//!   time window pay extra per-op overhead, emulating a straggler.
+//!
+//! Each injected fault is counted in [`crate::SimStats::faults`],
+//! its directly lost time accumulated in
+//! [`crate::SimStats::fault_lost`], and (when recording is on)
+//! reported as an [`scc_obs::ObsEvent::Fault`] so journeys and skew
+//! reports can attribute the lost time.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use scc_hal::{CoreId, Time};
+
+/// One deterministic per-core slowdown window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowWindow {
+    /// The straggling core.
+    pub core: CoreId,
+    /// Window start (inclusive), in virtual time.
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+    /// Extra overhead added to every timed op the core issues while
+    /// the window covers the issue instant.
+    pub extra: Time,
+}
+
+impl SlowWindow {
+    pub fn covers(&self, core: CoreId, at: Time) -> bool {
+        self.core == core && at >= self.from && at < self.until
+    }
+}
+
+/// The full fault schedule of one simulated run.
+///
+/// Probabilities are expressed in parts per million so the draw is a
+/// pure integer comparison — no floating point anywhere near the
+/// deterministic path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG. Runs with the same plan (seed included)
+    /// inject identical faults.
+    pub seed: u64,
+    /// Probability (ppm) that a remote flag put's deposit is dropped.
+    pub drop_notification_ppm: u32,
+    /// Probability (ppm) that a transfer line is delayed by
+    /// [`FaultPlan::delay`].
+    pub delay_ppm: u32,
+    /// The extra in-flight time when a line delay fires.
+    pub delay: Time,
+    /// Deterministic straggler windows (no randomness involved).
+    pub slow: Vec<SlowWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x5cc_b0a5,
+            drop_notification_ppm: 0,
+            delay_ppm: 0,
+            delay: Time::ZERO,
+            slow: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan injects nothing and costs nothing: the engine
+    /// does not even instantiate the RNG.
+    pub fn is_empty(&self) -> bool {
+        self.drop_notification_ppm == 0 && self.delay_ppm == 0 && self.slow.is_empty()
+    }
+}
+
+/// Live injection state owned by the engine (only for non-empty plans).
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        let rng = plan.seed;
+        FaultState { plan, rng }
+    }
+
+    fn next(&mut self) -> u64 {
+        // splitmix64: the full-period 64-bit mixer. Good enough for
+        // fault scheduling, trivially reproducible everywhere.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws only when the class is enabled, so enabling one fault
+    /// class never perturbs the schedule of another.
+    fn hit(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.next() % 1_000_000 < u64::from(ppm)
+    }
+
+    /// Should this remote flag deposit be dropped?
+    pub(crate) fn drop_notification(&mut self) -> bool {
+        self.hit(self.plan.drop_notification_ppm)
+    }
+
+    /// Extra in-flight time for the transfer line just simulated.
+    pub(crate) fn line_delay(&mut self) -> Option<Time> {
+        self.hit(self.plan.delay_ppm).then_some(self.plan.delay)
+    }
+
+    /// Extra per-op overhead for an op issued by `core` at `at`.
+    pub(crate) fn slow_extra(&self, core: CoreId, at: Time) -> Time {
+        self.plan.slow.iter().filter(|w| w.covers(core, at)).map(|w| w.extra).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultPlan { drop_notification_ppm: 1, ..FaultPlan::default() }.is_empty());
+        assert!(!FaultPlan { delay_ppm: 1, ..FaultPlan::default() }.is_empty());
+        let w = SlowWindow { core: CoreId(0), from: Time::ZERO, until: Time::US, extra: Time::US };
+        assert!(!FaultPlan { slow: vec![w], ..FaultPlan::default() }.is_empty());
+    }
+
+    #[test]
+    fn draws_are_reproducible() {
+        let plan = FaultPlan { drop_notification_ppm: 250_000, ..FaultPlan::default() };
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        let da: Vec<bool> = (0..256).map(|_| a.drop_notification()).collect();
+        let db: Vec<bool> = (0..256).map(|_| b.drop_notification()).collect();
+        assert_eq!(da, db);
+        let hits = da.iter().filter(|&&h| h).count();
+        assert!((32..96).contains(&hits), "250000 ppm over 256 draws hit {hits} times");
+    }
+
+    #[test]
+    fn disabled_class_never_draws() {
+        let mut f = FaultState::new(FaultPlan { delay_ppm: 0, ..FaultPlan::default() });
+        let before = f.rng;
+        assert_eq!(f.line_delay(), None);
+        assert!(!f.drop_notification());
+        assert_eq!(f.rng, before, "disabled classes must not consume RNG state");
+    }
+
+    #[test]
+    fn slow_windows_compose_and_bound() {
+        let w = |core, from, until, extra| SlowWindow {
+            core: CoreId(core),
+            from: Time::from_ns(from),
+            until: Time::from_ns(until),
+            extra: Time::from_ns(extra),
+        };
+        let f = FaultState::new(FaultPlan {
+            slow: vec![w(3, 100, 200, 7), w(3, 150, 300, 5), w(4, 0, 1000, 11)],
+            ..FaultPlan::default()
+        });
+        assert_eq!(f.slow_extra(CoreId(3), Time::from_ns(99)), Time::ZERO);
+        assert_eq!(f.slow_extra(CoreId(3), Time::from_ns(100)), Time::from_ns(7));
+        assert_eq!(f.slow_extra(CoreId(3), Time::from_ns(175)), Time::from_ns(12));
+        assert_eq!(f.slow_extra(CoreId(3), Time::from_ns(200)), Time::from_ns(5));
+        assert_eq!(f.slow_extra(CoreId(3), Time::from_ns(300)), Time::ZERO);
+        assert_eq!(f.slow_extra(CoreId(5), Time::from_ns(175)), Time::ZERO);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod chip;
 pub mod engine;
+pub mod fault;
 pub mod handoff;
 pub mod microbench;
 pub mod ops;
@@ -28,6 +29,7 @@ pub mod trace;
 
 pub use chip::SimStats;
 pub use engine::{run_spmd, SimConfig, SimCore, SimError, SimReport};
+pub use fault::{FaultPlan, SlowWindow};
 pub use microbench::{measure_contention, measure_link_stress, measure_p2p, P2pKind};
 pub use params::SimParams;
 pub use telemetry::EngineTotals;
