@@ -33,6 +33,14 @@
 //!                              results/FAULTS.md) and stamp the
 //!                              gate-ignored `faults` block into the
 //!                              report; gated exactly like --journeys
+//!     [--soak]                 also write the soak sidecars the `soak`
+//!                              experiment produces (BENCH_soak.json,
+//!                              results/SOAK.md, the OpenMetrics
+//!                              exposition results/soak_metrics.txt,
+//!                              and any results/soak_dump_* forensic
+//!                              windows) and stamp the gate-ignored
+//!                              `soak` block into the report; gated
+//!                              exactly like --journeys
 //!     [--explain]              on gate failure, re-run the drifted
 //!                              experiments' scenarios with recording
 //!                              on and write a drift explanation
@@ -54,8 +62,8 @@ use scc_bench::{
 use scc_obs::report::validate_json;
 use scc_obs::{
     drift_gate, flamegraph_collapsed, parse_faults_artifact, parse_journeys_artifact,
-    ConformanceReport, DiffReport, DriftReport, FaultsMetrics, JourneysMetrics, Json, PhaseProfile,
-    RunHistograms,
+    parse_soak_artifact, ConformanceReport, DiffReport, DriftReport, FaultsMetrics,
+    JourneysMetrics, Json, PhaseProfile, RunHistograms, SoakMetrics,
 };
 use scc_sim::SimParams;
 use std::fmt::Write as _;
@@ -73,6 +81,7 @@ struct Args {
     artifact_dir: String,
     journeys: bool,
     faults: bool,
+    soak: bool,
     explain: bool,
     drift: String,
     flame_dir: String,
@@ -92,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         artifact_dir: ".".to_string(),
         journeys: false,
         faults: false,
+        soak: false,
         explain: false,
         drift: "results/DRIFT.md".to_string(),
         flame_dir: "results".to_string(),
@@ -112,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--journeys" => args.journeys = true,
             "--faults" => args.faults = true,
+            "--soak" => args.soak = true,
             "--explain" => args.explain = true,
             "--only" => {
                 args.only =
@@ -142,6 +153,16 @@ fn is_journey_artifact(rel: &str) -> bool {
 /// artifact and its human digest.
 fn is_faults_artifact(rel: &str) -> bool {
     rel == "BENCH_faults.json" || rel == "results/FAULTS.md"
+}
+
+/// The sidecars only `--soak` runs write: the soak rollup artifact,
+/// its human digest, the OpenMetrics exposition, and the SLO-breach
+/// forensic dumps.
+fn is_soak_artifact(rel: &str) -> bool {
+    rel == "BENCH_soak.json"
+        || rel == "results/SOAK.md"
+        || rel == "results/soak_metrics.txt"
+        || rel.starts_with("results/soak_dump_")
 }
 
 /// Write `content`, creating parent directories as needed.
@@ -195,6 +216,7 @@ fn main() -> ExitCode {
     let mut heatmap_text = None;
     let mut journeys_metrics: Option<JourneysMetrics> = None;
     let mut faults_metrics: Option<FaultsMetrics> = None;
+    let mut soak_metrics: Option<SoakMetrics> = None;
     for out in run.outputs {
         let exp_report = out.report;
         eprintln!(
@@ -266,6 +288,28 @@ fn main() -> ExitCode {
                     };
                 }
             }
+            if is_soak_artifact(rel) {
+                if !args.soak {
+                    continue;
+                }
+                if rel == "BENCH_soak.json" {
+                    soak_metrics = match Json::parse(contents)
+                        .map_err(|e| format!("unparseable {rel}: {e}"))
+                        .and_then(|doc| parse_soak_artifact(&doc))
+                    {
+                        Ok(scenarios) => Some(SoakMetrics {
+                            scenarios: scenarios.len() as u64,
+                            epochs: scenarios.iter().map(|s| s.epochs()).sum(),
+                            breaches: scenarios.iter().map(|s| s.breaches() as u64).sum(),
+                            dumps: scenarios.iter().map(|s| s.dumps() as u64).sum(),
+                        }),
+                        Err(e) => {
+                            eprintln!("observatory: BUG: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+            }
             let path = format!("{}/{rel}", args.artifact_dir);
             if let Err(e) = write_file(&path, contents) {
                 eprintln!("observatory: {e}");
@@ -288,6 +332,7 @@ fn main() -> ExitCode {
     report.run = Some(run.run);
     report.journeys = journeys_metrics;
     report.faults = faults_metrics;
+    report.soak = soak_metrics;
 
     // Serialize, self-validate, and write the artifacts.
     let json = report.to_json().render();

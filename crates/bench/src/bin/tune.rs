@@ -2,62 +2,13 @@
 //! (k × chunk size × notification fan-out × tree strategy) grid on the
 //! simulated chip, reporting the best configuration per objective.
 //!
+//! Thin wrapper over the `tune` entry of the experiment registry
+//! (`scc_bench::experiments`); the `observatory` binary runs the same
+//! code with structured conformance output.
+//!
 //! Run: `cargo run --release -p scc-bench --bin tune`
 //! (`SCC_BENCH_QUICK=1` shrinks the grid.)
 
-use oc_bcast::{Algorithm, OcConfig, TreeStrategy};
-use scc_bench::{measure_bcast, paper_chip, quick};
-use scc_hal::CoreId;
-
 fn main() {
-    let cfg = paper_chip();
-    let ks: &[usize] = if quick() { &[2, 7] } else { &[2, 4, 7, 12, 24, 47] };
-    let chunks: &[usize] = if quick() { &[96] } else { &[48, 96, 120] };
-    let fanouts: &[usize] = &[2, 3];
-    let strategies = [TreeStrategy::ById, TreeStrategy::TopologyAware];
-
-    let small = 32; // 1 CL
-    let large = if quick() { 96 * 32 * 8 } else { 96 * 32 * 24 };
-
-    let mut best_lat: (f64, String) = (f64::INFINITY, String::new());
-    let mut best_tput: (f64, String) = (0.0, String::new());
-
-    println!("{:<42} {:>10} {:>10}", "configuration", "1CL (µs)", "peak MB/s");
-    for &k in ks {
-        for &chunk_lines in chunks {
-            // k + 1 flags + two buffers + the measurement harness's
-            // 6 barrier lines must fit the MPB.
-            if 1 + k + 2 * chunk_lines + 6 > 256 {
-                continue;
-            }
-            for &notify_fanout in fanouts {
-                for &strategy in &strategies {
-                    let oc =
-                        OcConfig { k, chunk_lines, notify_fanout, strategy, ..OcConfig::default() };
-                    let lat = measure_bcast(&cfg, Algorithm::OcBcast(oc), CoreId(0), small, 1, 2)
-                        .expect("sim")
-                        .latency_us;
-                    let tput = measure_bcast(&cfg, Algorithm::OcBcast(oc), CoreId(0), large, 0, 1)
-                        .expect("sim")
-                        .throughput_mb_s;
-                    let label = format!(
-                        "k={k:<2} M_oc={chunk_lines:<3} fanout={notify_fanout} {:?}",
-                        strategy
-                    );
-                    println!("{label:<42} {lat:>10.2} {tput:>10.2}");
-                    if lat < best_lat.0 {
-                        best_lat = (lat, label.clone());
-                    }
-                    if tput > best_tput.0 {
-                        best_tput = (tput, label);
-                    }
-                }
-            }
-        }
-    }
-    println!();
-    println!("best 1-CL latency : {:.2} µs  ({})", best_lat.0, best_lat.1);
-    println!("best throughput   : {:.2} MB/s ({})", best_tput.0, best_tput.1);
-    println!("# paper's choice — k=7, M_oc=96, binary fan-out, id tree — trades a few");
-    println!("# percent of each objective for contention headroom (Sections 3.3/5.2).");
+    scc_bench::run_standalone("tune");
 }

@@ -36,8 +36,10 @@ mod fig8b;
 mod heatmap;
 mod linkstress;
 mod skew;
+mod soak;
 mod table1;
 mod table2;
+mod tune;
 mod whatif;
 
 pub use whatif::whatif_artifact;
@@ -307,6 +309,16 @@ pub fn registry() -> Vec<Experiment> {
             id: "faults",
             title: "Reliable broadcast — degradation under injected faults",
             plan: faults::plan,
+        },
+        Experiment {
+            id: "tune",
+            title: "Configuration-space sweep — best (k, M_oc, fan-out, tree)",
+            plan: tune::plan,
+        },
+        Experiment {
+            id: "soak",
+            title: "Soak — sustained reliable traffic under SLO watchdogs",
+            plan: soak::plan,
         },
     ]
 }

@@ -1,0 +1,471 @@
+//! Soak: thousands of back-to-back reliable broadcasts through healthy
+//! and fault-plan traffic phases, reduced to streaming telemetry.
+//!
+//! Nobody replays ten thousand event streams, so the soak inverts the
+//! observability pipeline: every epoch collapses to an [`EpochRollup`]
+//! (exact per-epoch p99/makespan plus recovery-counter deltas), the
+//! cross-epoch latency distribution lives in mergeable log₂
+//! [`QuantileSketch`]es, and the [`SloPolicy`] watchdog checks every
+//! rollup against its budgets. Only a breach triggers forensics: the
+//! breached chunk ran with the bounded flight-recorder ring on, and its
+//! retained window is dumped as a Chrome trace + journey book + skew
+//! digest (first [`MAX_DUMPS`] breached chunks per scenario).
+//!
+//! Epochs are grouped into chunks — one `run_spmd` per chunk, the
+//! broadcast context shared across all epochs of the chunk (the
+//! repeated-broadcast pattern of `oc_bcast::reliable`'s tests) — so
+//! the sweep parallelizes across chunks while every number merges in
+//! declaration order: `BENCH_soak.json`, `results/SOAK.md`, and
+//! `results/soak_metrics.txt` are byte-identical at any `--jobs`.
+
+use super::{outln, Sweep};
+use oc_bcast::{OcBcast, OcConfig, RelStats, Reliability, ReliableBinomial};
+use scc_hal::{CoreId, MemRange, Rma, RmaExt, RmaResult, Time};
+use scc_obs::{
+    chrome_trace_json, journeys_artifact, render_skew_markdown, render_soak_markdown,
+    render_soak_openmetrics, soak_artifact, EpochRollup, JourneyBook, LatencyHistogram, ObsEvent,
+    QuantileSketch, RecoveryCounters, SkewReport, SloPolicy, SoakPhase, SoakScenario,
+};
+use scc_rcce::MpbAllocator;
+use scc_sim::{run_spmd, FaultPlan, SimConfig};
+
+/// Soak trades chip scale for epoch volume: half the chip, small
+/// messages, ten thousand broadcasts.
+const CORES: usize = 24;
+const ROOT: CoreId = CoreId(0);
+
+/// Transfers hit by the delay fault stall this long (drop/2 rate).
+const DELAY: Time = Time(5_000_000); // 5 µs
+
+/// Flight-recorder ring capacity for fault-phase chunks: enough for
+/// the last few epochs of a chunk at fixed memory cost.
+const FLIGHT_WINDOW: usize = 16_384;
+
+/// At most this many forensic dumps per scenario (first breached
+/// chunks in epoch order); the rest are listed as breaches only.
+const MAX_DUMPS: usize = 2;
+
+/// Same reliability policy as the `faults` experiment: timeout above
+/// the longest legitimate fault-free wait, so healthy phases must stay
+/// timeout-free and every reported recovery is fault-caused.
+fn policy() -> Reliability {
+    Reliability { timeout: Time::from_us_f64(600.0), ..Reliability::standard() }
+}
+
+/// The watchdog budgets. Healthy epochs on this configuration finish
+/// well under 100 µs end to end; a recovery stalls its epoch by the
+/// 600 µs timeout. The budgets sit between those regimes, so healthy
+/// phases must be breach-free and every recovered epoch trips all
+/// three objectives.
+fn slo() -> SloPolicy {
+    SloPolicy {
+        p99_budget: Some(Time::from_us_f64(300.0)),
+        makespan_budget: Some(Time::from_us_f64(450.0)),
+        zero_recoveries: true,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Proto {
+    Oc(usize),
+    Binomial,
+}
+
+/// One traffic phase: `epochs` back-to-back broadcasts under one drop
+/// rate, split into `chunk` -epoch units.
+struct PhasePlan {
+    id: &'static str,
+    drop_ppm: u32,
+    epochs: usize,
+    chunk: usize,
+}
+
+struct ScenarioPlan {
+    id: &'static str,
+    proto: Proto,
+    phases: Vec<PhasePlan>,
+}
+
+fn msg_lines(quick: bool) -> usize {
+    if quick {
+        4
+    } else {
+        8
+    }
+}
+
+/// Mid-run fault phase between two healthy phases. The full oc_k7 soak
+/// is the acceptance workload: 10,000 epochs. Quick mode keeps the
+/// same three-phase shape at a few dozen epochs (with a denser drop
+/// rate so the short fault phase still faults).
+fn scenarios(quick: bool) -> Vec<ScenarioPlan> {
+    let (oc, bin, rate) = if quick {
+        ((48, 24, 24), (40, 20, 20), 20_000)
+    } else {
+        ((4_000, 2_000, 200), (400, 200, 100), 2_000)
+    };
+    let phases = |sizes: (usize, usize, usize)| {
+        vec![
+            PhasePlan { id: "healthy_a", drop_ppm: 0, epochs: sizes.0, chunk: sizes.2 },
+            PhasePlan { id: "faults", drop_ppm: rate, epochs: sizes.1, chunk: sizes.2 },
+            PhasePlan { id: "healthy_b", drop_ppm: 0, epochs: sizes.0, chunk: sizes.2 },
+        ]
+    };
+    vec![
+        ScenarioPlan { id: "oc_k7", proto: Proto::Oc(7), phases: phases(oc) },
+        ScenarioPlan { id: "binomial", proto: Proto::Binomial, phases: phases(bin) },
+    ]
+}
+
+fn label(proto: Proto, lines: usize) -> String {
+    match proto {
+        Proto::Oc(k) => format!("k={k} {CORES}c {lines}cl"),
+        Proto::Binomial => format!("binomial {CORES}c {lines}cl"),
+    }
+}
+
+/// Epoch payloads differ so a stale buffer can never verify.
+fn payload_for(epoch: usize, bytes: usize) -> Vec<u8> {
+    (0..bytes).map(|i| ((i + epoch * 17) % 251) as u8).collect()
+}
+
+fn diff(now: RelStats, before: RelStats) -> RelStats {
+    RelStats {
+        timeouts: now.timeouts - before.timeouts,
+        probes: now.probes - before.probes,
+        recoveries: now.recoveries - before.recoveries,
+        renotifies: now.renotifies - before.renotifies,
+    }
+}
+
+/// What one chunk of back-to-back epochs reduces to.
+struct ChunkOut {
+    /// One rollup per epoch, global epoch ids.
+    rollups: Vec<EpochRollup>,
+    /// Per-destination delivered latencies, all epochs of the chunk.
+    sketch: QuantileSketch,
+    /// The same latencies exactly, for the sketch-vs-exact replay
+    /// check in finalize.
+    lats: Vec<Time>,
+    probes: u64,
+    renotifies: u64,
+    /// Faults the plan injected across the whole chunk run.
+    faults: u64,
+    /// Every destination of every epoch verified its payload.
+    verified: bool,
+    /// Flight-recorder window (fault-phase chunks only).
+    window: Option<Vec<ObsEvent>>,
+}
+
+/// Run one chunk: `epochs` broadcasts in one shared reliable context.
+fn run_chunk(
+    proto: Proto,
+    lines: usize,
+    drop_ppm: u32,
+    base_epoch: usize,
+    epochs: usize,
+) -> ChunkOut {
+    let bytes = lines * 32;
+    let cfg = SimConfig {
+        num_cores: CORES,
+        mem_bytes: (bytes.next_power_of_two()).max(1 << 16),
+        faults: FaultPlan {
+            drop_notification_ppm: drop_ppm,
+            delay_ppm: drop_ppm / 2,
+            delay: DELAY,
+            ..FaultPlan::default()
+        },
+        // Forensics are only ever wanted where faults can strike; the
+        // bounded ring keeps the cost fixed per chunk.
+        flight: if drop_ppm > 0 { FLIGHT_WINDOW } else { 0 },
+        ..SimConfig::default()
+    };
+    // As in the faults sweep: no start barrier — the plain barrier
+    // signals through exactly the remote flag puts the plan drops.
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<Vec<(Time, Time, bool, RelStats)>> {
+        let mut alloc = MpbAllocator::new();
+        let r = MemRange::new(0, bytes);
+        let mut out = Vec::with_capacity(epochs);
+        match proto {
+            Proto::Oc(k) => {
+                let mut bc = OcBcast::new_reliable(&mut alloc, OcConfig::with_k(k), policy())
+                    .expect("MPB layout fits");
+                for e in 0..epochs {
+                    let payload = payload_for(base_epoch + e, bytes);
+                    if c.core() == ROOT {
+                        c.mem_write(0, &payload)?;
+                    }
+                    let t0 = c.now();
+                    bc.bcast_reliable(c, ROOT, r)?;
+                    let t1 = c.now();
+                    let ok = c.mem_to_vec(r)? == payload;
+                    out.push((t0, t1, ok, bc.rel_stats().unwrap_or_default()));
+                }
+            }
+            Proto::Binomial => {
+                let mut bc = ReliableBinomial::new(&mut alloc, c.num_cores(), policy())
+                    .expect("MPB layout fits");
+                for e in 0..epochs {
+                    let payload = payload_for(base_epoch + e, bytes);
+                    if c.core() == ROOT {
+                        c.mem_write(0, &payload)?;
+                    }
+                    let t0 = c.now();
+                    bc.bcast(c, ROOT, r)?;
+                    let t1 = c.now();
+                    let ok = c.mem_to_vec(r)? == payload;
+                    out.push((t0, t1, ok, bc.stats()));
+                }
+            }
+        }
+        Ok(out)
+    })
+    .expect("soak chunk run");
+
+    let per: Vec<Vec<(Time, Time, bool, RelStats)>> =
+        rep.results.into_iter().map(|r| r.expect("reliable bcast must complete")).collect();
+    let mut out = ChunkOut {
+        rollups: Vec::with_capacity(epochs),
+        sketch: QuantileSketch::new(),
+        lats: Vec::with_capacity(epochs * (CORES - 1)),
+        probes: 0,
+        renotifies: 0,
+        faults: rep.stats.faults,
+        verified: true,
+        window: rep.events,
+    };
+    let mut prev = vec![RelStats::default(); CORES];
+    for e in 0..epochs {
+        let root_call = per[ROOT.index()][e].0;
+        let mut hist = LatencyHistogram::new();
+        let mut makespan = Time::ZERO;
+        let mut timeouts = 0u64;
+        let mut recoveries = 0u64;
+        for (ci, core) in per.iter().enumerate() {
+            let (_, t1, ok, stats) = core[e];
+            out.verified &= ok;
+            let d = diff(stats, prev[ci]);
+            prev[ci] = stats;
+            timeouts += d.timeouts;
+            recoveries += d.recoveries;
+            out.probes += d.probes;
+            out.renotifies += d.renotifies;
+            if ci != ROOT.index() {
+                let lat = t1 - root_call;
+                hist.record(lat);
+                out.sketch.record(lat);
+                out.lats.push(lat);
+                makespan = makespan.max(lat);
+            }
+        }
+        out.rollups.push(EpochRollup {
+            epoch: (base_epoch + e) as u32,
+            p99: hist.quantile(0.99).expect("every epoch has destinations"),
+            makespan,
+            timeouts,
+            recoveries,
+            // Fault injection is only observable per run, not per
+            // epoch; phase totals carry the injected counts.
+            faults: 0,
+        });
+    }
+    out
+}
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    let lines = msg_lines(sweep.quick);
+    for sc in scenarios(sweep.quick) {
+        let mut base = 0usize;
+        let proto = sc.proto;
+        for ph in &sc.phases {
+            let mut done = 0usize;
+            while done < ph.epochs {
+                let n = ph.chunk.min(ph.epochs - done);
+                let (id, phase_id, drop, start) = (sc.id, ph.id, ph.drop_ppm, base + done);
+                // Fault-phase chunks do recovery work and carry the
+                // flight ring — start them early.
+                let cost = n as u64 * if drop > 0 { 4 } else { 1 };
+                sweep.value_unit_w(format!("soak {id} {phase_id} e{start}"), cost, move |_| {
+                    run_chunk(proto, lines, drop, start, n)
+                });
+                done += n;
+            }
+            base += ph.epochs;
+        }
+    }
+
+    sweep.finalize(move |ctx, mut values| {
+        let lines = msg_lines(ctx.quick);
+        outln!(ctx, "# soak: back-to-back reliable broadcasts, {CORES} cores, {lines} cache lines");
+        outln!(ctx, "# SLO per epoch: p99 <= 300 us, makespan <= 450 us, zero recoveries");
+        let mut report: Vec<SoakScenario> = Vec::new();
+        let mut all_verified = true;
+        for sc in scenarios(ctx.quick) {
+            let mut scenario = SoakScenario {
+                id: sc.id.to_string(),
+                label: label(sc.proto, lines),
+                cores: CORES as u64,
+                policy: slo(),
+                phases: Vec::new(),
+            };
+            let mut dumps_left = MAX_DUMPS;
+            for ph in &sc.phases {
+                let mut phase = SoakPhase {
+                    id: ph.id.to_string(),
+                    drop_ppm: u64::from(ph.drop_ppm),
+                    epochs: ph.epochs as u64,
+                    sketch: QuantileSketch::new(),
+                    makespan_max: Time::ZERO,
+                    timeouts: 0,
+                    probes: 0,
+                    recoveries: 0,
+                    renotifies: 0,
+                    faults: 0,
+                    breaches: Vec::new(),
+                    dumps: Vec::new(),
+                };
+                let mut exact = LatencyHistogram::new();
+                let mut done = 0usize;
+                while done < ph.epochs {
+                    let chunk = values.next_as::<ChunkOut>();
+                    let n = chunk.rollups.len();
+                    all_verified &= chunk.verified;
+                    phase.sketch.merge(&chunk.sketch);
+                    for &l in &chunk.lats {
+                        exact.record(l);
+                    }
+                    phase.probes += chunk.probes;
+                    phase.renotifies += chunk.renotifies;
+                    phase.faults += chunk.faults;
+                    let mut chunk_breached = false;
+                    for r in &chunk.rollups {
+                        phase.makespan_max = phase.makespan_max.max(r.makespan);
+                        phase.timeouts += r.timeouts;
+                        phase.recoveries += r.recoveries;
+                        let breaches = scenario.policy.check(r);
+                        chunk_breached |= !breaches.is_empty();
+                        phase.breaches.extend(breaches);
+                    }
+                    // A breach freezes the chunk's flight ring and
+                    // dumps forensics for just that window.
+                    if chunk_breached && dumps_left > 0 {
+                        if let Some(window) = &chunk.window {
+                            dumps_left -= 1;
+                            let first = chunk.rollups[0].epoch;
+                            let last = chunk.rollups[n - 1].epoch;
+                            let stem = format!("results/soak_dump_{}_e{first:05}-{last:05}", sc.id);
+                            ctx.artifact(format!("{stem}_trace.json"), chrome_trace_json(window));
+                            let book = JourneyBook::from_events(window);
+                            ctx.artifact(
+                                format!("{stem}_journeys.json"),
+                                journeys_artifact(&[(sc.id.to_string(), book.clone())]).render(),
+                            );
+                            phase.dumps.push(format!("{stem}_trace.json"));
+                            phase.dumps.push(format!("{stem}_journeys.json"));
+                            if let Some(skew) = SkewReport::from_book(sc.id, &book) {
+                                let skew = skew.with_recovery(RecoveryCounters {
+                                    timeouts: phase.timeouts,
+                                    probes: phase.probes,
+                                    recoveries: phase.recoveries,
+                                    renotifies: phase.renotifies,
+                                });
+                                ctx.artifact(
+                                    format!("{stem}_skew.md"),
+                                    render_skew_markdown(std::slice::from_ref(&skew)),
+                                );
+                                phase.dumps.push(format!("{stem}_skew.md"));
+                            }
+                        }
+                    }
+                    done += n;
+                }
+                let us = |t: Option<Time>| t.map_or(0.0, |t| t.as_us_f64());
+                let p50 = us(phase.sketch.quantile(0.50));
+                let p99 = us(phase.sketch.quantile(0.99));
+                ctx.row(format!("{} {} delivery p50", sc.id, ph.id), None, None, p50, 0.02, "us");
+                ctx.row(format!("{} {} delivery p99", sc.id, ph.id), None, None, p99, 0.02, "us");
+                ctx.row(
+                    format!("{} {} makespan max", sc.id, ph.id),
+                    None,
+                    None,
+                    phase.makespan_max.as_us_f64(),
+                    0.02,
+                    "us",
+                );
+                outln!(
+                    ctx,
+                    "{:<10} {:<10} {:>6} epochs  p50 {:>9.3}  p99 {:>9.3} us  \
+                     {:>4} recoveries  {:>4} breaches  {} dumps",
+                    sc.id,
+                    ph.id,
+                    ph.epochs,
+                    p50,
+                    p99,
+                    phase.recoveries,
+                    phase.breaches.len(),
+                    phase.dumps.len(),
+                );
+                // The acceptance bound: a sketch quantile is the upper
+                // edge of the exact value's bucket — at least the
+                // exact nearest-rank value and less than 2x it
+                // (replayed here on the retained full distribution).
+                let sk = phase.sketch.quantile(0.99).expect("phase has latencies");
+                let ex = exact.quantile(0.99).expect("phase has latencies");
+                ctx.shape(
+                    &format!("{}/{}: sketch p99 within its bucket bound of exact", sc.id, ph.id),
+                    sk >= ex && (ex == Time::ZERO || sk.as_ps() < 2 * ex.as_ps()),
+                    format!("sketch {:.3} us, exact {:.3} us", sk.as_us_f64(), ex.as_us_f64()),
+                );
+                scenario.phases.push(phase);
+            }
+
+            for ph in &scenario.phases {
+                if ph.drop_ppm == 0 {
+                    ctx.shape(
+                        &format!("{}/{}: healthy phase is clean and dump-free", scenario.id, ph.id),
+                        ph.timeouts == 0
+                            && ph.recoveries == 0
+                            && ph.faults == 0
+                            && ph.breaches.is_empty()
+                            && ph.dumps.is_empty(),
+                        format!(
+                            "{} timeouts, {} recoveries, {} faults, {} breaches, {} dumps",
+                            ph.timeouts,
+                            ph.recoveries,
+                            ph.faults,
+                            ph.breaches.len(),
+                            ph.dumps.len()
+                        ),
+                    );
+                } else {
+                    ctx.shape(
+                        &format!(
+                            "{}/{}: fault phase injects, recovers, and trips the watchdog",
+                            scenario.id, ph.id
+                        ),
+                        ph.faults > 0 && ph.recoveries > 0 && !ph.breaches.is_empty(),
+                        format!(
+                            "{} faults, {} recoveries, {} breaches, {} dumps",
+                            ph.faults,
+                            ph.recoveries,
+                            ph.breaches.len(),
+                            ph.dumps.len()
+                        ),
+                    );
+                }
+            }
+            report.push(scenario);
+        }
+        ctx.shape(
+            "every destination of every epoch verifies its payload",
+            all_verified,
+            format!("{} scenarios x {} destinations", report.len(), CORES - 1),
+        );
+        let total: u64 = report.iter().map(SoakScenario::epochs).sum();
+        outln!(ctx, "# {total} epochs total; dumps only from fault-phase windows");
+
+        ctx.artifact("BENCH_soak.json", soak_artifact(&report).render());
+        ctx.artifact("results/SOAK.md", render_soak_markdown(&report));
+        ctx.artifact("results/soak_metrics.txt", render_soak_openmetrics(&report));
+    });
+}

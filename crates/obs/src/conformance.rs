@@ -206,6 +206,23 @@ pub struct FaultsMetrics {
     pub recoveries: u64,
 }
 
+/// Soak-layer self-metrics of one observatory invocation (`--soak`):
+/// how much sustained traffic the soak drove and what the SLO
+/// watchdogs found. Excluded from the drift gate for the same reason
+/// as [`JourneysMetrics`] — it describes the run's own telemetry
+/// output, not paper conformance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SoakMetrics {
+    /// Protocols soaked (one scenario record each).
+    pub scenarios: u64,
+    /// Broadcast epochs completed across all scenarios and phases.
+    pub epochs: u64,
+    /// SLO objectives breached across the whole soak.
+    pub breaches: u64,
+    /// Forensic dump files written (Chrome trace / journey / skew).
+    pub dumps: u64,
+}
+
 /// Everything one experiment produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -243,6 +260,9 @@ pub struct ConformanceReport {
     /// Fault-sweep summary (present only on `--faults` runs; absent in
     /// older baselines). Ignored by the drift gate.
     pub faults: Option<FaultsMetrics>,
+    /// Soak summary (present only on `--soak` runs; absent in older
+    /// baselines). Ignored by the drift gate.
+    pub soak: Option<SoakMetrics>,
 }
 
 impl ConformanceReport {
@@ -254,6 +274,7 @@ impl ConformanceReport {
             run: None,
             journeys: None,
             faults: None,
+            soak: None,
         }
     }
 
@@ -341,7 +362,7 @@ impl ConformanceReport {
             ),
             None => doc,
         };
-        match &self.faults {
+        let doc = match &self.faults {
             Some(f) => doc.set(
                 "faults",
                 Json::obj()
@@ -349,6 +370,17 @@ impl ConformanceReport {
                     .set("points", Json::Int(f.points as i64))
                     .set("injected_faults", Json::Int(f.injected_faults as i64))
                     .set("recoveries", Json::Int(f.recoveries as i64)),
+            ),
+            None => doc,
+        };
+        match &self.soak {
+            Some(s) => doc.set(
+                "soak",
+                Json::obj()
+                    .set("scenarios", Json::Int(s.scenarios as i64))
+                    .set("epochs", Json::Int(s.epochs as i64))
+                    .set("breaches", Json::Int(s.breaches as i64))
+                    .set("dumps", Json::Int(s.dumps as i64)),
             ),
             None => doc,
         }
@@ -424,7 +456,16 @@ impl ConformanceReport {
             }),
             None => None,
         };
-        Ok(ConformanceReport { schema, quick, experiments, run, journeys, faults })
+        let soak = match v.get("soak") {
+            Some(s) => Some(SoakMetrics {
+                scenarios: req_f64(s, "scenarios")? as u64,
+                epochs: req_f64(s, "epochs")? as u64,
+                breaches: req_f64(s, "breaches")? as u64,
+                dumps: req_f64(s, "dumps")? as u64,
+            }),
+            None => None,
+        };
+        Ok(ConformanceReport { schema, quick, experiments, run, journeys, faults, soak })
     }
 
     /// The human-readable drift report (`results/CONFORMANCE.md`).
@@ -695,6 +736,7 @@ mod tests {
         r.journeys = Some(JourneysMetrics { scenarios: 2, journeys: 96, max_delivery_us: 260.125 });
         r.faults =
             Some(FaultsMetrics { scenarios: 3, points: 12, injected_faults: 40, recoveries: 31 });
+        r.soak = Some(SoakMetrics { scenarios: 2, epochs: 10_000, breaches: 4, dumps: 6 });
         r
     }
 
@@ -757,6 +799,22 @@ mod tests {
         assert!(drift_gate(&cur, &base).ok());
         let mut old_base = sample();
         old_base.faults = None;
+        assert!(drift_gate(&sample(), &old_base).ok());
+    }
+
+    /// Same contract for the soak block: self-description, not
+    /// conformance — arbitrary drift (or absence) never trips the gate.
+    #[test]
+    fn gate_ignores_soak_self_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.soak =
+            Some(SoakMetrics { scenarios: 99, epochs: u64::MAX, breaches: 9999, dumps: 9999 });
+        assert!(drift_gate(&cur, &base).ok());
+        cur.soak = None;
+        assert!(drift_gate(&cur, &base).ok());
+        let mut old_base = sample();
+        old_base.soak = None;
         assert!(drift_gate(&sample(), &old_base).ok());
     }
 

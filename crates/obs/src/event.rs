@@ -247,6 +247,81 @@ impl Recorder for EventLog {
     }
 }
 
+/// The flight recorder: a bounded ring that retains only the last
+/// `capacity` events at fixed memory cost.
+///
+/// Always-on telemetry cannot afford [`EventLog`]'s growth — a soak
+/// run emits millions of events — but forensics after an SLO breach
+/// wants the raw stream for *the window that breached*. The ring gives
+/// both: recording costs one store and two index updates per event,
+/// memory is `capacity * size_of::<ObsEvent>()` forever, and
+/// [`drain`](Recorder::drain) returns exactly the stream suffix a full
+/// recording would have ended with (byte-identical over the window —
+/// pinned by `obs_equivalence` in `scc-sim` and the proptests in
+/// `tests/sketch_props.rs`).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<ObsEvent>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    /// Total events ever offered (drives the window accounting).
+    seen: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events. Capacity 0 is legal:
+    /// the recorder accepts and forgets everything (`seen` still
+    /// counts).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { buf: Vec::with_capacity(capacity), head: 0, seen: 0, capacity }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events are currently retained (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered over the recorder's lifetime, including
+    /// those the ring has since evicted.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl Recorder for FlightRecorder {
+    #[inline]
+    fn record(&mut self, ev: ObsEvent) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The retained window in recording order (oldest retained event
+    /// first), leaving the ring empty.
+    fn drain(&mut self) -> Vec<ObsEvent> {
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(self.head);
+        self.head = 0;
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +347,43 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), work.len());
+    }
+
+    fn finish(core: u8, at: u64) -> ObsEvent {
+        ObsEvent::Finish { core: CoreId(core), at: Time::from_ns(at) }
+    }
+
+    #[test]
+    fn flight_ring_keeps_the_tail_window() {
+        let mut ring = FlightRecorder::new(3);
+        for i in 0..7 {
+            ring.record(finish(0, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 7);
+        let window = ring.drain();
+        assert_eq!(window, vec![finish(0, 4), finish(0, 5), finish(0, 6)]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn flight_ring_below_capacity_matches_full_log() {
+        let mut ring = FlightRecorder::new(10);
+        let mut log = EventLog::new();
+        for i in 0..4 {
+            ring.record(finish(1, i));
+            log.record(finish(1, i));
+        }
+        assert_eq!(ring.drain(), log.drain());
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_retains_nothing() {
+        let mut ring = FlightRecorder::new(0);
+        ring.record(finish(0, 1));
+        ring.record(finish(0, 2));
+        assert_eq!(ring.seen(), 2);
+        assert!(ring.drain().is_empty());
     }
 
     #[test]

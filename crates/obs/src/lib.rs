@@ -49,7 +49,15 @@
 //! * [`movie`] — the link heatmap sliced into equal time frames, a
 //!   congestion timeline (`results/movie_*.txt`);
 //! * [`faultrep`] — degradation curves of the reliable collectives
-//!   under injected faults (`BENCH_faults.json`, `results/FAULTS.md`).
+//!   under injected faults (`BENCH_faults.json`, `results/FAULTS.md`);
+//! * [`sketch`] — fixed-cost, deterministic, exactly mergeable log₂
+//!   quantile sketches: the always-on telemetry that replaces full
+//!   event streams under sustained traffic;
+//! * [`slo`] — declarative per-protocol SLOs (latency/makespan
+//!   budgets, zero-recovery expectation) evaluated per epoch; breaches
+//!   trigger the flight recorder's forensic dumps;
+//! * [`soakrep`] — the soak rollup record (`BENCH_soak.json`,
+//!   `results/SOAK.md`, OpenMetrics `results/soak_metrics.txt`).
 //!
 //! The simulator (`scc-sim`) records into this crate's [`Recorder`];
 //! collectives annotate phases through `scc_hal::Rma::span_begin`; the
@@ -69,20 +77,23 @@ pub mod journey;
 pub mod movie;
 pub mod report;
 pub mod series;
+pub mod sketch;
 pub mod skew;
+pub mod slo;
+pub mod soakrep;
 pub mod whatif;
 
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
     drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
     ExperimentReport, ExperimentRow, FaultsMetrics, JourneysMetrics, RunMetrics, SelfMetrics,
-    ShapeCheck, ARTIFACT_VERSION,
+    ShapeCheck, SoakMetrics, ARTIFACT_VERSION,
 };
 pub use critpath::{
     critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,
 };
 pub use diff::{DiffCell, DiffReport, PhaseProfile};
-pub use event::{EventLog, FaultKind, ObsEvent, OpKind, Recorder, ResourceId};
+pub use event::{EventLog, FaultKind, FlightRecorder, ObsEvent, OpKind, Recorder, ResourceId};
 pub use faultrep::{
     faults_artifact, parse_faults_artifact, render_faults_markdown, FaultCurve, FaultPoint,
 };
@@ -93,5 +104,11 @@ pub use journey::{journeys_artifact, parse_journeys_artifact, Journey, JourneyBo
 pub use movie::CongestionMovie;
 pub use report::{validate_json, Json};
 pub use series::{UtilBucket, UtilizationSeries};
-pub use skew::{render_skew_markdown, SkewReport};
+pub use sketch::{QuantileSketch, SketchSummary, SKETCH_BUCKETS};
+pub use skew::{render_skew_markdown, RecoveryCounters, SkewReport};
+pub use slo::{EpochRollup, SloBreach, SloKind, SloPolicy};
+pub use soakrep::{
+    parse_soak_artifact, render_soak_markdown, render_soak_openmetrics, soak_artifact, SoakPhase,
+    SoakScenario,
+};
 pub use whatif::{CostClass, WhatIfPoint, WhatIfProfile};

@@ -15,6 +15,28 @@ use crate::journey::{Journey, JourneyBook, LegKind};
 use scc_hal::Time;
 use std::fmt::Write as _;
 
+/// Recovery-layer counters (`oc_bcast::RelStats` shaped — `scc-obs`
+/// cannot depend on the collectives crate, so the caller copies the
+/// fields over) attached to a skew report when the recorded run went
+/// through the reliable protocols. A straggler that was *recovered* —
+/// its notification dropped, found by a timeout probe — dwells in the
+/// same legs as an ordinary slow delivery; these counters let the
+/// report name the recovery instead of blaming the legs alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    pub timeouts: u64,
+    pub probes: u64,
+    pub recoveries: u64,
+    pub renotifies: u64,
+}
+
+impl RecoveryCounters {
+    /// Did the reliability layer repair anything at all?
+    pub fn any(&self) -> bool {
+        self.timeouts + self.probes + self.recoveries + self.renotifies > 0
+    }
+}
+
 /// The skew digest of one scenario.
 #[derive(Clone, Debug)]
 pub struct SkewReport {
@@ -31,6 +53,10 @@ pub struct SkewReport {
     pub median: Journey,
     /// The run's makespan, for the `straggler.end == makespan` check.
     pub makespan: Time,
+    /// Recovery counters of the run, when the caller measured a
+    /// reliable protocol. `None` renders nothing — plain reports are
+    /// byte-identical to before the field existed.
+    pub recovery: Option<RecoveryCounters>,
 }
 
 impl SkewReport {
@@ -63,7 +89,15 @@ impl SkewReport {
             straggler,
             median,
             makespan: book.makespan,
+            recovery: None,
         })
+    }
+
+    /// Attach the run's recovery counters (builder style, for the
+    /// reliable-path callers).
+    pub fn with_recovery(mut self, rc: RecoveryCounters) -> SkewReport {
+        self.recovery = Some(rc);
+        self
     }
 
     /// Per-leg `(straggler dwell, median dwell)` pairs, report order.
@@ -118,6 +152,18 @@ pub fn render_skew_markdown(reports: &[SkewReport]) -> String {
             None => {
                 let _ = writeln!(out, "| root cause | none (straggler matches median) |");
             }
+        }
+        if let Some(rc) = r.recovery {
+            let verdict = if rc.any() {
+                format!(
+                    "{} timeouts, {} probes, {} recoveries, {} re-notifies — \
+                     the tail includes repaired deliveries, not just queueing",
+                    rc.timeouts, rc.probes, rc.recoveries, rc.renotifies
+                )
+            } else {
+                "clean (no timeouts, no recoveries)".to_string()
+            };
+            let _ = writeln!(out, "| reliability | {verdict} |");
         }
         let _ = writeln!(
             out,
@@ -197,5 +243,24 @@ mod tests {
         assert!(md1.contains("## oc-bcast"), "{md1}");
         assert!(md1.contains("| root cause | flag-notify"), "{md1}");
         assert!(md1.contains("| delivery max | 0.001 us |"), "{md1}");
+        assert!(!md1.contains("| reliability |"), "plain reports stay unchanged: {md1}");
+    }
+
+    #[test]
+    fn recovery_counters_name_the_repair_when_attached() {
+        let book = run_with_ends(&[100, 700, 200]);
+        let r = SkewReport::from_book("oc-bcast", &book).unwrap().with_recovery(RecoveryCounters {
+            timeouts: 2,
+            probes: 2,
+            recoveries: 1,
+            renotifies: 0,
+        });
+        let md = render_skew_markdown(std::slice::from_ref(&r));
+        assert!(md.contains("| reliability | 2 timeouts, 2 probes, 1 recoveries"), "{md}");
+        let clean = SkewReport::from_book("oc-bcast", &book)
+            .unwrap()
+            .with_recovery(RecoveryCounters::default());
+        let md = render_skew_markdown(std::slice::from_ref(&clean));
+        assert!(md.contains("| reliability | clean (no timeouts, no recoveries) |"), "{md}");
     }
 }

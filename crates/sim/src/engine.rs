@@ -52,7 +52,7 @@ use crate::trace::OpTrace;
 use scc_hal::{
     CoreId, FlagValue, MemRange, MpbAddr, MsgId, Rma, RmaError, RmaResult, Span, Time, NUM_CORES,
 };
-use scc_obs::{EventLog, FaultKind, ObsEvent};
+use scc_obs::{EventLog, FaultKind, FlightRecorder, ObsEvent};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -83,6 +83,17 @@ pub struct SimConfig {
     /// default; virtual times and [`SimStats`] are identical either
     /// way (see the `obs_equivalence` test).
     pub record: bool,
+    /// Flight-recorder capacity: when non-zero (and [`record`] is
+    /// off), the run records into a bounded ring that retains only the
+    /// last `flight` events at fixed memory cost, and
+    /// [`SimReport::events`] holds that window — byte-identical to the
+    /// tail of a full recording (see `obs_equivalence`). Virtual times
+    /// and [`SimStats`] are unaffected, exactly as with [`record`].
+    /// A full recording subsumes any window, so [`record`] wins when
+    /// both are set.
+    ///
+    /// [`record`]: SimConfig::record
+    pub flight: usize,
     /// Deterministic fault schedule (see [`crate::fault`]). The
     /// default plan is empty: no faults, no RNG, and — guarded by the
     /// `fault_plan_empty_is_identity` test — bit-identical stats and
@@ -99,6 +110,7 @@ impl Default for SimConfig {
             trace: false,
             coalesce: true,
             record: false,
+            flight: 0,
             faults: FaultPlan::default(),
         }
     }
@@ -107,6 +119,12 @@ impl Default for SimConfig {
 impl SimConfig {
     pub fn with_cores(num_cores: usize) -> SimConfig {
         SimConfig { num_cores, ..SimConfig::default() }
+    }
+
+    /// Default config with the flight recorder on: retain the last
+    /// `capacity` events in a bounded ring (see [`SimConfig::flight`]).
+    pub fn flight(capacity: usize) -> SimConfig {
+        SimConfig { flight: capacity, ..SimConfig::default() }
     }
 }
 
@@ -304,6 +322,8 @@ impl Engine {
         let mut chip = Chip::new(cfg.params, n, cfg.mem_bytes);
         if cfg.record {
             chip.recorder = Some(Box::new(EventLog::new()));
+        } else if cfg.flight > 0 {
+            chip.recorder = Some(Box::new(FlightRecorder::new(cfg.flight)));
         }
         let mut e = Engine {
             chip,
@@ -1062,7 +1082,7 @@ where
     });
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let mem_bytes = cfg.mem_bytes;
-    let recording = cfg.record;
+    let recording = cfg.record || cfg.flight > 0;
     let f = &f;
 
     let workers = handoff::checkout(n);

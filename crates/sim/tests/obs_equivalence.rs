@@ -51,6 +51,17 @@ fn run(record: bool, cores: usize) -> SimReport<RmaResult<Time>> {
     run_spmd(&cfg, workload).expect("workload must complete")
 }
 
+fn run_flight(capacity: usize, cores: usize) -> SimReport<RmaResult<Time>> {
+    let cfg = SimConfig {
+        num_cores: cores,
+        mem_bytes: 4096,
+        trace: true,
+        flight: capacity,
+        ..SimConfig::default()
+    };
+    run_spmd(&cfg, workload).expect("workload must complete")
+}
+
 #[test]
 fn recording_is_free_of_observable_effects() {
     for cores in [2, 7, 24] {
@@ -83,6 +94,56 @@ fn recording_is_free_of_observable_effects() {
         assert!(!events.is_empty());
         assert!(off.events.is_none(), "recorder must stay off by default");
     }
+}
+
+/// Same zero-cost contract for the flight recorder: a bounded-ring run
+/// must be indistinguishable from an unrecorded run in every virtual
+/// observable, and its window must be byte-identical to the tail of a
+/// full recording.
+#[test]
+fn flight_recording_is_free_and_matches_the_tail_window() {
+    for cores in [2, 7, 24] {
+        let full = run(true, cores);
+        let off = run(false, cores);
+        let events = full.events.as_deref().expect("full recording");
+
+        for capacity in [1, 64, events.len(), events.len() + 100] {
+            let flight = run_flight(capacity, cores);
+            assert_eq!(flight.end_times, off.end_times, "end_times diverged at P={cores}");
+            assert_eq!(flight.makespan, off.makespan, "makespan diverged at P={cores}");
+            assert_eq!(flight.stats, off.stats, "SimStats diverged at P={cores}");
+            assert_eq!(flight.trace, off.trace, "op trace diverged at P={cores}");
+            for (i, r) in flight.results.iter().enumerate() {
+                assert_eq!(
+                    r.as_ref().unwrap(),
+                    off.results[i].as_ref().unwrap(),
+                    "core {i} diverged at P={cores} capacity={capacity}"
+                );
+            }
+
+            // The retained window is exactly the last `capacity` events
+            // of the full stream, in stream order.
+            let window = flight.events.as_deref().expect("flight recording");
+            let tail = &events[events.len().saturating_sub(capacity)..];
+            assert_eq!(window, tail, "window != full-stream tail at P={cores} cap={capacity}");
+        }
+    }
+}
+
+/// `record: true` wins over a flight capacity: the full stream
+/// subsumes any window.
+#[test]
+fn full_recording_takes_precedence_over_flight() {
+    let cfg = SimConfig {
+        num_cores: 4,
+        mem_bytes: 4096,
+        record: true,
+        flight: 3,
+        ..SimConfig::default()
+    };
+    let rep = run_spmd(&cfg, workload).expect("workload must complete");
+    let full = run(true, 4);
+    assert_eq!(rep.events, full.events);
 }
 
 /// The recorded stream agrees with the engine's own counters: one Op
