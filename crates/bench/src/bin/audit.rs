@@ -1,0 +1,15 @@
+//! Causal trace audit: re-record the representative protocol runs
+//! (plain, reliable, faulted × k=47/k=7/binomial on the full chip),
+//! check them against the happens-before invariants, and prove the
+//! checkers non-vacuous with the seeded mutation matrix.
+//!
+//! Thin wrapper over the `audit` entry of the experiment registry
+//! (`scc_bench::experiments`); the `observatory` binary runs the same
+//! code with structured conformance output and, under `--audit`, also
+//! writes `BENCH_audit.json` and `results/AUDIT.md`.
+//!
+//! Run: `cargo run --release -p scc-bench --bin audit`
+
+fn main() {
+    scc_bench::run_standalone("audit");
+}

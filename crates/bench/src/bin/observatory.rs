@@ -41,6 +41,12 @@
 //!                              windows) and stamp the gate-ignored
 //!                              `soak` block into the report; gated
 //!                              exactly like --journeys
+//!     [--audit]                also write the causal-audit sidecars
+//!                              the `audit` experiment produces
+//!                              (BENCH_audit.json, results/AUDIT.md)
+//!                              and stamp the gate-ignored `audit`
+//!                              block into the report; gated exactly
+//!                              like --journeys
 //!     [--explain]              on gate failure, re-run the drifted
 //!                              experiments' scenarios with recording
 //!                              on and write a drift explanation
@@ -61,9 +67,9 @@ use scc_bench::{
 };
 use scc_obs::report::validate_json;
 use scc_obs::{
-    drift_gate, flamegraph_collapsed, parse_faults_artifact, parse_journeys_artifact,
-    parse_soak_artifact, ConformanceReport, DiffReport, DriftReport, FaultsMetrics,
-    JourneysMetrics, Json, PhaseProfile, RunHistograms, SoakMetrics,
+    drift_gate, flamegraph_collapsed, parse_audit_artifact, parse_faults_artifact,
+    parse_journeys_artifact, parse_soak_artifact, AuditMetrics, ConformanceReport, DiffReport,
+    DriftReport, FaultsMetrics, JourneysMetrics, Json, PhaseProfile, RunHistograms, SoakMetrics,
 };
 use scc_sim::SimParams;
 use std::fmt::Write as _;
@@ -82,6 +88,7 @@ struct Args {
     journeys: bool,
     faults: bool,
     soak: bool,
+    audit: bool,
     explain: bool,
     drift: String,
     flame_dir: String,
@@ -102,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         journeys: false,
         faults: false,
         soak: false,
+        audit: false,
         explain: false,
         drift: "results/DRIFT.md".to_string(),
         flame_dir: "results".to_string(),
@@ -123,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
             "--journeys" => args.journeys = true,
             "--faults" => args.faults = true,
             "--soak" => args.soak = true,
+            "--audit" => args.audit = true,
             "--explain" => args.explain = true,
             "--only" => {
                 args.only =
@@ -163,6 +172,12 @@ fn is_soak_artifact(rel: &str) -> bool {
         || rel == "results/SOAK.md"
         || rel == "results/soak_metrics.txt"
         || rel.starts_with("results/soak_dump_")
+}
+
+/// The sidecars only `--audit` runs write: the causal-audit artifact
+/// and its human digest (scenario table + mutation-detection matrix).
+fn is_audit_artifact(rel: &str) -> bool {
+    rel == "BENCH_audit.json" || rel == "results/AUDIT.md"
 }
 
 /// Write `content`, creating parent directories as needed.
@@ -217,6 +232,7 @@ fn main() -> ExitCode {
     let mut journeys_metrics: Option<JourneysMetrics> = None;
     let mut faults_metrics: Option<FaultsMetrics> = None;
     let mut soak_metrics: Option<SoakMetrics> = None;
+    let mut audit_metrics: Option<AuditMetrics> = None;
     for out in run.outputs {
         let exp_report = out.report;
         eprintln!(
@@ -310,6 +326,33 @@ fn main() -> ExitCode {
                     };
                 }
             }
+            if is_audit_artifact(rel) {
+                if !args.audit {
+                    continue;
+                }
+                if rel == "BENCH_audit.json" {
+                    audit_metrics = match Json::parse(contents)
+                        .map_err(|e| format!("unparseable {rel}: {e}"))
+                        .and_then(|doc| parse_audit_artifact(&doc))
+                    {
+                        Ok(scenarios) => Some(AuditMetrics {
+                            scenarios: scenarios.len() as u64,
+                            checks: scenarios.iter().map(|s| s.checks).sum(),
+                            violations: scenarios.iter().map(|s| s.violations).sum(),
+                            mutations: scenarios.iter().map(|s| s.mutations.len() as u64).sum(),
+                            mutations_caught: scenarios
+                                .iter()
+                                .flat_map(|s| s.mutations.iter())
+                                .filter(|m| m.detected && m.classified)
+                                .count() as u64,
+                        }),
+                        Err(e) => {
+                            eprintln!("observatory: BUG: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+            }
             let path = format!("{}/{rel}", args.artifact_dir);
             if let Err(e) = write_file(&path, contents) {
                 eprintln!("observatory: {e}");
@@ -333,6 +376,7 @@ fn main() -> ExitCode {
     report.journeys = journeys_metrics;
     report.faults = faults_metrics;
     report.soak = soak_metrics;
+    report.audit = audit_metrics;
 
     // Serialize, self-validate, and write the artifacts.
     let json = report.to_json().render();

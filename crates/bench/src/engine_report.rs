@@ -1,14 +1,15 @@
 //! The versioned `BENCH_engine.json` envelope behind the `engine_perf`
 //! binary. The assembly lives in the library (not the binary) so the
 //! test suite can validate the envelope with
-//! `scc_obs::validate_artifact_version` — the same gate every other
-//! sidecar artifact (`BENCH_obs.json`, `BENCH_whatif.json`,
-//! `BENCH_journeys.json`) passes through.
+//! `scc_obs::validate_artifact_version` — and the envelope itself comes
+//! from `scc_obs::artifact`, the same shared plumbing every other
+//! sidecar artifact (`BENCH_faults.json`, `BENCH_soak.json`,
+//! `BENCH_journeys.json`, `BENCH_audit.json`) is built on.
 
-use scc_obs::ARTIFACT_VERSION;
+use scc_obs::artifact::{count, envelope};
+use scc_obs::Json;
 use scc_sim::handoff::PoolStats;
 use scc_sim::SimStats;
-use std::fmt::Write as _;
 
 /// One timed engine workload.
 pub struct EngineSample {
@@ -24,25 +25,20 @@ impl EngineSample {
     }
 }
 
-fn json_sample(out: &mut String, s: &EngineSample, indent: &str) {
-    let _ = write!(
-        out,
-        "{indent}{{\"label\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
-         \"heap_pushes\": {}, \"coalesced_steps\": {}, \"handoffs\": {}, \"lines_moved\": {}}}",
-        s.label,
-        s.wall_s,
-        s.stats.events,
-        s.events_per_sec(),
-        s.stats.heap_pushes,
-        s.stats.coalesced_steps,
-        s.stats.handoffs,
-        s.stats.lines_moved,
-    );
+fn json_sample(s: &EngineSample) -> Json {
+    Json::obj()
+        .set("label", Json::Str(s.label.clone()))
+        .set("wall_s", Json::Num(s.wall_s))
+        .set("events", count(s.stats.events))
+        .set("events_per_sec", Json::Num(s.events_per_sec().round()))
+        .set("heap_pushes", count(s.stats.heap_pushes))
+        .set("coalesced_steps", count(s.stats.coalesced_steps))
+        .set("handoffs", count(s.stats.handoffs))
+        .set("lines_moved", count(s.stats.lines_moved))
 }
 
-/// Render the `BENCH_engine.json` document: the `"version"` stamp
-/// (checked by [`scc_obs::validate_artifact_version`]), the run
-/// configuration, every sample, and the pool totals.
+/// Render the `BENCH_engine.json` document: the shared versioned
+/// envelope, the run configuration, every sample, and the pool totals.
 pub fn engine_artifact(
     quick: bool,
     reps: u32,
@@ -51,39 +47,36 @@ pub fn engine_artifact(
 ) -> String {
     let total_wall: f64 = samples.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = samples.iter().map(|s| s.stats.events).sum();
-    let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"engine_perf\",\n");
-    let _ = writeln!(out, "  \"version\": {ARTIFACT_VERSION},");
-    let _ = writeln!(out, "  \"quick\": {quick},");
-    let _ = writeln!(out, "  \"reps\": {reps},");
-    out.push_str("  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json_sample(&mut out, s, "    ");
-        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
-         \"workers_spawned\": {}, \"workers_reused\": {}, \"workers_retired\": {}, \
-         \"peak_pooled\": {}, \"pool_cap\": {}}}",
-        total_wall,
-        total_events,
-        if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 },
-        pool.spawned,
-        pool.reused,
-        pool.retired,
-        pool.peak_pooled,
-        pool.cap
-    );
-    out.push_str("}\n");
-    out
+    let totals = Json::obj()
+        .set("wall_s", Json::Num(total_wall))
+        .set("events", count(total_events))
+        .set(
+            "events_per_sec",
+            Json::Num(if total_wall > 0.0 {
+                (total_events as f64 / total_wall).round()
+            } else {
+                0.0
+            }),
+        )
+        .set("workers_spawned", count(pool.spawned))
+        .set("workers_reused", count(pool.reused))
+        .set("workers_retired", count(pool.retired))
+        .set("peak_pooled", count(pool.peak_pooled))
+        .set("pool_cap", count(pool.cap));
+    let mut doc = envelope("engine_perf")
+        .set("quick", Json::Bool(quick))
+        .set("reps", Json::Int(i64::from(reps)))
+        .set("samples", Json::Arr(samples.iter().map(json_sample).collect()))
+        .set("totals", totals)
+        .render();
+    doc.push('\n');
+    doc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scc_obs::{validate_artifact_version, Json};
+    use scc_obs::validate_artifact_version;
 
     fn sample_doc() -> String {
         let samples = vec![EngineSample {

@@ -1,0 +1,248 @@
+//! Causal trace audit: every representative protocol run — the
+//! contention spectrum {flat k=47, the paper's default k=7, binomial}
+//! crossed with {plain, reliable-healthy, reliable-faulted} — is
+//! recorded on the full 48-core chip and re-checked against the
+//! happens-before invariants of [`scc_obs::audit`]: span nesting,
+//! park/wake pairing with no lost wakeups, per-flag-line protocol
+//! state machines, delivery-window containment with the last close on
+//! the makespan, graph acyclicity, and commit/fault accounting. A
+//! healthy run must audit to *zero* violations; that is pinned both as
+//! shape checks and as zero-tolerance rows.
+//!
+//! Because "zero violations" is trivially satisfied by a checker that
+//! checks nothing, the faulted streams are additionally corrupted by
+//! the seeded mutation harness — one deterministic mutation per
+//! [`MutationClass`] — and the auditor must detect each mutant *and*
+//! name the expected violation class.
+//!
+//! The finalize step derives `BENCH_audit.json` and the human digest
+//! `results/AUDIT.md`. The observatory only writes those sidecars
+//! under `--audit`; the rows and shape checks join
+//! `BENCH_figures.json` unconditionally. Recording and mutation seeds
+//! are deterministic, so every artifact is byte-identical at any
+//! `--jobs` count.
+
+use super::{outln, Sweep};
+use crate::{record_reliable_run, record_run, Scenario};
+use oc_bcast::{Algorithm, Reliability};
+use scc_hal::Time;
+use scc_obs::{
+    audit, audit_artifact, mutate, render_audit_markdown, AuditScenario, AuditSpec, MutationClass,
+    MutationTrial,
+};
+use scc_sim::{FaultPlan, SimParams};
+
+/// The paper's full chip; the auditor earns its keep at scale.
+const CORES: usize = 48;
+
+/// Base seed of the mutation harness; each trial folds in the
+/// scenario and class indices so no two trials share a site draw.
+const MUTATION_SEED: u64 = 0xC0FFEE;
+
+/// How a scenario exercises the protocol stack.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// The plain collective, no reliability layer, no faults.
+    Plain,
+    /// The reliable collective on a healthy chip (timers armed, no
+    /// recovery traffic expected).
+    Reliable,
+    /// The reliable collective under the deterministic fault plan —
+    /// the only mode whose streams carry `Fault` events, so the only
+    /// one the full five-class mutation matrix applies to.
+    Faulted,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Plain => "plain",
+            Mode::Reliable => "reliable",
+            Mode::Faulted => "faulted",
+        }
+    }
+
+    fn spec(self) -> AuditSpec {
+        match self {
+            Mode::Plain => AuditSpec::plain(),
+            Mode::Reliable => AuditSpec::reliable(),
+            Mode::Faulted => AuditSpec::faulted(),
+        }
+    }
+}
+
+/// Same timeout rationale as the `faults` experiment: above the
+/// longest legitimate fault-free wait, so recovery traffic in the
+/// stream is always fault-caused.
+fn policy() -> Reliability {
+    Reliability { timeout: Time::from_us_f64(600.0), ..Reliability::standard() }
+}
+
+/// The `faults` experiment's 50 000 ppm operating point: high enough
+/// that every protocol actually loses notifications at both message
+/// sizes, so every recovery path — and the mutation harness's
+/// `DeleteFault` site pool — is exercised even in `--quick` runs.
+fn faulty_plan() -> FaultPlan {
+    FaultPlan {
+        drop_notification_ppm: 50_000,
+        delay_ppm: 25_000,
+        delay: Time::from_us_f64(5.0),
+        ..FaultPlan::default()
+    }
+}
+
+fn msg_lines(quick: bool) -> usize {
+    if quick {
+        32
+    } else {
+        96
+    }
+}
+
+/// `(stable id, protocol, mode)` for all nine audited scenarios.
+fn scenarios(quick: bool) -> Vec<(String, Scenario, Mode)> {
+    let lines = msg_lines(quick);
+    let protos = [
+        ("oc_k47", Algorithm::oc_with_k(47)),
+        ("oc_k7", Algorithm::oc_with_k(7)),
+        ("binomial", Algorithm::Binomial),
+    ];
+    let mut out = Vec::new();
+    for (pid, alg) in protos {
+        for mode in [Mode::Plain, Mode::Reliable, Mode::Faulted] {
+            out.push((format!("{pid}_{}", mode.name()), Scenario::new(alg, CORES, lines), mode));
+        }
+    }
+    out
+}
+
+/// Record one scenario, audit it, and (for faulted streams) run the
+/// five-class mutation matrix against the same events.
+fn run_point(id: &str, sc: &Scenario, mode: Mode, scenario_index: u64) -> AuditScenario {
+    let (events, makespan) = match mode {
+        Mode::Plain => record_run(sc, SimParams::default()),
+        Mode::Reliable => {
+            record_reliable_run(sc, SimParams::default(), FaultPlan::default(), policy())
+        }
+        Mode::Faulted => record_reliable_run(sc, SimParams::default(), faulty_plan(), policy()),
+    }
+    .expect("recorded broadcast");
+    let spec = mode.spec().with_makespan(makespan);
+    let rep = audit(&events, &spec);
+
+    let mut mutations = Vec::new();
+    if mode == Mode::Faulted {
+        for (ci, class) in MutationClass::ALL.into_iter().enumerate() {
+            let seed = MUTATION_SEED ^ (scenario_index << 8) ^ ci as u64;
+            let mut corrupted = events.clone();
+            // `mutate` returning None means the stream had no eligible
+            // site — recorded as an undetected trial so the shape
+            // check names the hole instead of silently shrinking the
+            // matrix.
+            let (detected, classified) = match mutate(&mut corrupted, class, seed) {
+                Some(_) => {
+                    let mrep = audit(&corrupted, &spec);
+                    (!mrep.ok(), mrep.classes().contains(&class.expected()))
+                }
+                None => (false, false),
+            };
+            mutations.push(MutationTrial {
+                mutation: class.name().to_string(),
+                seed,
+                detected,
+                classified,
+            });
+        }
+    }
+
+    AuditScenario {
+        id: id.to_string(),
+        label: format!("{} {}", sc.label, mode.name()),
+        cores: CORES as u64,
+        events: rep.events,
+        edges: rep.edges,
+        checks: rep.checked(),
+        violations: rep.violations.len() as u64,
+        classes: rep.classes().iter().map(|c| c.name().to_string()).collect(),
+        mutations,
+    }
+}
+
+pub(super) fn plan(sweep: &mut Sweep) {
+    for (si, (id, sc, mode)) in scenarios(sweep.quick).into_iter().enumerate() {
+        // Faulted units record, audit, and then re-audit five mutants
+        // of the same stream — weight them accordingly.
+        let cost = sc.lines as u64 * if mode == Mode::Faulted { 6 } else { 1 };
+        sweep.value_unit_w(format!("audit {id}"), cost, move |_| {
+            run_point(&id, &sc, mode, si as u64)
+        });
+    }
+
+    sweep.finalize(move |ctx, mut values| {
+        let scs = scenarios(ctx.quick);
+        outln!(
+            ctx,
+            "# causal trace audit, {CORES}-core recorded broadcasts ({} cache lines)",
+            msg_lines(ctx.quick)
+        );
+        outln!(ctx, "# healthy streams must show 0 violations; mutants must be caught");
+        let mut audited: Vec<AuditScenario> = Vec::new();
+        for (id, _, mode) in &scs {
+            let s = values.next_as::<AuditScenario>();
+            outln!(
+                ctx,
+                "{id:<18} {:>6} events {:>6} edges {:>7} checks  {} violation(s){}",
+                s.events,
+                s.edges,
+                s.checks,
+                s.violations,
+                if s.mutations.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "  mutants {}/{} caught",
+                        s.mutations.iter().filter(|m| m.detected && m.classified).count(),
+                        s.mutations.len()
+                    )
+                },
+            );
+            ctx.row(format!("{id} violations"), None, None, s.violations as f64, 0.0, "count");
+            ctx.shape(
+                &format!("{id}: recorded stream audits to zero violations"),
+                s.violations == 0,
+                format!("{} checks over {} events: {}", s.checks, s.events, s.classes.join(", ")),
+            );
+            // A zero-violation verdict from a checker that examined
+            // nothing proves nothing — pin non-vacuity per stream.
+            ctx.shape(
+                &format!("{id}: the audit examined the stream (non-vacuous)"),
+                s.checks > 100 && s.edges > 0,
+                format!("{} checks, {} edges", s.checks, s.edges),
+            );
+            if *mode == Mode::Faulted {
+                ctx.shape(
+                    &format!("{id}: every mutation class is detected and classified"),
+                    s.mutations.len() == MutationClass::ALL.len() && s.mutations_all_caught(),
+                    s.mutations
+                        .iter()
+                        .map(|m| {
+                            format!(
+                                "{}:{}",
+                                m.mutation,
+                                match (m.detected, m.classified) {
+                                    (true, true) => "caught",
+                                    (true, false) => "misclassified",
+                                    _ => "MISSED",
+                                }
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
+            }
+            audited.push(s);
+        }
+        ctx.artifact("BENCH_audit.json", audit_artifact(&audited).render());
+        ctx.artifact("results/AUDIT.md", render_audit_markdown(&audited));
+    });
+}

@@ -26,6 +26,7 @@ use scc_obs::{ExperimentReport, ExperimentRow, SelfMetrics, ShapeCheck};
 use std::any::Any;
 
 mod ablation;
+mod audit;
 mod faults;
 mod fig3;
 mod fig4;
@@ -319,6 +320,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "soak",
             title: "Soak — sustained reliable traffic under SLO watchdogs",
             plan: soak::plan,
+        },
+        Experiment {
+            id: "audit",
+            title: "Causal trace audit — happens-before conformance of recorded runs",
+            plan: audit::plan,
         },
     ]
 }

@@ -22,9 +22,9 @@ use super::{outln, Sweep};
 use oc_bcast::{OcBcast, OcConfig, RelStats, Reliability, ReliableBinomial};
 use scc_hal::{CoreId, MemRange, Rma, RmaExt, RmaResult, Time};
 use scc_obs::{
-    chrome_trace_json, journeys_artifact, render_skew_markdown, render_soak_markdown,
-    render_soak_openmetrics, soak_artifact, EpochRollup, JourneyBook, LatencyHistogram, ObsEvent,
-    QuantileSketch, RecoveryCounters, SkewReport, SloPolicy, SoakPhase, SoakScenario,
+    audit, chrome_trace_json, journeys_artifact, render_skew_markdown, render_soak_markdown,
+    render_soak_openmetrics, soak_artifact, AuditSpec, EpochRollup, JourneyBook, LatencyHistogram,
+    ObsEvent, QuantileSketch, RecoveryCounters, SkewReport, SloPolicy, SoakPhase, SoakScenario,
 };
 use scc_rcce::MpbAllocator;
 use scc_sim::{run_spmd, FaultPlan, SimConfig};
@@ -300,6 +300,9 @@ pub(super) fn plan(sweep: &mut Sweep) {
         outln!(ctx, "# SLO per epoch: p99 <= 300 us, makespan <= 450 us, zero recoveries");
         let mut report: Vec<SoakScenario> = Vec::new();
         let mut all_verified = true;
+        // `(dump stem, invariant instances checked, violations)` for
+        // every flight window dumped below.
+        let mut dump_audits: Vec<(String, u64, u64)> = Vec::new();
         for sc in scenarios(ctx.quick) {
             let mut scenario = SoakScenario {
                 id: sc.id.to_string(),
@@ -354,6 +357,16 @@ pub(super) fn plan(sweep: &mut Sweep) {
                             let first = chunk.rollups[0].epoch;
                             let last = chunk.rollups[n - 1].epoch;
                             let stem = format!("results/soak_dump_{}_e{first:05}-{last:05}", sc.id);
+                            // Audit the retained window before dumping
+                            // it: a breach explains *slow*, never
+                            // *wrong* — window mode tolerates the
+                            // ring's truncated prefix.
+                            let arep = audit(window, &AuditSpec::faulted().windowed());
+                            dump_audits.push((
+                                stem.clone(),
+                                arep.checked(),
+                                arep.violations.len() as u64,
+                            ));
                             ctx.artifact(format!("{stem}_trace.json"), chrome_trace_json(window));
                             let book = JourneyBook::from_events(window);
                             ctx.artifact(
@@ -460,6 +473,16 @@ pub(super) fn plan(sweep: &mut Sweep) {
             "every destination of every epoch verifies its payload",
             all_verified,
             format!("{} scenarios x {} destinations", report.len(), CORES - 1),
+        );
+        ctx.shape(
+            "every forensic dump window audits causally clean",
+            !dump_audits.is_empty()
+                && dump_audits.iter().all(|(_, checked, viol)| *viol == 0 && *checked > 0),
+            dump_audits
+                .iter()
+                .map(|(stem, checked, viol)| format!("{stem}: {checked} checks, {viol} violations"))
+                .collect::<Vec<_>>()
+                .join("; "),
         );
         let total: u64 = report.iter().map(SoakScenario::epochs).sum();
         outln!(ctx, "# {total} epochs total; dumps only from fault-phase windows");

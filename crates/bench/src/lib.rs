@@ -28,11 +28,11 @@
 //! returns, measured with globally comparable clocks after aligning
 //! the cores on a barrier.
 
-use oc_bcast::{Algorithm, Broadcaster};
+use oc_bcast::{Algorithm, Broadcaster, OcBcast, Reliability, ReliableBinomial};
 use scc_hal::{CoreId, MemRange, Rma, RmaResult, Time};
 use scc_obs::{CostClass, ObsEvent, WhatIfPoint, WhatIfProfile};
 use scc_rcce::{Barrier, MpbAllocator};
-use scc_sim::{run_spmd, SimConfig, SimError, SimParams};
+use scc_sim::{run_spmd, FaultPlan, SimConfig, SimError, SimParams};
 
 pub mod engine_report;
 pub mod experiments;
@@ -190,6 +190,46 @@ pub fn record_run(sc: &Scenario, params: SimParams) -> Result<(Vec<ObsEvent>, Ti
             c.mem_write(0, &payload)?;
         }
         b.bcast(c, CoreId(0), MemRange::new(0, bytes))
+    })?;
+    for r in &rep.results {
+        r.as_ref().map_err(|e| SimError::Engine(format!("core failed: {e}")))?;
+    }
+    Ok((rep.events.expect("recording was enabled"), rep.makespan))
+}
+
+/// Run one recorded *reliable* broadcast of `sc` under `policy` and an
+/// optional fault plan, returning the full event stream plus the
+/// makespan — the raw material of the causal audit's reliable and
+/// faulted scenarios. Only OC-Bcast and binomial have reliable
+/// variants. Deliberately no barrier before the broadcast: the plain
+/// barrier signals through exactly the remote flag puts the fault plan
+/// drops, so it would deadlock before the reliable protocol starts.
+pub fn record_reliable_run(
+    sc: &Scenario,
+    params: SimParams,
+    faults: FaultPlan,
+    policy: Reliability,
+) -> Result<(Vec<ObsEvent>, Time), SimError> {
+    let (alg, bytes) = (sc.alg, sc.lines * 32);
+    let cfg = SimConfig { faults, ..sc.config(params, true) };
+    let rep = run_spmd(&cfg, move |c| -> RmaResult<()> {
+        let mut alloc = MpbAllocator::new();
+        let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+        let r = MemRange::new(0, bytes);
+        if c.core() == CoreId(0) {
+            c.mem_write(0, &payload)?;
+        }
+        match alg {
+            Algorithm::OcBcast(oc) => {
+                let mut b = OcBcast::new_reliable(&mut alloc, oc, policy).expect("MPB layout fits");
+                b.bcast_reliable(c, CoreId(0), r)
+            }
+            _ => {
+                let mut b = ReliableBinomial::new(&mut alloc, c.num_cores(), policy)
+                    .expect("MPB layout fits");
+                b.bcast(c, CoreId(0), r)
+            }
+        }
     })?;
     for r in &rep.results {
         r.as_ref().map_err(|e| SimError::Engine(format!("core failed: {e}")))?;

@@ -1,0 +1,308 @@
+//! Causal-audit results: the structured record behind
+//! `BENCH_audit.json` and `results/AUDIT.md`.
+//!
+//! One [`AuditScenario`] per recorded protocol run the observatory
+//! re-audited under `--audit`: the happens-before graph size, how many
+//! invariant instances each checker examined, every violation found
+//! (zero on a healthy run), and the seeded mutation trials that prove
+//! the checkers are not vacuous — each trial names the mutation class
+//! applied, whether the auditor detected *anything*, and whether the
+//! expected violation class was among what it reported. Counts and
+//! names only — no floats, no timestamps — so the artifact is
+//! byte-identical across hosts and `--jobs` settings.
+
+use crate::artifact::{count, req_bool, req_u64, scenario_envelope};
+use crate::report::Json;
+use std::fmt::Write as _;
+
+/// One seeded mutation trial of the non-vacuity harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MutationTrial {
+    /// [`crate::MutationClass::name`] of the mutation applied.
+    pub mutation: String,
+    /// Seed the mutation site was drawn with.
+    pub seed: u64,
+    /// The auditor reported at least one violation on the mutant.
+    pub detected: bool,
+    /// The expected [`crate::ViolationClass`] was among those reported.
+    pub classified: bool,
+}
+
+/// One recorded scenario's audit outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditScenario {
+    /// Stable id, e.g. `"oc_k7_faulted"` — names the row keys and CI
+    /// diffs.
+    pub id: String,
+    /// Human label, e.g. `"k=7 48c 96cl reliable+faults"`.
+    pub label: String,
+    pub cores: u64,
+    /// Recorded events audited.
+    pub events: u64,
+    /// Happens-before edges the causal graph carries.
+    pub edges: u64,
+    /// Invariant instances examined, summed over every checker.
+    pub checks: u64,
+    /// Violations found (must be 0 — the shape checks pin this).
+    pub violations: u64,
+    /// Distinct [`crate::ViolationClass::name`]s found (empty when
+    /// healthy; kept so a CI failure names the class in the diff).
+    pub classes: Vec<String>,
+    /// The mutation trials run against this scenario's stream.
+    pub mutations: Vec<MutationTrial>,
+}
+
+impl AuditScenario {
+    /// Every mutation trial was detected *and* correctly classified.
+    pub fn mutations_all_caught(&self) -> bool {
+        self.mutations.iter().all(|m| m.detected && m.classified)
+    }
+}
+
+/// The versioned `BENCH_audit.json` envelope, validated by
+/// [`crate::validate_artifact_version`].
+pub fn audit_artifact(scenarios: &[AuditScenario]) -> Json {
+    let arr = scenarios
+        .iter()
+        .map(|s| {
+            let muts = s
+                .mutations
+                .iter()
+                .map(|m| {
+                    Json::obj()
+                        .set("mutation", Json::Str(m.mutation.clone()))
+                        // Seeds span the full u64 range; a JSON int
+                        // (i64) would go negative past 2^63, so the
+                        // envelope carries them as hex strings.
+                        .set("seed", Json::Str(format!("{:#x}", m.seed)))
+                        .set("detected", Json::Bool(m.detected))
+                        .set("classified", Json::Bool(m.classified))
+                })
+                .collect();
+            Json::obj()
+                .set("id", Json::Str(s.id.clone()))
+                .set("label", Json::Str(s.label.clone()))
+                .set("cores", count(s.cores))
+                .set("events", count(s.events))
+                .set("edges", count(s.edges))
+                .set("checks", count(s.checks))
+                .set("violations", count(s.violations))
+                .set("classes", Json::Arr(s.classes.iter().map(|c| Json::Str(c.clone())).collect()))
+                .set("mutations", Json::Arr(muts))
+        })
+        .collect();
+    scenario_envelope("audit", arr)
+}
+
+/// Strict inverse of [`audit_artifact`] (checks the version first).
+pub fn parse_audit_artifact(doc: &Json) -> Result<Vec<AuditScenario>, String> {
+    crate::artifact::open_scenarios(doc)?
+        .iter()
+        .map(|v| {
+            let id = v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "scenario missing string 'id'".to_string())?
+                .to_string();
+            let label = v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("scenario '{id}' missing string 'label'"))?
+                .to_string();
+            let classes = v
+                .get("classes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("scenario '{id}' missing 'classes' array"))?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("scenario '{id}': non-string class"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let mutations = v
+                .get("mutations")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("scenario '{id}' missing 'mutations' array"))?
+                .iter()
+                .map(|m| {
+                    Ok(MutationTrial {
+                        mutation: m
+                            .get("mutation")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| format!("scenario '{id}': trial missing 'mutation'"))?
+                            .to_string(),
+                        seed: {
+                            let s = m.get("seed").and_then(Json::as_str).ok_or_else(|| {
+                                format!("scenario '{id}': trial missing hex string 'seed'")
+                            })?;
+                            u64::from_str_radix(s.trim_start_matches("0x"), 16).map_err(|e| {
+                                format!("scenario '{id}': bad trial seed '{s}': {e}")
+                            })?
+                        },
+                        detected: req_bool(m, "detected")?,
+                        classified: req_bool(m, "classified")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(AuditScenario {
+                id,
+                label,
+                cores: req_u64(v, "cores")?,
+                events: req_u64(v, "events")?,
+                edges: req_u64(v, "edges")?,
+                checks: req_u64(v, "checks")?,
+                violations: req_u64(v, "violations")?,
+                classes,
+                mutations,
+            })
+        })
+        .collect()
+}
+
+/// The human digest (`results/AUDIT.md`): one row per audited
+/// scenario, then the mutation-detection matrix.
+pub fn render_audit_markdown(scenarios: &[AuditScenario]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Causal trace audit\n");
+    let _ = writeln!(
+        out,
+        "Every recorded protocol run re-checked against the \
+         happens-before invariants (span nesting, park/wake pairing, \
+         per-flag-line protocol state machines, delivery windows, \
+         acyclicity, commit/fault accounting). `checks` counts the \
+         invariant instances examined; a healthy run has zero \
+         violations. The mutation matrix seeds one corruption of each \
+         class into the same streams and requires the auditor to catch \
+         it *and* name the right violation class — proof the checks \
+         are not vacuous."
+    );
+    let _ = writeln!(out, "\n## Audited scenarios\n");
+    let _ = writeln!(out, "| scenario | cores | events | edges | checks | violations | classes |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---|");
+    for s in scenarios {
+        let _ = writeln!(
+            out,
+            "| `{}` ({}) | {} | {} | {} | {} | {} | {} |",
+            s.id,
+            s.label,
+            s.cores,
+            s.events,
+            s.edges,
+            s.checks,
+            s.violations,
+            if s.classes.is_empty() { "—".to_string() } else { s.classes.join(", ") },
+        );
+    }
+    let with_muts: Vec<&AuditScenario> =
+        scenarios.iter().filter(|s| !s.mutations.is_empty()).collect();
+    if !with_muts.is_empty() {
+        let _ = writeln!(out, "\n## Mutation-detection matrix\n");
+        let _ = writeln!(out, "| scenario | mutation | seed | detected | classified |");
+        let _ = writeln!(out, "|---|---|---:|---|---|");
+        for s in with_muts {
+            for m in &s.mutations {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | {:#x} | {} | {} |",
+                    s.id,
+                    m.mutation,
+                    m.seed,
+                    if m.detected { "yes" } else { "**MISSED**" },
+                    if m.classified { "yes" } else { "**WRONG CLASS**" },
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::ARTIFACT_VERSION;
+    use crate::report::validate_json;
+
+    fn sample() -> Vec<AuditScenario> {
+        vec![
+            AuditScenario {
+                id: "oc_k7_plain".into(),
+                label: "k=7 48c 96cl".into(),
+                cores: 48,
+                events: 19_752,
+                edges: 19_749,
+                checks: 41_338,
+                violations: 0,
+                classes: vec![],
+                mutations: vec![
+                    MutationTrial {
+                        mutation: "drop-wake".into(),
+                        seed: 7,
+                        detected: true,
+                        classified: true,
+                    },
+                    MutationTrial {
+                        mutation: "retag-epoch".into(),
+                        seed: 8,
+                        detected: true,
+                        classified: false,
+                    },
+                ],
+            },
+            AuditScenario {
+                id: "binomial_faulted".into(),
+                label: "binomial 48c 96cl reliable+faults".into(),
+                cores: 48,
+                events: 30_001,
+                edges: 29_980,
+                checks: 60_002,
+                violations: 2,
+                classes: vec!["lost-wakeup".into()],
+                mutations: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn artifact_round_trips_losslessly() {
+        let scenarios = sample();
+        let text = audit_artifact(&scenarios).render();
+        validate_json(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(parse_audit_artifact(&doc).unwrap(), scenarios);
+    }
+
+    #[test]
+    fn parse_rejects_bad_version_and_junk() {
+        let doc = Json::obj().set("version", Json::Int(ARTIFACT_VERSION + 1));
+        assert!(parse_audit_artifact(&doc).unwrap_err().contains("!= supported"));
+        let doc = Json::obj().set("version", Json::Int(ARTIFACT_VERSION));
+        assert!(parse_audit_artifact(&doc).unwrap_err().contains("scenarios"));
+        // Negative counts are parse errors, never silent wraps.
+        let mut good = audit_artifact(&sample()).render();
+        good = good.replace("\"violations\":2", "\"violations\":-2");
+        let doc = Json::parse(&good).unwrap();
+        let err = parse_audit_artifact(&doc).unwrap_err();
+        assert!(err.contains("violations") && err.contains("-2"), "{err}");
+    }
+
+    #[test]
+    fn mutations_all_caught_requires_detection_and_class() {
+        let s = sample();
+        // The second trial was detected but misclassified.
+        assert!(!s[0].mutations_all_caught());
+        assert!(s[1].mutations_all_caught(), "vacuously true with no trials");
+    }
+
+    #[test]
+    fn markdown_digest_lists_scenarios_and_matrix() {
+        let md = render_audit_markdown(&sample());
+        assert!(md.contains("# Causal trace audit"));
+        assert!(md.contains("| `oc_k7_plain` (k=7 48c 96cl) | 48 | 19752 |"));
+        assert!(md.contains("| `binomial_faulted`"), "{md}");
+        assert!(md.contains("lost-wakeup"));
+        assert!(md.contains("## Mutation-detection matrix"));
+        assert!(md.contains("| `oc_k7_plain` | drop-wake | 0x7 | yes | yes |"));
+        assert!(md.contains("**WRONG CLASS**"));
+    }
+}

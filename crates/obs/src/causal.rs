@@ -1,0 +1,373 @@
+//! Happens-before graphs over recorded event streams.
+//!
+//! The paper's OC-Bcast correctness argument is a causal chain: a
+//! parent's MPB commit happens-before the child's flag wake, which
+//! happens-before the child's payload get and its own notifications.
+//! This module makes that chain explicit: [`CausalGraph::build`] turns
+//! one [`ObsEvent`] stream into a DAG whose nodes are the events and
+//! whose edges are the four happens-before sources the simulator
+//! guarantees —
+//!
+//! * **program order** per core (every event attributed to a core, in
+//!   stream order — except [`ObsEvent::Wait`] bookings, which are
+//!   recorded at submission but describe *future* resource service,
+//!   and [`ObsEvent::Handoff`] marks, which are scheduler artifacts
+//!   concurrent with whatever the yielding core still has in flight);
+//! * **wake causality**: the committing [`ObsEvent::MpbWrite`] (or,
+//!   for streams predating the commit events, the writer's latest
+//!   event) happens-before the [`ObsEvent::Wake`] it caused;
+//! * **baton handoffs**: [`ObsEvent::Handoff`] happens-before the
+//!   receiving core's next program event (the receiver resumes at the
+//!   handoff instant, so everything it records next is at or after
+//!   it);
+//! * **service order** per contended resource: bookings chained by
+//!   service start (the calendar may serve a late arrival in an early
+//!   gap, so this is *service* order, not arrival order);
+//!
+//! plus delivery-window open→close edges. The audit layer
+//! ([`crate::audit`]) runs its invariant checkers over this graph; the
+//! graph itself offers the two structural checks every stream must
+//! pass regardless of protocol: acyclicity and edge time-consistency.
+
+use crate::event::ObsEvent;
+use scc_hal::{CoreId, Time};
+use std::collections::HashMap;
+
+/// Which happens-before source produced an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Per-core program order.
+    Program,
+    /// Commit → wake causality (writer's write to the woken core).
+    Wake,
+    /// Baton handoff → receiver's next event.
+    Handoff,
+    /// Per-resource service order (chained by service start).
+    Service,
+    /// Delivery-window open → close.
+    Window,
+}
+
+impl EdgeKind {
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EdgeKind::Program => "program",
+            EdgeKind::Wake => "wake",
+            EdgeKind::Handoff => "handoff",
+            EdgeKind::Service => "service",
+            EdgeKind::Window => "window",
+        }
+    }
+}
+
+/// One happens-before edge between two event indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    pub from: usize,
+    pub to: usize,
+    pub kind: EdgeKind,
+}
+
+/// The core whose program order an event belongs to.
+///
+/// `MpbWrite` belongs to its *writer* (the commit is the tail end of
+/// the writer's op); `Handoff` to the core handing the baton away (the
+/// receiving side gets a [`EdgeKind::Handoff`] edge instead).
+pub fn actor(ev: &ObsEvent) -> CoreId {
+    match *ev {
+        ObsEvent::Op { core, .. }
+        | ObsEvent::Wait { core, .. }
+        | ObsEvent::Park { core, .. }
+        | ObsEvent::Wake { core, .. }
+        | ObsEvent::Compute { core, .. }
+        | ObsEvent::SpanBegin { core, .. }
+        | ObsEvent::SpanEnd { core, .. }
+        | ObsEvent::DeliveryBegin { core, .. }
+        | ObsEvent::DeliveryEnd { core, .. }
+        | ObsEvent::FlagSample { core, .. }
+        | ObsEvent::Finish { core, .. }
+        | ObsEvent::Fault { core, .. } => core,
+        ObsEvent::MpbWrite { writer, .. } => writer,
+        ObsEvent::Handoff { from, .. } => from,
+    }
+}
+
+/// A happens-before DAG over one recorded stream. Nodes are indices
+/// into the borrowed event slice.
+#[derive(Debug)]
+pub struct CausalGraph<'a> {
+    pub events: &'a [ObsEvent],
+    pub edges: Vec<Edge>,
+}
+
+impl<'a> CausalGraph<'a> {
+    /// Construct the graph from a recorded stream (full run or
+    /// flight-recorder window — a truncated prefix only loses edges
+    /// into the pre-window past, never gains spurious ones).
+    pub fn build(events: &'a [ObsEvent]) -> CausalGraph<'a> {
+        let mut edges = Vec::with_capacity(events.len() * 2);
+        // Last event index per core's program order.
+        let mut prev: HashMap<u8, usize> = HashMap::new();
+        // Handoff waiting for the receiver's next event.
+        let mut pending_handoff: HashMap<u8, usize> = HashMap::new();
+        // Latest MpbWrite index per writer (wake provenance).
+        let mut last_commit: HashMap<u8, usize> = HashMap::new();
+        // Per-resource bookings: (service start, index).
+        let mut service: HashMap<crate::event::ResourceId, Vec<(Time, usize)>> = HashMap::new();
+        // Open delivery windows.
+        let mut open_window: HashMap<(u8, u32), usize> = HashMap::new();
+
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                // Bookings describe future service (the calendar may
+                // even serve a late arrival in an early gap), and
+                // handoffs are concurrent with the yielding core's
+                // in-flight work — neither joins a program chain.
+                ObsEvent::Wait { resource, start, .. } => {
+                    service.entry(resource).or_default().push((start, i));
+                    continue;
+                }
+                ObsEvent::Handoff { to, .. } => {
+                    pending_handoff.insert(to.0, i);
+                    continue;
+                }
+                _ => {}
+            }
+            let a = actor(ev);
+            if let Some(&p) = prev.get(&a.0) {
+                edges.push(Edge { from: p, to: i, kind: EdgeKind::Program });
+            }
+            prev.insert(a.0, i);
+            if let Some(h) = pending_handoff.remove(&a.0) {
+                edges.push(Edge { from: h, to: i, kind: EdgeKind::Handoff });
+            }
+            match *ev {
+                ObsEvent::MpbWrite { writer, .. } => {
+                    last_commit.insert(writer.0, i);
+                }
+                ObsEvent::Wake { core, line, at, writer } if writer != core => {
+                    // Prefer the committing write; fall back to the
+                    // writer's latest event so truncated or legacy
+                    // streams still get a causal edge when one
+                    // exists (never a later-instant one, which
+                    // would fabricate a time violation).
+                    let commit = last_commit.get(&writer.0).copied().filter(|&c| {
+                        matches!(events[c], ObsEvent::MpbWrite { owner, line: l, lines, at: w_at, .. }
+                            if w_at == at && owner == core && (l..l + lines).contains(&line))
+                    });
+                    let fallback =
+                        || prev.get(&writer.0).copied().filter(|&p| events[p].at() <= at);
+                    if let Some(src) = commit.or_else(fallback) {
+                        if src != i {
+                            edges.push(Edge { from: src, to: i, kind: EdgeKind::Wake });
+                        }
+                    }
+                }
+                ObsEvent::DeliveryBegin { core, epoch, .. } => {
+                    open_window.insert((core.0, epoch), i);
+                }
+                ObsEvent::DeliveryEnd { core, epoch, .. } => {
+                    if let Some(b) = open_window.remove(&(core.0, epoch)) {
+                        edges.push(Edge { from: b, to: i, kind: EdgeKind::Window });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Service order per resource: bookings chained by service start
+        // (ties broken by stream index, which is deterministic).
+        let mut resources: Vec<_> = service.into_iter().collect();
+        resources.sort_by_key(|(r, _)| *r);
+        for (_, mut bookings) in resources {
+            bookings.sort_by_key(|&(start, i)| (start, i));
+            for w in bookings.windows(2) {
+                edges.push(Edge { from: w[0].1, to: w[1].1, kind: EdgeKind::Service });
+            }
+        }
+
+        CausalGraph { events, edges }
+    }
+
+    /// Kahn's algorithm. `Ok(())` when every node topologically sorts;
+    /// otherwise the indices of events stuck on a cycle.
+    pub fn acyclic(&self) -> Result<(), Vec<usize>> {
+        let n = self.events.len();
+        let mut indegree = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+            indegree[e.to] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            Err((0..n).filter(|&i| indegree[i] > 0).collect())
+        }
+    }
+
+    /// Edges that run backwards in virtual time. For
+    /// [`EdgeKind::Service`] the constraint is disjointness — the
+    /// predecessor's service must *end* before the successor's starts;
+    /// every other kind orders the events' own instants.
+    pub fn time_violations(&self) -> Vec<Edge> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| {
+                let (from_t, to_t) = match e.kind {
+                    EdgeKind::Service => {
+                        (service_end(&self.events[e.from]), service_start(&self.events[e.to]))
+                    }
+                    _ => (self.events[e.from].at(), self.events[e.to].at()),
+                };
+                from_t > to_t
+            })
+            .collect()
+    }
+}
+
+fn service_start(ev: &ObsEvent) -> Time {
+    match *ev {
+        ObsEvent::Wait { start, .. } => start,
+        _ => ev.at(),
+    }
+}
+
+fn service_end(ev: &ObsEvent) -> Time {
+    match *ev {
+        ObsEvent::Wait { end, .. } => end,
+        _ => ev.at(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ResourceId;
+
+    fn ns(v: u64) -> Time {
+        Time::from_ns(v)
+    }
+
+    fn op(core: u8, start: u64, end: u64) -> ObsEvent {
+        ObsEvent::Op {
+            core: CoreId(core),
+            kind: crate::event::OpKind::FlagPut,
+            lines: 1,
+            start: ns(start),
+            end: ns(end),
+            msg: None,
+        }
+    }
+
+    #[test]
+    fn program_order_chains_per_core() {
+        let events = vec![op(0, 0, 10), op(1, 0, 5), op(0, 10, 20), op(1, 5, 12)];
+        let g = CausalGraph::build(&events);
+        let prog: Vec<(usize, usize)> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Program)
+            .map(|e| (e.from, e.to))
+            .collect();
+        assert_eq!(prog, vec![(0, 2), (1, 3)]);
+        g.acyclic().unwrap();
+        assert!(g.time_violations().is_empty());
+    }
+
+    #[test]
+    fn wake_edge_prefers_covering_commit() {
+        let events = vec![
+            ObsEvent::Park { core: CoreId(1), line: 3, at: ns(0) },
+            op(0, 0, 10),
+            ObsEvent::MpbWrite {
+                owner: CoreId(1),
+                line: 3,
+                lines: 1,
+                writer: CoreId(0),
+                value: Some(7),
+                at: ns(10),
+            },
+            ObsEvent::Wake { core: CoreId(1), line: 3, at: ns(10), writer: CoreId(0) },
+        ];
+        let g = CausalGraph::build(&events);
+        let wake: Vec<&Edge> = g.edges.iter().filter(|e| e.kind == EdgeKind::Wake).collect();
+        assert_eq!(wake.len(), 1);
+        assert_eq!((wake[0].from, wake[0].to), (2, 3));
+    }
+
+    #[test]
+    fn service_edges_follow_service_start_not_arrival() {
+        // Booking B arrived later but was served first (calendar gap).
+        let events = vec![
+            ObsEvent::Wait {
+                core: CoreId(0),
+                resource: ResourceId::Port(2),
+                arrival: ns(0),
+                start: ns(20),
+                end: ns(30),
+                link: None,
+            },
+            ObsEvent::Wait {
+                core: CoreId(1),
+                resource: ResourceId::Port(2),
+                arrival: ns(5),
+                start: ns(5),
+                end: ns(15),
+                link: None,
+            },
+        ];
+        let g = CausalGraph::build(&events);
+        let svc: Vec<&Edge> = g.edges.iter().filter(|e| e.kind == EdgeKind::Service).collect();
+        assert_eq!(svc.len(), 1);
+        assert_eq!((svc[0].from, svc[0].to), (1, 0));
+        assert!(g.time_violations().is_empty());
+    }
+
+    #[test]
+    fn overlapping_service_intervals_violate_time() {
+        let mk = |core: u8, arrival: u64, start: u64, end: u64| ObsEvent::Wait {
+            core: CoreId(core),
+            resource: ResourceId::Router(4),
+            arrival: ns(arrival),
+            start: ns(start),
+            end: ns(end),
+            link: None,
+        };
+        let events = vec![mk(0, 0, 0, 20), mk(1, 1, 10, 25)];
+        let g = CausalGraph::build(&events);
+        let bad = g.time_violations();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].kind, EdgeKind::Service);
+    }
+
+    #[test]
+    fn handoff_reaches_receivers_next_event() {
+        let events = vec![
+            op(0, 0, 10),
+            ObsEvent::Handoff { from: CoreId(0), to: CoreId(1), at: ns(10) },
+            op(1, 10, 20),
+        ];
+        let g = CausalGraph::build(&events);
+        assert!(g.edges.iter().any(|e| e.kind == EdgeKind::Handoff && e.from == 1 && e.to == 2));
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_acyclic() {
+        let g = CausalGraph::build(&[]);
+        g.acyclic().unwrap();
+        assert!(g.edges.is_empty());
+    }
+}

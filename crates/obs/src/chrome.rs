@@ -118,12 +118,17 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             | ObsEvent::DeliveryBegin { core, .. }
             | ObsEvent::DeliveryEnd { core, .. }
             | ObsEvent::Finish { core, .. }
+            | ObsEvent::FlagSample { core, .. }
             | ObsEvent::Fault { core, .. } => {
                 cores.insert(core.index());
             }
             ObsEvent::Handoff { from, to, .. } => {
                 cores.insert(from.index());
                 cores.insert(to.index());
+            }
+            ObsEvent::MpbWrite { owner, writer, .. } => {
+                cores.insert(owner.index());
+                cores.insert(writer.index());
             }
             ObsEvent::Wait { resource, arrival, start, .. } => {
                 seen_resources.insert(resource);
@@ -206,8 +211,12 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             }
             // Delivery windows are a journey-level concept; the Chrome
             // export keeps its committed shape and leaves them to the
-            // `journey`/`skew` reports.
-            ObsEvent::DeliveryBegin { .. } | ObsEvent::DeliveryEnd { .. } => {}
+            // `journey`/`skew` reports. Commit/sample events duplicate
+            // the ops that caused them — the audit layer's concern.
+            ObsEvent::DeliveryBegin { .. }
+            | ObsEvent::DeliveryEnd { .. }
+            | ObsEvent::MpbWrite { .. }
+            | ObsEvent::FlagSample { .. } => {}
         }
     }
 

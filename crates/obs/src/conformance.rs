@@ -223,6 +223,25 @@ pub struct SoakMetrics {
     pub dumps: u64,
 }
 
+/// Causal-audit self-metrics of one observatory invocation
+/// (`--audit`): how many recorded streams the auditor checked and what
+/// it found. Excluded from the drift gate for the same reason as
+/// [`JourneysMetrics`] — it describes the run's own telemetry output,
+/// not paper conformance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditMetrics {
+    /// Recorded scenario streams audited.
+    pub scenarios: u64,
+    /// Invariant instances examined across all streams.
+    pub checks: u64,
+    /// Violations found (must be 0 on healthy runs).
+    pub violations: u64,
+    /// Seeded mutation trials run by the non-vacuity harness.
+    pub mutations: u64,
+    /// Mutation trials the auditor caught with the expected class.
+    pub mutations_caught: u64,
+}
+
 /// Everything one experiment produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -263,6 +282,9 @@ pub struct ConformanceReport {
     /// Soak summary (present only on `--soak` runs; absent in older
     /// baselines). Ignored by the drift gate.
     pub soak: Option<SoakMetrics>,
+    /// Causal-audit summary (present only on `--audit` runs; absent in
+    /// older baselines). Ignored by the drift gate.
+    pub audit: Option<AuditMetrics>,
 }
 
 impl ConformanceReport {
@@ -275,6 +297,7 @@ impl ConformanceReport {
             journeys: None,
             faults: None,
             soak: None,
+            audit: None,
         }
     }
 
@@ -373,7 +396,7 @@ impl ConformanceReport {
             ),
             None => doc,
         };
-        match &self.soak {
+        let doc = match &self.soak {
             Some(s) => doc.set(
                 "soak",
                 Json::obj()
@@ -381,6 +404,18 @@ impl ConformanceReport {
                     .set("epochs", Json::Int(s.epochs as i64))
                     .set("breaches", Json::Int(s.breaches as i64))
                     .set("dumps", Json::Int(s.dumps as i64)),
+            ),
+            None => doc,
+        };
+        match &self.audit {
+            Some(a) => doc.set(
+                "audit",
+                Json::obj()
+                    .set("scenarios", Json::Int(a.scenarios as i64))
+                    .set("checks", Json::Int(a.checks as i64))
+                    .set("violations", Json::Int(a.violations as i64))
+                    .set("mutations", Json::Int(a.mutations as i64))
+                    .set("mutations_caught", Json::Int(a.mutations_caught as i64)),
             ),
             None => doc,
         }
@@ -465,7 +500,17 @@ impl ConformanceReport {
             }),
             None => None,
         };
-        Ok(ConformanceReport { schema, quick, experiments, run, journeys, faults, soak })
+        let audit = match v.get("audit") {
+            Some(a) => Some(AuditMetrics {
+                scenarios: req_f64(a, "scenarios")? as u64,
+                checks: req_f64(a, "checks")? as u64,
+                violations: req_f64(a, "violations")? as u64,
+                mutations: req_f64(a, "mutations")? as u64,
+                mutations_caught: req_f64(a, "mutations_caught")? as u64,
+            }),
+            None => None,
+        };
+        Ok(ConformanceReport { schema, quick, experiments, run, journeys, faults, soak, audit })
     }
 
     /// The human-readable drift report (`results/CONFORMANCE.md`).
@@ -737,6 +782,13 @@ mod tests {
         r.faults =
             Some(FaultsMetrics { scenarios: 3, points: 12, injected_faults: 40, recoveries: 31 });
         r.soak = Some(SoakMetrics { scenarios: 2, epochs: 10_000, breaches: 4, dumps: 6 });
+        r.audit = Some(AuditMetrics {
+            scenarios: 9,
+            checks: 120_000,
+            violations: 0,
+            mutations: 45,
+            mutations_caught: 45,
+        });
         r
     }
 
@@ -815,6 +867,27 @@ mod tests {
         assert!(drift_gate(&cur, &base).ok());
         let mut old_base = sample();
         old_base.soak = None;
+        assert!(drift_gate(&sample(), &old_base).ok());
+    }
+
+    /// Same contract for the audit block: self-description, not
+    /// conformance — arbitrary drift (or absence) never trips the gate.
+    #[test]
+    fn gate_ignores_audit_self_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.audit = Some(AuditMetrics {
+            scenarios: 99,
+            checks: u64::MAX,
+            violations: 9999,
+            mutations: 0,
+            mutations_caught: 0,
+        });
+        assert!(drift_gate(&cur, &base).ok());
+        cur.audit = None;
+        assert!(drift_gate(&cur, &base).ok());
+        let mut old_base = sample();
+        old_base.audit = None;
         assert!(drift_gate(&sample(), &old_base).ok());
     }
 

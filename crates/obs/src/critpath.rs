@@ -243,11 +243,13 @@ pub fn critical_path(events: &[ObsEvent]) -> Result<CriticalPath, CritPathError>
             | ObsEvent::DeliveryBegin { core, .. }
             | ObsEvent::DeliveryEnd { core, .. }
             | ObsEvent::Finish { core, .. }
+            | ObsEvent::FlagSample { core, .. }
             | ObsEvent::Fault { core, .. } => core.index() + 1,
             // A wake's `writer` is a core the walk may jump to, so it
             // must size the tables even if the writer logged nothing
             // else (malformed or truncated streams must not panic).
             ObsEvent::Wake { core, writer, .. } => core.index().max(writer.index()) + 1,
+            ObsEvent::MpbWrite { owner, writer, .. } => owner.index().max(writer.index()) + 1,
             ObsEvent::Handoff { from, to, .. } => from.index().max(to.index()) + 1,
         })
         .max()

@@ -181,6 +181,24 @@ pub enum ObsEvent {
     /// `core` holds the full payload of `epoch` — its delivery window
     /// closed. The last window close of a broadcast is its makespan.
     DeliveryEnd { core: CoreId, epoch: u32, at: Time },
+    /// An operation issued by `writer` committed `lines` cache lines
+    /// into `owner`'s MPB starting at `line`, at instant `at`. Recorded
+    /// at the same instant as the committing [`ObsEvent::Op`] and
+    /// *before* any [`ObsEvent::Wake`] it causes, so the per-instant
+    /// order is op → commit → wake(s). `value` carries the deposited
+    /// flag value for flag writes (`None` for payload transfers whose
+    /// bytes the event model does not track).
+    MpbWrite {
+        owner: CoreId,
+        line: usize,
+        lines: usize,
+        writer: CoreId,
+        value: Option<u32>,
+        at: Time,
+    },
+    /// `core` read its own MPB flag `line` and observed `value` — one
+    /// poll of a flag-wait loop (or a recovery probe's local re-read).
+    FlagSample { core: CoreId, line: usize, value: u32, at: Time },
     /// `core`'s SPMD closure returned at virtual time `at`.
     Finish { core: CoreId, at: Time },
     /// The fault plan injected a fault against an operation of `core`
@@ -203,6 +221,8 @@ impl ObsEvent {
             | ObsEvent::SpanEnd { at, .. }
             | ObsEvent::DeliveryBegin { at, .. }
             | ObsEvent::DeliveryEnd { at, .. }
+            | ObsEvent::MpbWrite { at, .. }
+            | ObsEvent::FlagSample { at, .. }
             | ObsEvent::Finish { at, .. }
             | ObsEvent::Fault { at, .. } => at,
             ObsEvent::Compute { end, .. } => end,

@@ -11,7 +11,7 @@
 //! `--jobs` settings — the same determinism contract as the journey
 //! book.
 
-use crate::conformance::ARTIFACT_VERSION;
+use crate::artifact::{count, ps, req_time, req_u64, scenario_envelope};
 use crate::report::Json;
 use scc_hal::Time;
 use std::fmt::Write as _;
@@ -56,23 +56,6 @@ pub struct FaultCurve {
     pub points: Vec<FaultPoint>,
 }
 
-fn ps(t: Time) -> Json {
-    Json::Int(t.as_ps() as i64)
-}
-
-fn count(v: u64) -> Json {
-    Json::Int(v as i64)
-}
-
-fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
-    let raw = v.get(key).and_then(Json::as_i64).ok_or(format!("missing integer '{key}'"))?;
-    u64::try_from(raw).map_err(|_| format!("key '{key}' must be non-negative, got {raw}"))
-}
-
-fn req_time(v: &Json, key: &str) -> Result<Time, String> {
-    Ok(Time::from_ps(req_u64(v, key)?))
-}
-
 /// The versioned `BENCH_faults.json` envelope, validated by
 /// [`crate::validate_artifact_version`].
 pub fn faults_artifact(curves: &[FaultCurve]) -> Json {
@@ -106,20 +89,13 @@ pub fn faults_artifact(curves: &[FaultCurve]) -> Json {
                 .set("points", Json::Arr(points))
         })
         .collect();
-    Json::obj()
-        .set("version", Json::Int(ARTIFACT_VERSION))
-        .set("bench", Json::Str("faults".into()))
-        .set("scenarios", Json::Arr(arr))
+    scenario_envelope("faults", arr)
 }
 
 /// Strict inverse of [`faults_artifact`] (checks the version first).
 pub fn parse_faults_artifact(doc: &Json) -> Result<Vec<FaultCurve>, String> {
-    crate::conformance::validate_artifact_version(doc)?;
-    let arr = doc
-        .get("scenarios")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| "missing 'scenarios' array".to_string())?;
-    arr.iter()
+    crate::artifact::open_scenarios(doc)?
+        .iter()
         .map(|v| {
             let id = v
                 .get("id")
@@ -207,6 +183,7 @@ pub fn render_faults_markdown(curves: &[FaultCurve]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conformance::ARTIFACT_VERSION;
     use crate::report::validate_json;
 
     fn sample() -> Vec<FaultCurve> {

@@ -122,8 +122,10 @@ fn cores_of(ev: &ObsEvent) -> impl Iterator<Item = usize> {
         | ObsEvent::DeliveryBegin { core, .. }
         | ObsEvent::DeliveryEnd { core, .. }
         | ObsEvent::Finish { core, .. }
+        | ObsEvent::FlagSample { core, .. }
         | ObsEvent::Fault { core, .. } => (core.index(), None),
         ObsEvent::Wake { core, .. } => (core.index(), None),
+        ObsEvent::MpbWrite { owner, writer, .. } => (owner.index(), Some(writer.index())),
         ObsEvent::Handoff { from, to, .. } => (from.index(), Some(to.index())),
     };
     std::iter::once(a).chain(b)

@@ -12,16 +12,23 @@ use scc_hal::{LinkDir, Tile, Time, TILE_COLS, TILE_ROWS};
 use std::fmt::Write as _;
 
 /// One occupancy digit: `'-'` for exactly zero, `'0'` when the
-/// normalization maximum is zero (nothing to scale against), otherwise
-/// `1..=9` with the hottest cell always rendering as `9`.
+/// normalization maximum is zero (nothing to scale against), `1..=9`
+/// for the interior of the scale, and `'+'` at saturation (the cell
+/// that *is* the maximum, or anything past it) — previously the
+/// double-digit bucket was silently clamped to `'9'`, making the
+/// hottest cell indistinguishable from a merely-hot one.
 pub fn occupancy_digit(t: Time, max: Time) -> char {
     if t == Time::ZERO {
         '-'
     } else if max == Time::ZERO {
         '0'
     } else {
-        let d = 1 + (t.as_ps() as u128 * 9 / max.as_ps() as u128).min(9) as u32;
-        char::from_digit(d.min(9), 10).unwrap()
+        let d = 1 + (t.as_ps() as u128 * 9 / max.as_ps() as u128) as u32;
+        if d >= 10 {
+            '+'
+        } else {
+            char::from_digit(d, 10).unwrap()
+        }
     }
 }
 
@@ -62,7 +69,11 @@ mod tests {
         let ns = Time::from_ns;
         assert_eq!(occupancy_digit(Time::ZERO, ns(9)), '-');
         assert_eq!(occupancy_digit(ns(1), Time::ZERO), '0');
-        assert_eq!(occupancy_digit(ns(9), ns(9)), '9');
+        // Saturation is its own glyph, not a clamped '9'.
+        assert_eq!(occupancy_digit(ns(9), ns(9)), '+');
+        assert_eq!(occupancy_digit(ns(10), ns(9)), '+');
+        // Just under the maximum still reads as a digit.
+        assert_eq!(occupancy_digit(ns(8), ns(9)), '9');
         // The faintest non-zero signal still shows as at least 1.
         assert_eq!(occupancy_digit(Time::from_ps(1), ns(100)), '1');
         assert_eq!(occupancy_digit(ns(5), ns(9)), '6');

@@ -101,14 +101,14 @@ impl LinkHeatmap {
     /// ASCII rendering of the mesh: one cell per tile (row y=3 on top,
     /// matching the paper's chip diagrams), each showing the busy
     /// occupancy of its five output links as a single digit 0–9
-    /// normalized to the hottest link ('-' for exactly zero). Layout
-    /// and digit rounding live in [`crate::grid`], shared with the
-    /// congestion movie.
+    /// normalized to the hottest link ('-' for exactly zero, '+' for
+    /// the saturated maximum). Layout and digit rounding live in
+    /// [`crate::grid`], shared with the congestion movie.
     pub fn render_ascii(&self, title: &str) -> String {
         let max = self.busy.iter().copied().max().unwrap_or(Time::ZERO);
         let mut out = String::new();
         let _ = writeln!(out, "link occupancy: {title}");
-        let _ = writeln!(out, "cell = tile(x,y) E W N S eject  (busy 0-9, '-' = idle, max=9)");
+        let _ = writeln!(out, "cell = tile(x,y) E W N S eject  (busy 0-9, '-' = idle, '+' = max)");
         out.push_str(&crate::grid::render_mesh(|t, dir| {
             crate::grid::occupancy_digit(self.busy(t, dir), max)
         }));
@@ -208,8 +208,8 @@ mod tests {
         ]);
         let art = hm.render_ascii("test");
         assert!(art.contains("link occupancy: test"));
-        // Hottest link renders as 9; the cold tile row is all '-'.
-        assert!(art.contains("9----"), "{art}");
+        // Hottest link saturates to '+'; the cold tile row is all '-'.
+        assert!(art.contains("+----"), "{art}");
         assert!(art.contains("-----"), "{art}");
         assert!(art.contains("peak link: tile (0,0) dir E"), "{art}");
         // 4 tile rows * 2 lines + header(2) + floor + peak line.

@@ -20,7 +20,6 @@
 //! (a pipelined put can hold a port and a router at once) therefore
 //! never double-count.
 
-use crate::conformance::ARTIFACT_VERSION;
 use crate::event::{ObsEvent, OpKind, ResourceId};
 use crate::report::Json;
 use scc_hal::{CoreId, Phase, Time};
@@ -445,20 +444,13 @@ pub fn journeys_artifact(scenarios: &[(String, JourneyBook)]) -> Json {
         .iter()
         .map(|(id, book)| book.to_json().set("id", Json::Str(id.clone())))
         .collect();
-    Json::obj()
-        .set("version", Json::Int(ARTIFACT_VERSION))
-        .set("bench", Json::Str("journeys".into()))
-        .set("scenarios", Json::Arr(arr))
+    crate::artifact::scenario_envelope("journeys", arr)
 }
 
 /// Strict inverse of [`journeys_artifact`] (checks the version first).
 pub fn parse_journeys_artifact(doc: &Json) -> Result<Vec<(String, JourneyBook)>, String> {
-    crate::conformance::validate_artifact_version(doc)?;
-    let arr = doc
-        .get("scenarios")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| "missing 'scenarios' array".to_string())?;
-    arr.iter()
+    crate::artifact::open_scenarios(doc)?
+        .iter()
         .map(|v| {
             let id = v
                 .get("id")

@@ -63,6 +63,10 @@
 //! collectives annotate phases through `scc_hal::Rma::span_begin`; the
 //! `trace` binary in `scc-bench` drives all exporters.
 
+pub mod artifact;
+pub mod audit;
+pub mod auditrep;
+pub mod causal;
 pub mod chrome;
 pub mod conformance;
 pub mod critpath;
@@ -83,11 +87,18 @@ pub mod slo;
 pub mod soakrep;
 pub mod whatif;
 
+pub use audit::{
+    audit, mutate, AuditReport, AuditSpec, CheckStat, MutationClass, Violation, ViolationClass,
+};
+pub use auditrep::{
+    audit_artifact, parse_audit_artifact, render_audit_markdown, AuditScenario, MutationTrial,
+};
+pub use causal::{actor, CausalGraph, Edge, EdgeKind};
 pub use chrome::{chrome_trace_json, kinds_present};
 pub use conformance::{
-    drift_gate, validate_artifact_version, ConformanceReport, DriftReport, DriftViolation,
-    ExperimentReport, ExperimentRow, FaultsMetrics, JourneysMetrics, RunMetrics, SelfMetrics,
-    ShapeCheck, SoakMetrics, ARTIFACT_VERSION,
+    drift_gate, validate_artifact_version, AuditMetrics, ConformanceReport, DriftReport,
+    DriftViolation, ExperimentReport, ExperimentRow, FaultsMetrics, JourneysMetrics, RunMetrics,
+    SelfMetrics, ShapeCheck, SoakMetrics, ARTIFACT_VERSION,
 };
 pub use critpath::{
     critical_path, Breakdown, CritPathError, CriticalPath, PathSegment, SegmentKind,

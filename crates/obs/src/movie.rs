@@ -84,8 +84,10 @@ impl CongestionMovie {
         let max = self.global_max();
         let mut out = String::new();
         let _ = writeln!(out, "link congestion movie: {title}");
-        let _ =
-            writeln!(out, "cell = tile(x,y) E W N S eject  (busy 0-9 vs global max, '-' = idle)");
+        let _ = writeln!(
+            out,
+            "cell = tile(x,y) E W N S eject  (busy 0-9 vs global max, '-' = idle, '+' = max)"
+        );
         for (f, frame) in self.frames.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -164,11 +166,15 @@ mod tests {
         assert!(art.contains("link congestion movie: test"), "{art}");
         assert!(art.contains("frame 1/2"), "{art}");
         assert!(art.contains("frame 2/2"), "{art}");
-        // Frame 0's hot link is a 9; frame 1's faint link renders as 1
-        // (normalized to the global max, not its own frame).
+        // Frame 0's hot link saturates to '+'; frame 1's faint link
+        // renders as 1 (normalized to the global max, not its own
+        // frame). Only cell rows count — the grid borders are drawn
+        // with '+' too.
         let frames: Vec<&str> = art.split("frame ").collect();
-        assert!(frames[1].contains('9'), "{art}");
-        assert!(frames[2].contains('1') && !frames[2].contains('9'), "{art}");
+        let cells =
+            |s: &str| s.lines().filter(|l| l.starts_with("| ")).collect::<Vec<_>>().join("\n");
+        assert!(cells(frames[1]).contains('+'), "{art}");
+        assert!(cells(frames[2]).contains('1') && !cells(frames[2]).contains('+'), "{art}");
     }
 
     #[test]

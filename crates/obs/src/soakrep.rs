@@ -10,7 +10,7 @@
 //! picoseconds and exact counts — the same byte-identity contract as
 //! the journey book and fault curves, at any `--jobs` setting.
 
-use crate::conformance::ARTIFACT_VERSION;
+use crate::artifact::{count, ps, req_time, req_u64, scenario_envelope};
 use crate::report::Json;
 use crate::sketch::QuantileSketch;
 use crate::slo::{SloBreach, SloKind, SloPolicy};
@@ -70,28 +70,11 @@ impl SoakScenario {
     }
 }
 
-fn ps(t: Time) -> Json {
-    Json::Int(t.as_ps() as i64)
-}
-
-fn count(v: u64) -> Json {
-    Json::Int(v as i64)
-}
-
 fn opt_ps(t: Option<Time>) -> Json {
     match t {
         Some(t) => ps(t),
         None => Json::Null,
     }
-}
-
-fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
-    let raw = v.get(key).and_then(Json::as_i64).ok_or(format!("missing integer '{key}'"))?;
-    u64::try_from(raw).map_err(|_| format!("key '{key}' must be non-negative, got {raw}"))
-}
-
-fn req_time(v: &Json, key: &str) -> Result<Time, String> {
-    Ok(Time::from_ps(req_u64(v, key)?))
 }
 
 fn opt_time(v: &Json, key: &str) -> Result<Option<Time>, String> {
@@ -177,20 +160,13 @@ pub fn soak_artifact(scenarios: &[SoakScenario]) -> Json {
                 .set("phases", Json::Arr(phases))
         })
         .collect();
-    Json::obj()
-        .set("version", Json::Int(ARTIFACT_VERSION))
-        .set("bench", Json::Str("soak".into()))
-        .set("scenarios", Json::Arr(arr))
+    scenario_envelope("soak", arr)
 }
 
 /// Strict inverse of [`soak_artifact`] (checks the version first).
 pub fn parse_soak_artifact(doc: &Json) -> Result<Vec<SoakScenario>, String> {
-    crate::conformance::validate_artifact_version(doc)?;
-    let arr = doc
-        .get("scenarios")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| "missing 'scenarios' array".to_string())?;
-    arr.iter()
+    crate::artifact::open_scenarios(doc)?
+        .iter()
         .map(|v| {
             let id = v
                 .get("id")
@@ -405,6 +381,7 @@ pub fn render_soak_openmetrics(scenarios: &[SoakScenario]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conformance::ARTIFACT_VERSION;
     use crate::report::validate_json;
 
     fn sample() -> Vec<SoakScenario> {

@@ -139,8 +139,8 @@ proptest! {
         let mut full = EventLog::default();
         let mut ring = FlightRecorder::new(capacity);
         for ev in &events {
-            full.record(ev.clone());
-            ring.record(ev.clone());
+            full.record(*ev);
+            ring.record(*ev);
         }
         let all = full.drain();
         let window = ring.drain();

@@ -639,8 +639,26 @@ impl Engine {
         }
         match ops::apply(&mut self.chip, CoreId(core as u8), op) {
             Effect::None => Grant::Go { now: self.now },
-            Effect::Flag(value) => Grant::Flag { now: self.now, value },
+            Effect::Flag(value) => {
+                if let Op::ReadLine { line } = op {
+                    self.record(ObsEvent::FlagSample {
+                        core: CoreId(core as u8),
+                        line: *line,
+                        value: value.0,
+                        at: self.now,
+                    });
+                }
+                Grant::Flag { now: self.now, value }
+            }
             Effect::Wrote(region) => {
+                self.record(ObsEvent::MpbWrite {
+                    owner: region.core,
+                    line: region.first_line,
+                    lines: region.lines,
+                    writer: CoreId(core as u8),
+                    value: if let Op::FlagPut { value, .. } = op { Some(value.0) } else { None },
+                    at: self.now,
+                });
                 // Wake every core parked on a just-written line; the
                 // wake carries the commit timestamp, and the waiter
                 // re-reads the flag before trusting it.
